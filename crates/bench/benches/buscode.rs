@@ -1,0 +1,45 @@
+//! Criterion bench for the T3 encoder: training and encoding throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use lpmem_buscode::{RegionEncoder, XorTransform};
+use lpmem_isa::Kernel;
+
+fn fetch_stream() -> Vec<(u64, u32)> {
+    let run = Kernel::Fir.run(96, 3).expect("kernel");
+    run.trace.fetches_only().iter().map(|e| (e.addr, e.value)).collect()
+}
+
+fn bench_train(c: &mut Criterion) {
+    let stream = fetch_stream();
+    let words: Vec<u32> = stream.iter().map(|&(_, w)| w).collect();
+    let mut group = c.benchmark_group("buscode_train");
+    group.throughput(Throughput::Elements(words.len() as u64));
+    group.bench_function("single_transform", |b| {
+        b.iter(|| XorTransform::train(black_box(&words)))
+    });
+    for regions in [1usize, 4, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("region_encoder", regions),
+            &stream,
+            |b, s| b.iter(|| RegionEncoder::train(black_box(s), regions)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let stream = fetch_stream();
+    let encoder = RegionEncoder::train(&stream, 4);
+    let mut group = c.benchmark_group("buscode_encode");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.bench_function("encode_stream", |b| {
+        b.iter(|| encoder.encode_stream(black_box(&stream)))
+    });
+    group.bench_function("evaluate", |b| b.iter(|| encoder.evaluate(black_box(&stream))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_train, bench_encode);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion bench for the T2 codecs: throughput of compress/decompress
+//! over realistic cache-line payloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use lpmem_compress::{DiffCodec, FpcCodec, LineCodec, ZeroRunCodec};
+
+/// Smooth signal-like line (the favourable case).
+fn smooth_line(words: usize) -> Vec<u8> {
+    (0..words as u32).flat_map(|i| (100_000 + 37 * i).to_le_bytes()).collect()
+}
+
+/// High-entropy line (the unfavourable case).
+fn random_line(words: usize) -> Vec<u8> {
+    (0..words as u32)
+        .flat_map(|i| i.wrapping_mul(0x9E37_79B9).rotate_left(7).to_le_bytes())
+        .collect()
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let codecs: Vec<(&str, Box<dyn LineCodec>)> = vec![
+        ("diff", Box::new(DiffCodec::new())),
+        ("zero", Box::new(ZeroRunCodec::new())),
+        ("fpc", Box::new(FpcCodec::new())),
+    ];
+    let mut group = c.benchmark_group("codec_compress");
+    for (data_name, line) in [("smooth", smooth_line(16)), ("random", random_line(16))] {
+        group.throughput(Throughput::Bytes(line.len() as u64));
+        for (name, codec) in &codecs {
+            group.bench_with_input(BenchmarkId::new(*name, data_name), &line, |b, line| {
+                b.iter(|| codec.compress(black_box(line)))
+            });
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("codec_roundtrip");
+    let line = smooth_line(16);
+    for (name, codec) in &codecs {
+        let encoded = codec.compress(&line);
+        group.bench_with_input(BenchmarkId::new(*name, "decompress"), &encoded, |b, e| {
+            b.iter(|| codec.decompress(black_box(e), line.len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_compressed_bits(c: &mut Criterion) {
+    let codec = DiffCodec::new();
+    let line = smooth_line(16);
+    c.bench_function("codec/compressed_bits_only", |b| {
+        b.iter(|| codec.compressed_bits(black_box(&line)))
+    });
+}
+
+criterion_group!(benches, bench_codecs, bench_compressed_bits);
+criterion_main!(benches);

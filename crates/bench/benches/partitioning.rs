@@ -1,0 +1,54 @@
+//! Criterion bench for the T1/F1a/F1b pipeline: profiling, clustering, and
+//! DP-optimal partitioning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use lpmem_cluster::{cluster_blocks, ClusterConfig};
+use lpmem_energy::Technology;
+use lpmem_partition::{greedy_partition, optimal_partition, PartitionCost};
+use lpmem_trace::gen::HotColdGen;
+use lpmem_trace::{BlockProfile, Trace};
+
+fn profile_of(blocks: u64) -> (Trace, BlockProfile) {
+    let trace: Trace = HotColdGen::new(blocks * 2048, 12, 0.9)
+        .block_size(2048)
+        .seed(7)
+        .events(50_000)
+        .collect();
+    let profile = BlockProfile::from_trace(&trace, 2048).expect("profile");
+    (trace, profile)
+}
+
+fn bench_partitioning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partitioning");
+    let tech = Technology::tech180();
+    let cost = PartitionCost::new(&tech);
+    for blocks in [32u64, 64, 128, 256] {
+        let (trace, profile) = profile_of(blocks);
+        group.bench_with_input(BenchmarkId::new("optimal_dp", blocks), &profile, |b, p| {
+            b.iter(|| optimal_partition(black_box(p), 8, &cost))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", blocks), &profile, |b, p| {
+            b.iter(|| greedy_partition(black_box(p), 8, &cost))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("cluster", blocks),
+            &(&trace, &profile),
+            |b, (t, p)| {
+                b.iter(|| cluster_blocks(black_box(p), Some(t), &ClusterConfig::default()))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_profile_build(c: &mut Criterion) {
+    let trace: Trace = HotColdGen::new(1 << 18, 12, 0.9).seed(7).events(200_000).collect();
+    c.bench_function("profile/from_trace_200k", |b| {
+        b.iter(|| BlockProfile::from_trace(black_box(&trace), 2048).expect("profile"))
+    });
+}
+
+criterion_group!(benches, bench_partitioning, bench_profile_build);
+criterion_main!(benches);

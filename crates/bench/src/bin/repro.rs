@@ -1,0 +1,39 @@
+//! Regenerates every table and figure of the reproduced evaluations.
+//!
+//! ```text
+//! repro             # everything
+//! repro all         # everything
+//! repro t1 t3       # selected experiments
+//! repro --list      # available ids
+//! ```
+
+use lpmem_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list" || a == "-l") {
+        println!("available experiments: {}", experiments::ALL_IDS.join(" "));
+        return;
+    }
+    let ids: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        experiments::ALL_IDS.iter().map(|s| s.to_string()).collect()
+    } else {
+        args
+    };
+    println!("lpmem reproduction harness (seed {})", experiments::SEED);
+    println!("targets are the DATE 2003 Session 1B headline claims; see EXPERIMENTS.md\n");
+    let mut unknown = Vec::new();
+    for id in &ids {
+        match experiments::by_id(id) {
+            Some(table) => println!("{table}"),
+            None => unknown.push(id.clone()),
+        }
+    }
+    if !unknown.is_empty() {
+        eprintln!(
+            "unknown experiment id(s): {} (try --list)",
+            unknown.join(", ")
+        );
+        std::process::exit(2);
+    }
+}

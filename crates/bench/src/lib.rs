@@ -1,0 +1,12 @@
+//! Experiment harness: one function per table/figure of the reproduced
+//! evaluations (see `DESIGN.md` §2 for the experiment index).
+//!
+//! Every experiment returns a [`Table`] whose `Display` rendering is what
+//! the `repro` binary prints and what `EXPERIMENTS.md` records. The same
+//! functions back the Criterion benches, so "the benchmark suite" and "the
+//! reproduction harness" cannot drift apart.
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;

@@ -1,0 +1,210 @@
+//! Address-bus encodings: Gray and T0.
+//!
+//! The instruction *address* bus is even more regular than the data bus —
+//! fetch addresses are mostly sequential — and the classic low-power
+//! encodings exploit exactly that:
+//!
+//! * [`gray_encode`] — consecutive binary numbers differ in one bit after
+//!   Gray coding, so sequential fetch runs toggle a single line. Gray
+//!   coding only pays on **unit-stride** streams, so an instruction fetch
+//!   bus drives the *word* address (`addr >> 2`);
+//! * [`T0Encoder`] — adds one *increment* line: when the new address equals
+//!   the previous plus the stride, the address lines freeze entirely and
+//!   only the INC line is asserted (Benini et al.'s T0 code).
+//!
+//! These serve as the address-side baselines of the 1B.3 study (experiment
+//! **F3b**).
+
+/// Converts a word to its reflected binary Gray code.
+pub fn gray_encode(value: u32) -> u32 {
+    value ^ (value >> 1)
+}
+
+/// Inverts [`gray_encode`].
+pub fn gray_decode(gray: u32) -> u32 {
+    let mut value = gray;
+    let mut shift = 1;
+    while shift < 32 {
+        value ^= value >> shift;
+        shift <<= 1;
+    }
+    value
+}
+
+/// Transitions of an address stream when driven in plain binary.
+pub fn binary_transitions(addrs: &[u32]) -> u64 {
+    addrs.windows(2).map(|w| (w[0] ^ w[1]).count_ones() as u64).sum()
+}
+
+/// Transitions of an address stream when driven Gray-coded.
+pub fn gray_transitions(addrs: &[u32]) -> u64 {
+    addrs
+        .windows(2)
+        .map(|w| (gray_encode(w[0]) ^ gray_encode(w[1])).count_ones() as u64)
+        .sum()
+}
+
+/// The T0 address encoder: a stateful line-freeze code.
+///
+/// When `addr == prev + stride`, the encoder keeps the address lines at
+/// their previous value and toggles nothing except (possibly) the INC
+/// line; otherwise it drives the new address and deasserts INC. The
+/// decoder reconstructs addresses from `(lines, inc)` exactly.
+#[derive(Debug, Clone)]
+pub struct T0Encoder {
+    stride: u32,
+    lines: u32,
+    inc: bool,
+    expected: Option<u32>,
+}
+
+impl T0Encoder {
+    /// Creates an encoder for the given stride (4 for word-fetch buses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero.
+    pub fn new(stride: u32) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        T0Encoder { stride, lines: 0, inc: false, expected: None }
+    }
+
+    /// Encodes the next address, returning the `(address lines, inc line)`
+    /// the bus drives.
+    pub fn push(&mut self, addr: u32) -> (u32, bool) {
+        match self.expected {
+            Some(exp) if exp == addr => {
+                self.inc = true;
+                // lines freeze
+            }
+            _ => {
+                self.lines = addr;
+                self.inc = false;
+            }
+        }
+        self.expected = Some(addr.wrapping_add(self.stride));
+        (self.lines, self.inc)
+    }
+
+    /// Transitions of an address stream under T0, counting the INC line.
+    pub fn transitions(stride: u32, addrs: &[u32]) -> u64 {
+        let mut enc = T0Encoder::new(stride);
+        let mut total = 0u64;
+        let mut prev: Option<(u32, bool)> = None;
+        for &a in addrs {
+            let now = enc.push(a);
+            if let Some((pl, pi)) = prev {
+                total += (pl ^ now.0).count_ones() as u64 + (pi != now.1) as u64;
+            }
+            prev = Some(now);
+        }
+        total
+    }
+}
+
+/// The T0 decoder, reconstructing the address stream from bus states.
+#[derive(Debug, Clone)]
+pub struct T0Decoder {
+    stride: u32,
+    last_addr: Option<u32>,
+}
+
+impl T0Decoder {
+    /// Creates a decoder for the given stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero.
+    pub fn new(stride: u32) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        T0Decoder { stride, last_addr: None }
+    }
+
+    /// Decodes one bus state back to the address.
+    pub fn pull(&mut self, lines: u32, inc: bool) -> u32 {
+        let addr = if inc {
+            self.last_addr
+                .map(|a| a.wrapping_add(self.stride))
+                .unwrap_or(lines)
+        } else {
+            lines
+        };
+        self.last_addr = Some(addr);
+        addr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn gray_roundtrip_small() {
+        for v in 0..1024u32 {
+            assert_eq!(gray_decode(gray_encode(v)), v);
+        }
+    }
+
+    #[test]
+    fn gray_neighbours_differ_in_one_bit() {
+        for v in 0..4096u32 {
+            let d = gray_encode(v) ^ gray_encode(v + 1);
+            assert_eq!(d.count_ones(), 1, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn sequential_run_gray_beats_binary() {
+        // The fetch bus carries word addresses (unit stride).
+        let addrs: Vec<u32> = (0..256).map(|i| 0x400 + i).collect();
+        let bin = binary_transitions(&addrs);
+        let gray = gray_transitions(&addrs);
+        assert_eq!(gray, 255, "one toggle per sequential step");
+        assert!(bin > gray, "binary {bin} vs gray {gray}");
+    }
+
+    #[test]
+    fn t0_freezes_lines_on_sequential_runs() {
+        let addrs: Vec<u32> = (0..256).map(|i| 0x400 + i).collect();
+        // First step drives the base, INC then stays asserted: 1 toggle.
+        assert_eq!(T0Encoder::transitions(1, &addrs), 1);
+    }
+
+    #[test]
+    fn t0_pays_on_jumps() {
+        let addrs = [0x400u32, 0x401, 0x2000, 0x2001];
+        let t = T0Encoder::transitions(1, &addrs);
+        assert!(t > 0);
+        // Still no worse than binary + the INC line toggles.
+        assert!(t <= binary_transitions(&addrs) + addrs.len() as u64);
+    }
+
+    #[test]
+    fn t0_decoder_recovers_stream() {
+        let addrs = [0u32, 4, 8, 100, 104, 108, 8, 12, 16];
+        let mut enc = T0Encoder::new(4);
+        let mut dec = T0Decoder::new(4);
+        for &a in &addrs {
+            let (lines, inc) = enc.push(a);
+            assert_eq!(dec.pull(lines, inc), a);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn gray_roundtrips(v in any::<u32>()) {
+            prop_assert_eq!(gray_decode(gray_encode(v)), v);
+        }
+
+        #[test]
+        fn t0_roundtrips_arbitrary_streams(addrs in prop::collection::vec(any::<u32>(), 1..128)) {
+            let mut enc = T0Encoder::new(4);
+            let mut dec = T0Decoder::new(4);
+            for &a in &addrs {
+                let (lines, inc) = enc.push(a);
+                prop_assert_eq!(dec.pull(lines, inc), a);
+            }
+        }
+    }
+}

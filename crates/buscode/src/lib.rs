@@ -1,0 +1,462 @@
+//! Application-specific instruction-memory bus encoding: the core idea of
+//! DATE 2003 1B.3 (*"Power Efficiency through Application-Specific
+//! Instruction Memory Transformations"*, P. Petrov, A. Orailoglu).
+//!
+//! The instruction-fetch bus toggles on every cycle and is one of the widest
+//! high-activity nets in an embedded SoC. Dictionary-based encodings save
+//! transitions but add a lookup to the fetch path. 1B.3 instead restricts
+//! itself to **functional transformations implementable with a single gate
+//! per bit line** — each encoded bit is the original bit, optionally XOR-ed
+//! with one lower-numbered bit line ([`XorTransform`]) — and makes the
+//! transform **reprogrammable per code region** so it can track each
+//! region's instruction statistics.
+//!
+//! Because the transform is linear over GF(2) and unit-lower-triangular, it
+//! is always invertible, and the transition count of an encoded stream
+//! depends only on the XOR-differences of consecutive words. That makes the
+//! per-region optimization *exact within the family*: each output bit can be
+//! chosen independently ([`XorTransform::train`]).
+//!
+//! # Example
+//!
+//! ```
+//! use lpmem_buscode::{BusInvert, RegionEncoder};
+//!
+//! // A fetch stream whose bits 0 and 1 always toggle together.
+//! let stream: Vec<(u64, u32)> =
+//!     (0..100u32).map(|i| (4 * i as u64, if i % 2 == 0 { 0b00 } else { 0b11 })).collect();
+//! let enc = RegionEncoder::train(&stream, 1);
+//! let report = enc.evaluate(&stream);
+//! // XOR-ing bit 1 with bit 0 makes line 1 constant: half the transitions.
+//! assert_eq!(report.encoded_transitions, report.raw_transitions / 2);
+//! // Bus-invert cannot exploit correlation, only magnitude.
+//! assert!(report.encoded_transitions < BusInvert::transitions(&stream));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod addrbus;
+
+use serde::{Deserialize, Serialize};
+
+/// A unit-lower-triangular XOR network over 32 bus lines.
+///
+/// Encoded bit `i` is `in_i ^ in_{pair[i]}` when `pair[i]` is set (and
+/// `pair[i] < i`), else `in_i`. A per-line inversion mask is supported for
+/// completeness; it cancels out of transition counts but documents the full
+/// hardware family.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct XorTransform {
+    pair: [Option<u8>; 32],
+    invert: u32,
+}
+
+impl Default for XorTransform {
+    fn default() -> Self {
+        XorTransform::identity()
+    }
+}
+
+impl XorTransform {
+    /// The identity transform.
+    pub fn identity() -> Self {
+        XorTransform { pair: [None; 32], invert: 0 }
+    }
+
+    /// Builds a transform from explicit pairings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `pair[i]` is not strictly less than `i` (the
+    /// lower-triangular property that guarantees invertibility).
+    pub fn new(pair: [Option<u8>; 32], invert: u32) -> Self {
+        for (i, p) in pair.iter().enumerate() {
+            if let Some(j) = *p {
+                assert!((j as usize) < i, "pair[{i}] = {j} violates lower-triangularity");
+            }
+        }
+        XorTransform { pair, invert }
+    }
+
+    /// Encodes one word.
+    pub fn encode(&self, word: u32) -> u32 {
+        let mut out = 0u32;
+        for i in 0..32 {
+            let mut bit = (word >> i) & 1;
+            if let Some(j) = self.pair[i] {
+                bit ^= (word >> j) & 1;
+            }
+            out |= bit << i;
+        }
+        out ^ self.invert
+    }
+
+    /// Decodes one word (exact inverse of [`encode`](Self::encode)).
+    pub fn decode(&self, word: u32) -> u32 {
+        let w = word ^ self.invert;
+        let mut out = 0u32;
+        // Lower-triangular: decode bits in ascending order.
+        for i in 0..32 {
+            let mut bit = (w >> i) & 1;
+            if let Some(j) = self.pair[i] {
+                bit ^= (out >> j) & 1; // already-decoded original bit
+            }
+            out |= bit << i;
+        }
+        out
+    }
+
+    /// `true` when the transform is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.invert == 0 && self.pair.iter().all(Option::is_none)
+    }
+
+    /// Number of XOR gates the transform costs in hardware.
+    pub fn gate_count(&self) -> usize {
+        self.pair.iter().filter(|p| p.is_some()).count() + self.invert.count_ones() as usize
+    }
+
+    /// Trains the transition-optimal transform (within the family) for a
+    /// word stream.
+    ///
+    /// The transition count of the encoded stream is
+    /// `Σ_t Σ_i (d_t,i ⊕ d_t,pair[i])` where `d_t` is the XOR-difference of
+    /// consecutive words, so each bit's pairing is chosen independently and
+    /// the result is exact, not heuristic.
+    pub fn train(words: &[u32]) -> Self {
+        let deltas: Vec<u32> = words.windows(2).map(|w| w[0] ^ w[1]).collect();
+        Self::train_on_deltas(&deltas)
+    }
+
+    /// Trains from precomputed consecutive-word XOR differences.
+    pub fn train_on_deltas(deltas: &[u32]) -> Self {
+        let mut pair = [None; 32];
+        if deltas.is_empty() {
+            return XorTransform { pair, invert: 0 };
+        }
+        for (i, slot) in pair.iter_mut().enumerate().skip(1) {
+            // Cost of leaving bit i alone.
+            let base: u64 = deltas.iter().map(|d| ((d >> i) & 1) as u64).sum();
+            let mut best = base;
+            let mut best_j = None;
+            for j in 0..i {
+                let cost: u64 =
+                    deltas.iter().map(|d| (((d >> i) ^ (d >> j)) & 1) as u64).sum();
+                if cost < best {
+                    best = cost;
+                    best_j = Some(j as u8);
+                }
+            }
+            *slot = best_j;
+        }
+        XorTransform { pair, invert: 0 }
+    }
+}
+
+/// Counts bit transitions between consecutive words.
+pub fn transitions(words: impl IntoIterator<Item = u32>) -> u64 {
+    let mut it = words.into_iter();
+    let Some(mut prev) = it.next() else { return 0 };
+    let mut total = 0u64;
+    for w in it {
+        total += (prev ^ w).count_ones() as u64;
+        prev = w;
+    }
+    total
+}
+
+/// The classic bus-invert baseline: one extra line signals whole-word
+/// inversion whenever more than half the lines would toggle.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BusInvert;
+
+impl BusInvert {
+    /// Transitions of a fetch stream under 32-bit bus-invert, counting the
+    /// invert line itself.
+    pub fn transitions(stream: &[(u64, u32)]) -> u64 {
+        let mut total = 0u64;
+        let mut prev_word = 0u32;
+        let mut prev_inv = 0u32;
+        let mut first = true;
+        for &(_, w) in stream {
+            if first {
+                prev_word = w;
+                first = false;
+                continue;
+            }
+            let flips = (prev_word ^ w).count_ones();
+            let (sent, inv) = if flips > 16 { (!w, 1) } else { (w, 0) };
+            total += (prev_word ^ sent).count_ones() as u64 + (prev_inv ^ inv) as u64;
+            prev_word = sent;
+            prev_inv = inv;
+        }
+        total
+    }
+}
+
+/// Per-region reprogrammable encoder: the address range of the fetch stream
+/// is split into equal regions, each with its own trained [`XorTransform`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionEncoder {
+    base: u64,
+    region_bytes: u64,
+    transforms: Vec<XorTransform>,
+}
+
+/// Result of evaluating a [`RegionEncoder`] on a fetch stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EncodingReport {
+    /// Transitions of the unencoded stream.
+    pub raw_transitions: u64,
+    /// Transitions of the encoded stream.
+    pub encoded_transitions: u64,
+    /// Number of regions (trained transforms).
+    pub regions: usize,
+    /// Total XOR gates across all regional transforms.
+    pub gates: usize,
+}
+
+impl EncodingReport {
+    /// Fractional reduction in transitions, `0.0..=1.0` (negative if the
+    /// encoding hurt).
+    pub fn reduction(&self) -> f64 {
+        if self.raw_transitions == 0 {
+            0.0
+        } else {
+            1.0 - self.encoded_transitions as f64 / self.raw_transitions as f64
+        }
+    }
+}
+
+impl RegionEncoder {
+    /// Trains one transform per region on a fetch stream of
+    /// `(address, instruction word)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_regions` is zero or the stream is empty.
+    pub fn train(stream: &[(u64, u32)], num_regions: usize) -> Self {
+        assert!(num_regions > 0, "need at least one region");
+        assert!(!stream.is_empty(), "cannot train on an empty stream");
+        let lo = stream.iter().map(|&(a, _)| a).min().expect("non-empty");
+        let hi = stream.iter().map(|&(a, _)| a).max().expect("non-empty");
+        let span = (hi - lo + 4).max(4);
+        let region_bytes = span.div_ceil(num_regions as u64).max(4);
+        // Per-region delta sets: consecutive fetches that stay in a region.
+        let mut deltas: Vec<Vec<u32>> = vec![Vec::new(); num_regions];
+        for pair in stream.windows(2) {
+            let (a0, w0) = pair[0];
+            let (a1, w1) = pair[1];
+            let r0 = ((a0 - lo) / region_bytes) as usize;
+            let r1 = ((a1 - lo) / region_bytes) as usize;
+            if r0 == r1 {
+                deltas[r0.min(num_regions - 1)].push(w0 ^ w1);
+            }
+        }
+        let transforms =
+            deltas.iter().map(|d| XorTransform::train_on_deltas(d)).collect();
+        RegionEncoder { base: lo, region_bytes, transforms }
+    }
+
+    /// The trained transform for an address.
+    pub fn transform_for(&self, addr: u64) -> &XorTransform {
+        let idx = if addr < self.base {
+            0
+        } else {
+            (((addr - self.base) / self.region_bytes) as usize).min(self.transforms.len() - 1)
+        };
+        &self.transforms[idx]
+    }
+
+    /// Number of regions.
+    pub fn num_regions(&self) -> usize {
+        self.transforms.len()
+    }
+
+    /// Encodes a fetch stream word-by-word (region chosen by address).
+    pub fn encode_stream(&self, stream: &[(u64, u32)]) -> Vec<u32> {
+        stream.iter().map(|&(a, w)| self.transform_for(a).encode(w)).collect()
+    }
+
+    /// Evaluates raw vs. encoded transitions on a stream.
+    pub fn evaluate(&self, stream: &[(u64, u32)]) -> EncodingReport {
+        let raw = transitions(stream.iter().map(|&(_, w)| w));
+        let encoded = transitions(self.encode_stream(stream));
+        EncodingReport {
+            raw_transitions: raw,
+            encoded_transitions: encoded,
+            regions: self.num_regions(),
+            gates: self.transforms.iter().map(XorTransform::gate_count).sum(),
+        }
+    }
+
+    /// Decodes an encoded stream given the fetch addresses (used by tests
+    /// to prove the fetch path is lossless).
+    pub fn decode_stream(&self, addrs: &[u64], encoded: &[u32]) -> Vec<u32> {
+        addrs
+            .iter()
+            .zip(encoded)
+            .map(|(&a, &w)| self.transform_for(a).decode(w))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_is_identity() {
+        let t = XorTransform::identity();
+        assert!(t.is_identity());
+        assert_eq!(t.encode(0xDEAD_BEEF), 0xDEAD_BEEF);
+        assert_eq!(t.gate_count(), 0);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_manual_transform() {
+        let mut pair = [None; 32];
+        pair[1] = Some(0);
+        pair[5] = Some(3);
+        pair[31] = Some(30);
+        let t = XorTransform::new(pair, 0xF0F0_F0F0);
+        for w in [0u32, 1, 0xFFFF_FFFF, 0x1234_5678, 0xDEAD_BEEF] {
+            assert_eq!(t.decode(t.encode(w)), w);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lower-triangularity")]
+    fn upper_triangular_pair_panics() {
+        let mut pair = [None; 32];
+        pair[3] = Some(7);
+        XorTransform::new(pair, 0);
+    }
+
+    #[test]
+    fn train_finds_correlated_bits() {
+        // Bits 4 and 7 always toggle together.
+        let words: Vec<u32> = (0..200)
+            .map(|i| if i % 2 == 0 { 0 } else { (1 << 4) | (1 << 7) })
+            .collect();
+        let t = XorTransform::train(&words);
+        let raw = transitions(words.iter().copied());
+        let enc = transitions(words.iter().map(|&w| t.encode(w)));
+        assert_eq!(raw, 199 * 2);
+        assert_eq!(enc, 199); // bit 7 folded onto bit 4
+    }
+
+    #[test]
+    fn train_never_hurts() {
+        // Any stream: trained transform's transitions <= raw (identity is in
+        // the family).
+        let streams: Vec<Vec<u32>> = vec![
+            (0..64).map(|i| i * 0x0101).collect(),
+            (0..64).map(|i| (i as u32).wrapping_mul(0x9E37_79B9)).collect(),
+            vec![7; 32],
+        ];
+        for words in streams {
+            let t = XorTransform::train(&words);
+            let raw = transitions(words.iter().copied());
+            let enc = transitions(words.iter().map(|&w| t.encode(w)));
+            assert!(enc <= raw, "enc {enc} > raw {raw}");
+        }
+    }
+
+    #[test]
+    fn train_on_empty_is_identity() {
+        assert!(XorTransform::train(&[]).is_identity());
+        assert!(XorTransform::train(&[42]).is_identity());
+    }
+
+    #[test]
+    fn transitions_counts_hamming() {
+        assert_eq!(transitions([]), 0);
+        assert_eq!(transitions([5]), 0);
+        assert_eq!(transitions([0, 0xF, 0xF0]), 4 + 8);
+    }
+
+    #[test]
+    fn bus_invert_caps_worst_case() {
+        // Alternating all-zeros / all-ones: raw 32 transitions per step;
+        // bus-invert sends the complement, paying only the invert line.
+        let stream: Vec<(u64, u32)> =
+            (0..10).map(|i| (4 * i, if i % 2 == 0 { 0 } else { u32::MAX })).collect();
+        let raw = transitions(stream.iter().map(|&(_, w)| w));
+        let bi = BusInvert::transitions(&stream);
+        assert_eq!(raw, 9 * 32);
+        assert!(bi <= 9 * 17, "bus-invert should cap at ~half: {bi}");
+    }
+
+    #[test]
+    fn multi_region_adapts_to_phases() {
+        // Two code regions with different bit correlations.
+        let mut stream = Vec::new();
+        for i in 0..300u32 {
+            // Region A at 0x0000: bits 0,1 correlate.
+            stream.push((4 * i as u64, if i % 2 == 0 { 0b11 } else { 0 }));
+        }
+        for i in 0..300u32 {
+            // Region B at 0x8000: bits 8,9 correlate.
+            stream.push((0x8000 + 4 * i as u64, if i % 2 == 0 { 0b11 << 8 } else { 0 }));
+        }
+        let one = RegionEncoder::train(&stream, 1).evaluate(&stream);
+        let two = RegionEncoder::train(&stream, 2).evaluate(&stream);
+        // Both halve the transitions here (a single transform can fold both
+        // correlated pairs), but two regions must never be worse.
+        assert!(two.encoded_transitions <= one.encoded_transitions);
+        assert!(two.reduction() >= 0.45, "reduction = {}", two.reduction());
+    }
+
+    #[test]
+    fn decode_stream_recovers_instructions() {
+        let stream: Vec<(u64, u32)> = (0..100u32)
+            .map(|i| (4 * i as u64, i.wrapping_mul(0x0101_0101) ^ 0xA5))
+            .collect();
+        let enc = RegionEncoder::train(&stream, 4);
+        let encoded = enc.encode_stream(&stream);
+        let addrs: Vec<u64> = stream.iter().map(|&(a, _)| a).collect();
+        let decoded = enc.decode_stream(&addrs, &encoded);
+        let original: Vec<u32> = stream.iter().map(|&(_, w)| w).collect();
+        assert_eq!(decoded, original);
+    }
+
+    #[test]
+    fn report_reduction_math() {
+        let r = EncodingReport {
+            raw_transitions: 100,
+            encoded_transitions: 60,
+            regions: 1,
+            gates: 3,
+        };
+        assert!((r.reduction() - 0.4).abs() < 1e-12);
+        let idle = EncodingReport {
+            raw_transitions: 0,
+            encoded_transitions: 0,
+            regions: 1,
+            gates: 0,
+        };
+        assert_eq!(idle.reduction(), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn trained_transform_roundtrips(words in prop::collection::vec(any::<u32>(), 2..128)) {
+            let t = XorTransform::train(&words);
+            for &w in &words {
+                prop_assert_eq!(t.decode(t.encode(w)), w);
+            }
+        }
+
+        #[test]
+        fn trained_transform_never_increases_transitions(
+            words in prop::collection::vec(any::<u32>(), 2..128),
+        ) {
+            let t = XorTransform::train(&words);
+            let raw = transitions(words.iter().copied());
+            let enc = transitions(words.iter().map(|&w| t.encode(w)));
+            prop_assert!(enc <= raw);
+        }
+    }
+}

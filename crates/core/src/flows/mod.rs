@@ -1,0 +1,8 @@
+//! The evaluation flows: one per Session 1B paper, plus the combined
+//! whole-system study.
+
+pub mod buscoding;
+pub mod compression;
+pub mod partitioning;
+pub mod scheduling;
+pub mod system;

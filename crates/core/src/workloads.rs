@@ -1,0 +1,175 @@
+//! Named workload suites used by the experiment harness and examples.
+
+use lpmem_isa::{Kernel, KernelRun, Machine};
+use lpmem_mem::FlatMemory;
+use lpmem_trace::gen::{HotColdGen, MarkovGen};
+use lpmem_trace::Trace;
+
+use crate::FlowError;
+
+/// Runs the full TinyRISC kernel suite at default scales.
+///
+/// # Errors
+///
+/// Propagates kernel execution errors (never expected: the kernels are
+/// self-verifying).
+pub fn kernel_suite(seed: u64) -> Result<Vec<KernelRun>, FlowError> {
+    Kernel::ALL
+        .iter()
+        .map(|&k| k.run(k.default_scale(), seed).map_err(FlowError::from))
+        .collect()
+}
+
+/// Runs a kernel and returns its trace together with the program's initial
+/// memory image (the state a replay cache must start from).
+///
+/// # Errors
+///
+/// Propagates kernel execution errors.
+pub fn kernel_trace_and_image(
+    kernel: Kernel,
+    scale: u32,
+    seed: u64,
+) -> Result<(Trace, FlatMemory), FlowError> {
+    let program = kernel.program(scale, seed);
+    let mut machine = Machine::new(&program);
+    let result = machine.run(200_000_000)?;
+    let mut image = FlatMemory::new();
+    for (base, bytes) in program.segments() {
+        image.load(*base as u64, bytes);
+    }
+    Ok((result.trace, image))
+}
+
+/// Synthetic profiles with scattered hot sets — the workload family where
+/// address clustering shines (used alongside the composite applications in
+/// T1). All variants have more hot blocks than the 8-bank budget of the
+/// headline experiment, so contiguous partitioning cannot isolate them.
+/// Returns `(name, trace)` pairs.
+pub fn scattered_suite(seed: u64) -> Vec<(String, Trace)> {
+    let mut suite = Vec::new();
+    for (name, hot, prob, span) in [
+        ("scatter-sparse", 10usize, 0.90f64, 1u64 << 17),
+        ("scatter-medium", 16, 0.88, 1 << 17),
+        ("scatter-dense", 24, 0.85, 1 << 18),
+        ("scatter-extreme", 12, 0.96, 1 << 18),
+    ] {
+        let trace: Trace = HotColdGen::new(span, hot, prob)
+            .block_size(2048)
+            .seed(seed)
+            .events(80_000)
+            .collect();
+        suite.push((name.to_owned(), trace));
+    }
+    // A phase-structured workload (media-pipeline-like).
+    let regions = vec![(0u64, 8 << 10), (96 << 10, 4 << 10), (160 << 10, 16 << 10)];
+    let trace: Trace = MarkovGen::new(regions, 0.002).seed(seed).events(80_000).collect();
+    suite.push(("phased-media".to_owned(), trace));
+    suite
+}
+
+/// Builds a composite embedded *application* trace from a sequence of
+/// kernel phases, relocating each kernel's data sections into an
+/// interleaved "linker" layout.
+///
+/// Single kernels lay their data out in three tidy contiguous sections, so
+/// a bank-limited partitioner can already isolate them. Real embedded
+/// applications link many objects of wildly different heat in declaration
+/// order — hot coefficient tables sit between cold frame buffers. This
+/// builder reproduces that structure from real TinyRISC traces: each
+/// kernel's input/output/table sections are assigned consecutive 16 KiB
+/// slots grouped *by kernel* (declaration order), so hot objects of
+/// different phases end up scattered across the address map.
+///
+/// # Errors
+///
+/// Propagates kernel execution errors.
+pub fn composite_app(
+    phases: &[(Kernel, u32)],
+    seed: u64,
+) -> Result<Trace, FlowError> {
+    const SECTION_SHIFT: u32 = 16; // kernel sections are 64 KiB apart
+    const SLOT_BYTES: u64 = 16 << 10; // relocated object slot
+    let mut out = Trace::new();
+    for (k_idx, &(kernel, scale)) in phases.iter().enumerate() {
+        let run = kernel.run(scale, seed ^ (k_idx as u64)).map_err(FlowError::from)?;
+        for ev in run.trace.data_only() {
+            // Original sections start at 0x10000 (in), 0x20000 (out),
+            // 0x30000 (tables).
+            let region = (ev.addr >> SECTION_SHIFT).saturating_sub(1);
+            let offset = ev.addr & ((1 << SECTION_SHIFT) - 1);
+            let slot = (k_idx as u64) * 3 + region;
+            let mut moved = ev;
+            moved.addr = slot * SLOT_BYTES + (offset % SLOT_BYTES);
+            out.push(moved);
+        }
+    }
+    Ok(out)
+}
+
+/// The composite-application suite used by the T1 experiment: four
+/// multi-phase embedded applications in the style of the 1B.1 evaluation.
+///
+/// # Errors
+///
+/// Propagates kernel execution errors.
+pub fn composite_suite(seed: u64) -> Result<Vec<(String, Trace)>, FlowError> {
+    let apps: Vec<(&str, Vec<(Kernel, u32)>)> = vec![
+        (
+            "app-media",
+            vec![
+                (Kernel::Fir, 96),
+                (Kernel::Dct8, 24),
+                (Kernel::Conv2d, 16),
+                (Kernel::RleEncode, 96),
+            ],
+        ),
+        (
+            "app-inspect",
+            vec![(Kernel::Crc32, 96), (Kernel::Histogram, 96), (Kernel::StrSearch, 96)],
+        ),
+        ("app-dsp", vec![(Kernel::MatMul, 12), (Kernel::Fir, 64), (Kernel::Dct8, 16)]),
+        (
+            "app-store",
+            vec![(Kernel::BubbleSort, 64), (Kernel::Histogram, 64), (Kernel::RleEncode, 64)],
+        ),
+    ];
+    apps.into_iter()
+        .map(|(name, phases)| Ok((name.to_owned(), composite_app(&phases, seed)?)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_suite_runs_everything() {
+        let runs = kernel_suite(1).unwrap();
+        assert_eq!(runs.len(), Kernel::ALL.len());
+        assert!(runs.iter().all(|r| !r.trace.is_empty()));
+    }
+
+    #[test]
+    fn composite_apps_have_scattered_heat() {
+        use lpmem_trace::BlockProfile;
+        let suite = composite_suite(1).unwrap();
+        assert_eq!(suite.len(), 4);
+        for (name, trace) in &suite {
+            let p = BlockProfile::from_trace(trace, 2048).unwrap();
+            // Interleaved layouts must show meaningful heat scatter.
+            assert!(p.scatter() > 0.1, "{name} scatter {}", p.scatter());
+        }
+    }
+
+    #[test]
+    fn scattered_suite_has_scattered_profiles() {
+        use lpmem_trace::BlockProfile;
+        let suite = scattered_suite(3);
+        assert_eq!(suite.len(), 5);
+        for (name, trace) in &suite {
+            let p = BlockProfile::from_trace(trace, 2048).unwrap();
+            assert!(p.num_blocks() > 8, "{name} too small");
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Energy models for the `lpmem` workspace.
+//!
+//! All optimizations in the workspace are scored in energy, so this crate
+//! centralizes every technology-dependent constant behind a [`Technology`]
+//! parameter set and provides analytic component models:
+//!
+//! * [`SramModel`] — CACTI-style on-chip SRAM whose per-access energy grows
+//!   with the square root of the macro size (the property memory
+//!   partitioning exploits: many small banks beat one big monolith);
+//! * [`BusModel`] — switching energy proportional to counted bit
+//!   transitions (the property bus encoding exploits);
+//! * [`OffChipModel`] — per-beat main-memory energy, an order of magnitude
+//!   above on-chip accesses (the property write-back compression exploits);
+//! * [`EnergyReport`] — a named breakdown that flows combine and print.
+//!
+//! The absolute values are documented approximations of published
+//! 0.18 µm / 0.13 µm figures; all experiments in this workspace depend only
+//! on the *ratios* (size scaling, on-chip vs. off-chip, capacitance per
+//! line), per the substitution note in `DESIGN.md` §4.
+//!
+//! # Example
+//!
+//! ```
+//! use lpmem_energy::{SramModel, Technology};
+//!
+//! let tech = Technology::tech180();
+//! let sram = SramModel::new(&tech);
+//! // A 1 KiB bank is much cheaper to read than a 64 KiB bank.
+//! assert!(sram.read_energy(1 << 10) < sram.read_energy(1 << 16));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bus;
+pub mod report;
+pub mod sram;
+pub mod tech;
+pub mod units;
+
+pub use bus::BusModel;
+pub use report::EnergyReport;
+pub use sram::{OffChipModel, SramModel};
+pub use tech::Technology;
+pub use units::Energy;

@@ -1,0 +1,368 @@
+//! The TinyRISC interpreter.
+
+use lpmem_mem::FlatMemory;
+use lpmem_trace::{AccessKind, MemEvent, Trace};
+
+use crate::asm::Program;
+use crate::inst::{Inst, Opcode, Reg};
+use crate::IsaError;
+
+/// Outcome of a [`Machine::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunResult {
+    /// The complete memory-access trace (instruction fetches, loads,
+    /// stores) in program order.
+    pub trace: Trace,
+    /// Instructions executed.
+    pub steps: u64,
+}
+
+/// An in-order TinyRISC core with unified [`FlatMemory`].
+///
+/// Every executed instruction appends its instruction fetch — and, for
+/// loads/stores, its data access — to the run's [`Trace`], which is the
+/// input of the energy-optimization flows.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    pc: u32,
+    regs: [u32; 16],
+    mem: FlatMemory,
+    halted: bool,
+}
+
+impl Machine {
+    /// Loads a program's segments into fresh memory and points the PC at
+    /// its entry.
+    pub fn new(program: &Program) -> Self {
+        let mut mem = FlatMemory::new();
+        for (base, bytes) in program.segments() {
+            mem.load(*base as u64, bytes);
+        }
+        Machine { pc: program.entry(), regs: [0; 16], mem, halted: false }
+    }
+
+    /// The program counter.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// `true` once `halt` has executed.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Reads a register (`r0` is always zero).
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.index()]
+    }
+
+    /// Writes a register (writes to `r0` are ignored).
+    pub fn set_reg(&mut self, r: Reg, value: u32) {
+        if r != Reg::ZERO {
+            self.regs[r.index()] = value;
+        }
+    }
+
+    /// The machine's memory.
+    pub fn mem(&self) -> &FlatMemory {
+        &self.mem
+    }
+
+    /// Exclusive access to the machine's memory (for seeding inputs).
+    pub fn mem_mut(&mut self) -> &mut FlatMemory {
+        &mut self.mem
+    }
+
+    /// Executes one instruction, appending its accesses to `trace`.
+    /// Returns `true` when the machine halts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::IllegalInstruction`] on an undecodable word.
+    pub fn step(&mut self, trace: &mut Trace) -> Result<bool, IsaError> {
+        if self.halted {
+            return Ok(true);
+        }
+        let pc = self.pc;
+        let word = self.mem.read_u32(pc as u64);
+        trace.push(MemEvent::fetch(pc as u64).with_value(word));
+        let inst =
+            Inst::decode(word).ok_or(IsaError::IllegalInstruction { pc, word })?;
+        let mut next_pc = pc.wrapping_add(4);
+        match inst {
+            Inst::Halt => {
+                self.halted = true;
+                return Ok(true);
+            }
+            Inst::R { op, rd, rs1, rs2 } => {
+                let a = self.reg(rs1);
+                let b = self.reg(rs2);
+                let v = match op {
+                    Opcode::Add => a.wrapping_add(b),
+                    Opcode::Sub => a.wrapping_sub(b),
+                    Opcode::And => a & b,
+                    Opcode::Or => a | b,
+                    Opcode::Xor => a ^ b,
+                    Opcode::Sll => a.wrapping_shl(b & 31),
+                    Opcode::Srl => a.wrapping_shr(b & 31),
+                    Opcode::Sra => (a as i32).wrapping_shr(b & 31) as u32,
+                    Opcode::Slt => ((a as i32) < (b as i32)) as u32,
+                    Opcode::Sltu => (a < b) as u32,
+                    Opcode::Mul => a.wrapping_mul(b),
+                    _ => unreachable!("decoder only produces ALU ops in R-form"),
+                };
+                self.set_reg(rd, v);
+            }
+            Inst::I { op, rd, rs1, imm } => {
+                let a = self.reg(rs1);
+                let simm = imm as u32;
+                match op {
+                    Opcode::Addi => self.set_reg(rd, a.wrapping_add(simm)),
+                    Opcode::Andi => self.set_reg(rd, a & simm),
+                    Opcode::Ori => self.set_reg(rd, a | simm),
+                    Opcode::Xori => self.set_reg(rd, a ^ simm),
+                    Opcode::Slli => self.set_reg(rd, a.wrapping_shl(simm & 31)),
+                    Opcode::Srli => self.set_reg(rd, a.wrapping_shr(simm & 31)),
+                    Opcode::Slti => self.set_reg(rd, ((a as i32) < imm) as u32),
+                    Opcode::Lui => self.set_reg(rd, simm << 14),
+                    Opcode::Jalr => {
+                        self.set_reg(rd, next_pc);
+                        next_pc = a.wrapping_add(simm) & !3;
+                    }
+                    Opcode::Lw | Opcode::Lh | Opcode::Lhu | Opcode::Lb | Opcode::Lbu => {
+                        let addr = a.wrapping_add(simm) as u64;
+                        let (size, value) = match op {
+                            Opcode::Lw => (4u8, self.mem.read_u32(addr)),
+                            Opcode::Lh => (2, self.mem.read_u16(addr) as i16 as i32 as u32),
+                            Opcode::Lhu => (2, self.mem.read_u16(addr) as u32),
+                            Opcode::Lb => (1, self.mem.read_u8(addr) as i8 as i32 as u32),
+                            Opcode::Lbu => (1, self.mem.read_u8(addr) as u32),
+                            _ => unreachable!(),
+                        };
+                        trace.push(MemEvent { addr, kind: AccessKind::Read, size, value });
+                        self.set_reg(rd, value);
+                    }
+                    Opcode::Sw | Opcode::Sh | Opcode::Sb => {
+                        let addr = a.wrapping_add(simm) as u64;
+                        let value = self.reg(rd);
+                        let size = match op {
+                            Opcode::Sw => {
+                                self.mem.write_u32(addr, value);
+                                4u8
+                            }
+                            Opcode::Sh => {
+                                self.mem.write_u16(addr, value as u16);
+                                2
+                            }
+                            Opcode::Sb => {
+                                self.mem.write_u8(addr, value as u8);
+                                1
+                            }
+                            _ => unreachable!(),
+                        };
+                        trace.push(MemEvent { addr, kind: AccessKind::Write, size, value });
+                    }
+                    _ => unreachable!("decoder only produces I-form ops here"),
+                }
+            }
+            Inst::B { op, rs1, rs2, imm } => {
+                let a = self.reg(rs1);
+                let b = self.reg(rs2);
+                let taken = match op {
+                    Opcode::Beq => a == b,
+                    Opcode::Bne => a != b,
+                    Opcode::Blt => (a as i32) < (b as i32),
+                    Opcode::Bge => (a as i32) >= (b as i32),
+                    Opcode::Bltu => a < b,
+                    Opcode::Bgeu => a >= b,
+                    _ => unreachable!("decoder only produces branches in B-form"),
+                };
+                if taken {
+                    next_pc = pc.wrapping_add(4).wrapping_add((imm as u32) << 2);
+                }
+            }
+            Inst::J { rd, imm, .. } => {
+                self.set_reg(rd, next_pc);
+                next_pc = pc.wrapping_add(4).wrapping_add((imm as u32) << 2);
+            }
+        }
+        self.pc = next_pc;
+        Ok(false)
+    }
+
+    /// Runs until `halt`, collecting the full access trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::IllegalInstruction`] for undecodable words and
+    /// [`IsaError::StepLimit`] when the program does not halt within
+    /// `max_steps` instructions.
+    pub fn run(&mut self, max_steps: u64) -> Result<RunResult, IsaError> {
+        let mut trace = Trace::new();
+        for steps in 0..max_steps {
+            if self.step(&mut trace)? {
+                return Ok(RunResult { trace, steps: steps + 1 });
+            }
+        }
+        Err(IsaError::StepLimit { steps: max_steps })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assemble;
+
+    fn run(src: &str) -> (Machine, RunResult) {
+        let p = assemble(src).unwrap();
+        let mut m = Machine::new(&p);
+        let r = m.run(1_000_000).unwrap();
+        (m, r)
+    }
+
+    #[test]
+    fn arithmetic_and_store() {
+        let (m, _) = run("li r1, 6\nli r2, 7\nmul r3, r1, r2\nsw r3, 0x100(r0)\nhalt");
+        assert_eq!(m.mem().read_u32(0x100), 42);
+    }
+
+    #[test]
+    fn r0_is_immutable() {
+        let (m, _) = run("addi r0, r0, 99\nsw r0, 0x100(r0)\nhalt");
+        assert_eq!(m.mem().read_u32(0x100), 0);
+    }
+
+    #[test]
+    fn loop_counts_down() {
+        let (m, r) = run(
+            r#"
+                li r1, 10
+                li r2, 0
+            loop:
+                add  r2, r2, r1
+                addi r1, r1, -1
+                bne  r1, r0, loop
+                sw   r2, 0x200(r0)
+                halt
+            "#,
+        );
+        assert_eq!(m.mem().read_u32(0x200), 55);
+        // 2 li + 10 iterations * 3 + sw + halt = 2 + 30 + 2.
+        assert_eq!(r.steps, 34);
+    }
+
+    #[test]
+    fn trace_contains_fetches_and_data() {
+        let (_, r) = run("li r1, 1\nsw r1, 0x80(r0)\nlw r2, 0x80(r0)\nhalt");
+        let (f, rd, wr) = r.trace.kind_counts();
+        assert_eq!(f, 4);
+        assert_eq!(rd, 1);
+        assert_eq!(wr, 1);
+        // The data events carry the effective address.
+        let data: Vec<_> = r.trace.data_only().into_iter().collect();
+        assert_eq!(data[0].addr, 0x80);
+        assert_eq!(data[1].addr, 0x80);
+    }
+
+    #[test]
+    fn signed_loads_sign_extend() {
+        let (m, _) = run(
+            r#"
+            .data 0x400
+            v: .word 0xffffff80
+            .text
+                la  r1, v
+                lb  r2, (r1)
+                sw  r2, 0x500(r0)
+                lbu r3, (r1)
+                sw  r3, 0x504(r0)
+                lh  r4, (r1)
+                sw  r4, 0x508(r0)
+                halt
+            "#,
+        );
+        assert_eq!(m.mem().read_u32(0x500), 0xFFFF_FF80); // lb sign-extends 0x80
+        assert_eq!(m.mem().read_u32(0x504), 0x0000_0080); // lbu zero-extends
+        assert_eq!(m.mem().read_u32(0x508), 0xFFFF_FF80); // lh sign-extends 0xff80
+    }
+
+    #[test]
+    fn byte_and_half_stores() {
+        let (m, _) = run(
+            r#"
+                li r1, 0x12345678
+                sw r1, 0x100(r0)
+                li r2, 0xAB
+                sb r2, 0x100(r0)
+                li r3, 0xCDEF
+                sh r3, 0x102(r0)
+                halt
+            "#,
+        );
+        assert_eq!(m.mem().read_u32(0x100), 0xCDEF_56AB);
+    }
+
+    #[test]
+    fn jal_and_jalr_link_and_jump() {
+        let (m, _) = run(
+            r#"
+                jal  r15, func
+                sw   r1, 0x100(r0)
+                halt
+            func:
+                li   r1, 123
+                jalr r0, r15, 0
+            "#,
+        );
+        assert_eq!(m.mem().read_u32(0x100), 123);
+    }
+
+    #[test]
+    fn shifts_and_compares() {
+        let (m, _) = run(
+            r#"
+                li  r1, -8
+                sra r2, r1, r0
+                li  r3, 2
+                sra r2, r1, r3     # -8 >> 2 = -2
+                sw  r2, 0x100(r0)
+                srl r4, r1, r3     # logical
+                sw  r4, 0x104(r0)
+                slt r5, r1, r0     # -8 < 0 -> 1
+                sw  r5, 0x108(r0)
+                sltu r6, r1, r0    # 0xfffffff8 < 0 unsigned -> 0
+                sw  r6, 0x10c(r0)
+                halt
+            "#,
+        );
+        assert_eq!(m.mem().read_u32(0x100) as i32, -2);
+        assert_eq!(m.mem().read_u32(0x104), 0xFFFF_FFF8u32 >> 2);
+        assert_eq!(m.mem().read_u32(0x108), 1);
+        assert_eq!(m.mem().read_u32(0x10c), 0);
+    }
+
+    #[test]
+    fn illegal_instruction_reports_pc() {
+        let p = assemble(".text\n.word 0x78000000\nhalt").unwrap();
+        let mut m = Machine::new(&p);
+        let e = m.run(10).unwrap_err();
+        assert!(matches!(e, IsaError::IllegalInstruction { pc: 0, .. }), "{e}");
+    }
+
+    #[test]
+    fn step_limit_errors() {
+        let p = assemble("loop: j loop").unwrap();
+        let mut m = Machine::new(&p);
+        assert_eq!(m.run(100).unwrap_err(), IsaError::StepLimit { steps: 100 });
+    }
+
+    #[test]
+    fn halted_machine_stays_halted() {
+        let p = assemble("halt").unwrap();
+        let mut m = Machine::new(&p);
+        m.run(10).unwrap();
+        let mut t = Trace::new();
+        assert!(m.step(&mut t).unwrap());
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,503 @@
+//! Parametric synthetic trace generators.
+//!
+//! These generators substitute for the proprietary workloads of the original
+//! DATE 2003 evaluations (embedded applications on ARM7, MediaBench/Ptolemy
+//! programs): each produces a deterministic, seedable stream of
+//! [`MemEvent`]s with a controlled locality structure.
+//!
+//! * [`HotColdGen`] — a hot working set *scattered* across the address map;
+//!   the workload class where address clustering pays off most.
+//! * [`StridedGen`] — loop-nest array sweeps (FIR/matmul-style traffic).
+//! * [`MarkovGen`] — phase-structured traffic switching between regions.
+//! * [`PointerChaseGen`] — low-locality pointer chasing (worst case).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{AccessKind, MemEvent};
+
+/// Deterministic, mildly compressible payload for a synthesized access:
+/// a smooth function of the word index plus a small address-derived jitter.
+fn synth_value(addr: u64) -> u32 {
+    let word = (addr / 4) as u32;
+    word.wrapping_mul(12).wrapping_add((word.wrapping_mul(0x9E37_79B9)) >> 27)
+}
+
+fn kind_for(rng: &mut StdRng, write_ratio: f64) -> AccessKind {
+    if rng.gen_bool(write_ratio) {
+        AccessKind::Write
+    } else {
+        AccessKind::Read
+    }
+}
+
+/// Generator with a scattered hot set: `num_hot` hot blocks spread evenly
+/// over `span` bytes receive `hot_prob` of all accesses; the rest hit cold
+/// blocks uniformly.
+///
+/// ```
+/// use lpmem_trace::{gen::HotColdGen, Trace};
+///
+/// let t: Trace = HotColdGen::new(0x1_0000, 4, 0.95).seed(1).events(1000).collect();
+/// assert_eq!(t.len(), 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HotColdGen {
+    span: u64,
+    num_hot: usize,
+    hot_prob: f64,
+    write_ratio: f64,
+    block_size: u64,
+    seed: u64,
+}
+
+impl HotColdGen {
+    /// Creates a generator over `span` bytes with `num_hot` hot blocks
+    /// receiving a `hot_prob` fraction of traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `span` is zero, `num_hot` is zero, or `hot_prob` is outside
+    /// `0.0..=1.0`.
+    pub fn new(span: u64, num_hot: usize, hot_prob: f64) -> Self {
+        assert!(span > 0, "span must be positive");
+        assert!(num_hot > 0, "need at least one hot block");
+        assert!((0.0..=1.0).contains(&hot_prob), "hot_prob must be in [0, 1]");
+        HotColdGen { span, num_hot, hot_prob, write_ratio: 0.3, block_size: 1024, seed: 0 }
+    }
+
+    /// Sets the RNG seed (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the fraction of data accesses that are writes (default 0.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is outside `0.0..=1.0`.
+    pub fn write_ratio(mut self, ratio: f64) -> Self {
+        assert!((0.0..=1.0).contains(&ratio));
+        self.write_ratio = ratio;
+        self
+    }
+
+    /// Sets the hot-block granularity in bytes (default 1024).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero or exceeds the span.
+    pub fn block_size(mut self, size: u64) -> Self {
+        assert!(size > 0 && size <= self.span);
+        self.block_size = size;
+        self
+    }
+
+    /// Returns an iterator producing exactly `n` events.
+    pub fn events(self, n: usize) -> HotColdIter {
+        let blocks = (self.span / self.block_size).max(1);
+        // Spread hot blocks evenly (and therefore *scattered*) over the span.
+        let num_hot = (self.num_hot as u64).min(blocks) as usize;
+        let hot_blocks: Vec<u64> =
+            (0..num_hot).map(|i| (i as u64 * blocks) / num_hot as u64).collect();
+        let rng = StdRng::seed_from_u64(self.seed ^ 0x9e37_79b9_7f4a_7c15);
+        HotColdIter { cfg: self, hot_blocks, blocks, rng, remaining: n }
+    }
+}
+
+/// Iterator produced by [`HotColdGen::events`].
+#[derive(Debug)]
+pub struct HotColdIter {
+    cfg: HotColdGen,
+    hot_blocks: Vec<u64>,
+    blocks: u64,
+    rng: StdRng,
+    remaining: usize,
+}
+
+impl Iterator for HotColdIter {
+    type Item = MemEvent;
+
+    fn next(&mut self) -> Option<MemEvent> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let block = if self.rng.gen_bool(self.cfg.hot_prob) {
+            self.hot_blocks[self.rng.gen_range(0..self.hot_blocks.len())]
+        } else {
+            self.rng.gen_range(0..self.blocks)
+        };
+        let offset = self.rng.gen_range(0..self.cfg.block_size / 4) * 4;
+        let addr = block * self.cfg.block_size + offset;
+        let kind = kind_for(&mut self.rng, self.cfg.write_ratio);
+        Some(MemEvent { addr, kind, size: 4, value: synth_value(addr) })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for HotColdIter {}
+
+/// Loop-nest generator: repeated strided sweeps over an array, the dominant
+/// traffic pattern of FIR/matmul-style kernels.
+#[derive(Debug, Clone)]
+pub struct StridedGen {
+    base: u64,
+    array_bytes: u64,
+    stride: u64,
+    passes: usize,
+    write_every: usize,
+}
+
+impl StridedGen {
+    /// Sweeps `array_bytes` starting at `base` with the given `stride`
+    /// (bytes), `passes` times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero or `array_bytes < stride`.
+    pub fn new(base: u64, array_bytes: u64, stride: u64, passes: usize) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        assert!(array_bytes >= stride, "array must hold at least one element");
+        StridedGen { base, array_bytes, stride, passes, write_every: 0 }
+    }
+
+    /// Makes every `k`-th access a write (0 disables writes; default 0).
+    pub fn write_every(mut self, k: usize) -> Self {
+        self.write_every = k;
+        self
+    }
+
+    /// Returns the event iterator (`passes * floor(array/stride)` events).
+    pub fn events(self) -> impl Iterator<Item = MemEvent> {
+        let per_pass = (self.array_bytes / self.stride) as usize;
+        let StridedGen { base, stride, passes, write_every, .. } = self;
+        (0..passes).flat_map(move |_| 0..per_pass).enumerate().map(move |(i, j)| {
+            let addr = base + j as u64 * stride;
+            let kind = if write_every != 0 && (i + 1) % write_every == 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            MemEvent { addr, kind, size: 4, value: synth_value(addr) }
+        })
+    }
+}
+
+/// Phase-structured generator: traffic dwells in one of several regions and
+/// hops between them with a fixed switch probability, imitating the
+/// multi-phase behaviour of media applications.
+#[derive(Debug, Clone)]
+pub struct MarkovGen {
+    regions: Vec<(u64, u64)>,
+    switch_prob: f64,
+    write_ratio: f64,
+    seed: u64,
+}
+
+impl MarkovGen {
+    /// Creates a generator over `regions` given as `(base, len_bytes)` pairs,
+    /// switching region with probability `switch_prob` per event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `regions` is empty, any region is empty, or `switch_prob`
+    /// is outside `0.0..=1.0`.
+    pub fn new(regions: Vec<(u64, u64)>, switch_prob: f64) -> Self {
+        assert!(!regions.is_empty(), "need at least one region");
+        assert!(regions.iter().all(|&(_, len)| len >= 4), "regions must hold a word");
+        assert!((0.0..=1.0).contains(&switch_prob));
+        MarkovGen { regions, switch_prob, write_ratio: 0.25, seed: 0 }
+    }
+
+    /// Sets the RNG seed (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the write fraction (default 0.25).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is outside `0.0..=1.0`.
+    pub fn write_ratio(mut self, ratio: f64) -> Self {
+        assert!((0.0..=1.0).contains(&ratio));
+        self.write_ratio = ratio;
+        self
+    }
+
+    /// Returns an iterator producing exactly `n` events.
+    pub fn events(self, n: usize) -> MarkovIter {
+        MarkovIter {
+            rng: StdRng::seed_from_u64(self.seed ^ 0x517c_c1b7_2722_0a95),
+            cursor: 0,
+            region: 0,
+            cfg: self,
+            remaining: n,
+        }
+    }
+}
+
+/// Iterator produced by [`MarkovGen::events`].
+#[derive(Debug)]
+pub struct MarkovIter {
+    cfg: MarkovGen,
+    rng: StdRng,
+    region: usize,
+    cursor: u64,
+    remaining: usize,
+}
+
+impl Iterator for MarkovIter {
+    type Item = MemEvent;
+
+    fn next(&mut self) -> Option<MemEvent> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        if self.rng.gen_bool(self.cfg.switch_prob) {
+            self.region = self.rng.gen_range(0..self.cfg.regions.len());
+            self.cursor = 0;
+        }
+        let (base, len) = self.cfg.regions[self.region];
+        let words = len / 4;
+        let addr = base + (self.cursor % words) * 4;
+        self.cursor += 1;
+        let kind = kind_for(&mut self.rng, self.cfg.write_ratio);
+        Some(MemEvent { addr, kind, size: 4, value: synth_value(addr) })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for MarkovIter {}
+
+/// Pointer-chasing generator: a deterministic pseudo-random walk over a
+/// region, producing near-zero spatial locality. Useful as a pessimistic
+/// baseline workload.
+#[derive(Debug, Clone)]
+pub struct PointerChaseGen {
+    base: u64,
+    len: u64,
+    seed: u64,
+}
+
+impl PointerChaseGen {
+    /// Creates a chase over `len` bytes at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len < 8`.
+    pub fn new(base: u64, len: u64) -> Self {
+        assert!(len >= 8, "region too small to chase");
+        PointerChaseGen { base, len, seed: 0 }
+    }
+
+    /// Sets the RNG seed (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns an iterator producing exactly `n` read events.
+    pub fn events(self, n: usize) -> impl Iterator<Item = MemEvent> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x2545_f491_4f6c_dd1d);
+        let words = self.len / 4;
+        let base = self.base;
+        (0..n).map(move |_| {
+            let addr = base + rng.gen_range(0..words) * 4;
+            MemEvent::read(addr).with_value(synth_value(addr))
+        })
+    }
+}
+
+/// Phase-structured generator with **scattered per-phase working sets**:
+/// phase `p` owns the blocks `{p, p + P, p + 2P, …}` (interleaved with the
+/// other phases' blocks in the address map) and execution dwells in one
+/// phase for `dwell` events before moving to the next.
+///
+/// All blocks receive identical traffic, so frequency-based clustering
+/// cannot distinguish them — only *temporal* affinity reveals that each
+/// phase's blocks belong together. This is the workload class that
+/// separates the two clustering objectives under a bank power-gating
+/// model.
+#[derive(Debug, Clone)]
+pub struct PhaseScatterGen {
+    phases: usize,
+    blocks_per_phase: usize,
+    block_size: u64,
+    dwell: usize,
+    write_ratio: f64,
+    seed: u64,
+}
+
+impl PhaseScatterGen {
+    /// Creates a generator with `phases` interleaved working sets of
+    /// `blocks_per_phase` blocks each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases`, `blocks_per_phase`, or `dwell` is zero.
+    pub fn new(phases: usize, blocks_per_phase: usize, dwell: usize) -> Self {
+        assert!(phases > 0 && blocks_per_phase > 0 && dwell > 0);
+        PhaseScatterGen {
+            phases,
+            blocks_per_phase,
+            block_size: 2048,
+            dwell,
+            write_ratio: 0.25,
+            seed: 0,
+        }
+    }
+
+    /// Sets the block size in bytes (default 2048).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn block_size(mut self, size: u64) -> Self {
+        assert!(size > 0);
+        self.block_size = size;
+        self
+    }
+
+    /// Sets the RNG seed (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the write fraction (default 0.25).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is outside `0.0..=1.0`.
+    pub fn write_ratio(mut self, ratio: f64) -> Self {
+        assert!((0.0..=1.0).contains(&ratio));
+        self.write_ratio = ratio;
+        self
+    }
+
+    /// Returns an iterator producing exactly `n` events.
+    pub fn events(self, n: usize) -> impl Iterator<Item = MemEvent> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x7f4a_7c15_9e37_79b9);
+        let PhaseScatterGen { phases, blocks_per_phase, block_size, dwell, write_ratio, .. } =
+            self;
+        (0..n).map(move |i| {
+            let phase = (i / dwell) % phases;
+            // Phase p owns blocks p, p+P, p+2P, ... : maximally interleaved.
+            let k = rng.gen_range(0..blocks_per_phase) as u64;
+            let block = phase as u64 + k * phases as u64;
+            let offset = rng.gen_range(0..block_size / 4) * 4;
+            let addr = block * block_size + offset;
+            let kind = kind_for(&mut rng, write_ratio);
+            MemEvent { addr, kind, size: 4, value: synth_value(addr) }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BlockProfile, Trace};
+
+    #[test]
+    fn hot_cold_is_deterministic_per_seed() {
+        let a: Trace = HotColdGen::new(1 << 16, 4, 0.9).seed(3).events(500).collect();
+        let b: Trace = HotColdGen::new(1 << 16, 4, 0.9).seed(3).events(500).collect();
+        let c: Trace = HotColdGen::new(1 << 16, 4, 0.9).seed(4).events(500).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn hot_cold_concentrates_traffic() {
+        let t: Trace = HotColdGen::new(1 << 16, 4, 0.95).seed(1).events(20_000).collect();
+        let p = BlockProfile::from_trace(&t, 1024).unwrap();
+        // 95% of traffic should land in roughly 4 of ~64 blocks.
+        assert!(p.hot_fraction(0.9) < 0.15);
+    }
+
+    #[test]
+    fn hot_cold_hot_blocks_are_scattered() {
+        let t: Trace = HotColdGen::new(1 << 16, 4, 0.95).seed(1).events(20_000).collect();
+        let p = BlockProfile::from_trace(&t, 1024).unwrap();
+        assert!(p.scatter() > 0.5, "scatter = {}", p.scatter());
+    }
+
+    #[test]
+    fn hot_cold_respects_write_ratio_bounds() {
+        let t: Trace =
+            HotColdGen::new(1 << 12, 2, 0.9).write_ratio(0.0).seed(9).events(100).collect();
+        let (_, _, w) = t.kind_counts();
+        assert_eq!(w, 0);
+    }
+
+    #[test]
+    fn strided_emits_expected_addresses() {
+        let evs: Vec<_> = StridedGen::new(0x100, 16, 4, 2).events().collect();
+        let addrs: Vec<u64> = evs.iter().map(|e| e.addr).collect();
+        assert_eq!(addrs, vec![0x100, 0x104, 0x108, 0x10c, 0x100, 0x104, 0x108, 0x10c]);
+    }
+
+    #[test]
+    fn strided_write_every_marks_writes() {
+        let evs: Vec<_> = StridedGen::new(0, 16, 4, 1).write_every(2).events().collect();
+        assert_eq!(evs[0].kind, AccessKind::Read);
+        assert_eq!(evs[1].kind, AccessKind::Write);
+        assert_eq!(evs[3].kind, AccessKind::Write);
+    }
+
+    #[test]
+    fn markov_stays_within_regions() {
+        let regions = vec![(0x0, 0x100), (0x10_000, 0x100)];
+        let t: Trace = MarkovGen::new(regions, 0.05).seed(5).events(1_000).collect();
+        for ev in &t {
+            let in_a = ev.addr < 0x100;
+            let in_b = (0x10_000..0x10_100).contains(&ev.addr);
+            assert!(in_a || in_b, "address {:#x} escaped regions", ev.addr);
+        }
+    }
+
+    #[test]
+    fn pointer_chase_has_low_spatial_locality() {
+        let t: Trace = PointerChaseGen::new(0, 1 << 20).seed(2).events(5_000).collect();
+        let r = crate::LocalityReport::from_trace(&t, 64).unwrap();
+        assert!(r.spatial_locality < 0.05);
+    }
+
+    #[test]
+    fn phase_scatter_interleaves_working_sets() {
+        let t: Trace = PhaseScatterGen::new(4, 3, 100).seed(1).events(4_000).collect();
+        let p = BlockProfile::from_trace(&t, 2048).unwrap();
+        // 4 phases x 3 blocks = 12 blocks, all with similar heat.
+        assert_eq!(p.num_blocks(), 12);
+        let max = *p.counts().iter().max().unwrap() as f64;
+        let min = *p.counts().iter().min().unwrap() as f64;
+        assert!(min / max > 0.5, "heat should be near-uniform: {:?}", p.counts());
+    }
+
+    #[test]
+    fn phase_scatter_dwells_in_phases() {
+        let t: Trace = PhaseScatterGen::new(2, 2, 50).seed(2).events(200).collect();
+        // Within the first dwell, only phase-0 blocks (even) are touched.
+        for ev in t.events().iter().take(50) {
+            assert_eq!((ev.addr / 2048) % 2, 0, "phase 0 owns even blocks");
+        }
+    }
+
+    #[test]
+    fn generators_produce_exact_counts() {
+        assert_eq!(HotColdGen::new(4096, 1, 0.5).events(37).count(), 37);
+        assert_eq!(MarkovGen::new(vec![(0, 64)], 0.1).events(41).count(), 41);
+        assert_eq!(PointerChaseGen::new(0, 64).events(13).count(), 13);
+    }
+}

@@ -1,0 +1,95 @@
+//! Memory-access traces, locality statistics, and synthetic workload
+//! generators.
+//!
+//! This crate is the foundation of the `lpmem` workspace: every optimization
+//! (partitioning, address clustering, write-back compression, bus encoding,
+//! data scheduling) consumes a memory-access *trace* or a *profile* derived
+//! from one. Traces come either from the `lpmem-isa` TinyRISC simulator or
+//! from the parametric generators in [`gen`], which substitute for the
+//! proprietary ARM7/Lx-ST200 tooling of the original DATE 2003 evaluations.
+//!
+//! # Quick example
+//!
+//! ```
+//! use lpmem_trace::{gen::HotColdGen, BlockProfile, Trace};
+//!
+//! # fn main() -> Result<(), lpmem_trace::TraceError> {
+//! // A workload whose hot blocks are scattered over a 64 KiB space.
+//! let trace: Trace = HotColdGen::new(0x1_0000, 8, 0.9).seed(7).events(10_000).collect();
+//! let profile = BlockProfile::from_trace(&trace, 4096)?;
+//! assert_eq!(profile.total_accesses(), 10_000);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod gen;
+pub mod io;
+pub mod profile;
+pub mod stats;
+
+pub use event::{AccessKind, MemEvent, Trace};
+pub use profile::BlockProfile;
+pub use stats::{LocalityReport, StackDistanceHistogram};
+
+/// Errors produced when constructing or analysing traces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// A block size was given that is zero or not a power of two.
+    InvalidBlockSize(u64),
+    /// The trace was empty where a non-empty trace is required.
+    EmptyTrace,
+    /// A generator or analysis parameter was outside its documented domain.
+    InvalidParameter(&'static str),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::InvalidBlockSize(s) => {
+                write!(f, "block size {s} is not a non-zero power of two")
+            }
+            TraceError::EmptyTrace => write!(f, "trace is empty"),
+            TraceError::InvalidParameter(what) => {
+                write!(f, "parameter out of range: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Returns `Ok(log2(size))` when `size` is a non-zero power of two.
+pub(crate) fn checked_log2(size: u64) -> Result<u32, TraceError> {
+    if size == 0 || !size.is_power_of_two() {
+        Err(TraceError::InvalidBlockSize(size))
+    } else {
+        Ok(size.trailing_zeros())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checked_log2_accepts_powers_of_two() {
+        assert_eq!(checked_log2(1), Ok(0));
+        assert_eq!(checked_log2(4096), Ok(12));
+    }
+
+    #[test]
+    fn checked_log2_rejects_non_powers() {
+        assert_eq!(checked_log2(0), Err(TraceError::InvalidBlockSize(0)));
+        assert_eq!(checked_log2(3), Err(TraceError::InvalidBlockSize(3)));
+    }
+
+    #[test]
+    fn error_messages_are_lowercase_without_period() {
+        let msg = TraceError::EmptyTrace.to_string();
+        assert!(msg.starts_with("trace"));
+        assert!(!msg.ends_with('.'));
+    }
+}

@@ -1,0 +1,37 @@
+//! The 1B.2 study: write-back compression of a DCT kernel on both platform
+//! presets, across all three codecs, with full energy breakdowns.
+//!
+//! ```sh
+//! cargo run --example compression_study
+//! ```
+
+use lpmem::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let codecs: [&dyn LineCodec; 3] = [&DiffCodec::new(), &ZeroRunCodec::new(), &FpcCodec::new()];
+
+    for platform in [PlatformKind::VliwLike, PlatformKind::RiscLike] {
+        println!("== platform: {} ==", platform.name());
+        for codec in codecs {
+            let out = run_compression_kernel(Kernel::Dct8, 160, 9, platform, codec)?;
+            println!(
+                "codec {:>4}: {}/{} lines compressed, beats {} -> {}, \
+                 energy {} -> {} ({:+.1}%)",
+                out.codec,
+                out.compressed_lines,
+                out.lines,
+                out.raw_beats,
+                out.actual_beats,
+                out.baseline.total(),
+                out.compressed.total(),
+                100.0 * out.energy_saving()
+            );
+        }
+        // Detailed breakdown for the differential codec.
+        let out = run_compression_kernel(Kernel::Dct8, 160, 9, platform, &DiffCodec::new())?;
+        println!("baseline breakdown:\n{}", out.baseline);
+        println!("compressed breakdown:\n{}", out.compressed);
+        println!();
+    }
+    Ok(())
+}

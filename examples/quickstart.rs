@@ -1,0 +1,56 @@
+//! Quickstart: run a verified TinyRISC kernel, profile its data traffic,
+//! and synthesize an energy-optimal partitioned memory with address
+//! clustering.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use lpmem::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Run an embedded kernel on the TinyRISC simulator. The run is
+    //    verified against a Rust reference implementation before the trace
+    //    is returned.
+    let run = Kernel::Histogram.run(64, 42)?;
+    println!(
+        "{}: {} instructions, {} memory events",
+        run.kernel,
+        run.steps,
+        run.trace.len()
+    );
+
+    // 2. Inspect the locality structure the optimizations exploit.
+    let locality = LocalityReport::from_trace(&run.trace.data_only(), 64)?;
+    println!(
+        "data locality: {:.0}% of consecutive accesses within 64 B, footprint {} blocks",
+        100.0 * locality.spatial_locality,
+        locality.footprint_blocks
+    );
+
+    // 3. Optimize the data memory: monolithic vs partitioned vs
+    //    partitioned-with-clustering (the DATE 2003 1B.1 flow).
+    let outcome = run_partitioning(
+        "histogram",
+        &run.trace,
+        &PartitioningConfig::default(),
+        &Technology::tech180(),
+    )?;
+    println!("monolithic   : {}", outcome.monolithic);
+    println!(
+        "partitioned  : {}  ({} saved)",
+        outcome.partitioned,
+        format_pct(outcome.partitioning_gain())
+    );
+    println!(
+        "clustered    : {}  ({} vs partitioned, clustering {})",
+        outcome.clustered,
+        format_pct(outcome.reduction_vs_partitioned()),
+        if outcome.clustering_adopted { "adopted" } else { "not needed" }
+    );
+    Ok(())
+}
+
+fn format_pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}

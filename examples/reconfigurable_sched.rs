@@ -1,0 +1,70 @@
+//! The 1B.4 study: schedule the data of a hand-built multi-context
+//! video-pipeline application onto a two-level on-chip memory, with
+//! configuration caching across frames.
+//!
+//! ```sh
+//! cargo run --example reconfigurable_sched
+//! ```
+
+use lpmem::prelude::*;
+use lpmem::sched::{external_only_schedule, Level};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A three-context pipeline processing 30 frames: motion estimation,
+    // DCT+quantization, entropy coding. Array 0/1 are ping-pong frame
+    // buffers, 2 is a hot search window, 3/4 are small coefficient tables.
+    let app = AppSpec::with_iterations(
+        vec![
+            ("frame_a", 8 << 10),
+            ("frame_b", 8 << 10),
+            ("search_win", 768),
+            ("quant_tbl", 256),
+            ("huff_tbl", 512),
+        ],
+        vec![
+            // motion estimation: reads both frames, hammers the window
+            ContextSpec::new(256, vec![(0, 6_000, 0), (1, 4_000, 0), (2, 30_000, 8_000)]),
+            // dct + quantization
+            ContextSpec::new(192, vec![(0, 4_000, 4_000), (3, 12_000, 0)]),
+            // entropy coding
+            ContextSpec::new(128, vec![(0, 5_000, 0), (4, 15_000, 0), (1, 0, 2_000)]),
+        ],
+        30,
+    )?;
+
+    let tech = Technology::tech180();
+    let platform = SchedPlatform::new(&tech, 1 << 10, 16 << 10);
+
+    let schedules = [
+        ("external-only", external_only_schedule(&app)),
+        ("naive all-L1", naive_schedule(&app, &platform)),
+        ("greedy", greedy_schedule(&app, &platform)),
+    ];
+    let mut baseline = None;
+    for (name, sched) in &schedules {
+        let report = platform.evaluate(&app, sched)?;
+        let total = report.total();
+        let saving = baseline
+            .map(|b| format!("  ({:.1}% vs naive)", 100.0 * total.saving_vs(b)))
+            .unwrap_or_default();
+        println!("-- {name}{saving}\n{report}\n");
+        if *name == "naive all-L1" {
+            baseline = Some(total);
+        }
+    }
+
+    // Show the greedy placement decisions.
+    let greedy = greedy_schedule(&app, &platform);
+    println!("greedy placement (per context):");
+    for (ci, row) in greedy.placement.iter().enumerate() {
+        let placed: Vec<String> = row
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| **l != Level::External)
+            .map(|(ai, l)| format!("{}@{:?}", app.array_name(ai), l))
+            .collect();
+        let cached = if greedy.cache_config[ci] { "  [config resident in L1]" } else { "" };
+        println!("  context {ci}: {}{}", placed.join(", "), cached);
+    }
+    Ok(())
+}

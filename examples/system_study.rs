@@ -1,0 +1,40 @@
+//! The capstone study: how much of an embedded SoC's memory-system energy
+//! do the session's techniques recover *together*? Applies instruction-bus
+//! encoding (1B.3) and write-back compression (1B.2) to the same platform
+//! and prints the combined breakdown.
+//!
+//! ```sh
+//! cargo run --release --example system_study
+//! ```
+
+use lpmem::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let codec = DiffCodec::new();
+    println!(
+        "{:<10} {:>12} {:>12} {:>9} {:>9}",
+        "kernel", "baseline", "optimized", "ibus", "combined"
+    );
+    for (kernel, scale) in [
+        (Kernel::Dct8, 160u32),
+        (Kernel::Conv2d, 48),
+        (Kernel::Fir, 640),
+        (Kernel::RleEncode, 320),
+    ] {
+        let out = run_system(kernel, scale, 7, PlatformKind::VliwLike, &codec, 4)?;
+        println!(
+            "{:<10} {:>12} {:>12} {:>8.1}% {:>8.1}%",
+            out.name,
+            out.baseline.total().to_string(),
+            out.optimized.total().to_string(),
+            100.0 * out.ibus_saving(),
+            100.0 * out.saving(),
+        );
+    }
+
+    // Full breakdown for one kernel.
+    let out = run_system(Kernel::Dct8, 160, 7, PlatformKind::VliwLike, &codec, 4)?;
+    println!("\ndct8 baseline:\n{}", out.baseline);
+    println!("\ndct8 optimized:\n{}", out.optimized);
+    Ok(())
+}

@@ -1,0 +1,104 @@
+//! End-to-end reproduction checks: the headline *shapes* of all four
+//! DATE 2003 Session 1B results must hold on small instances.
+
+use lpmem::core::workloads::{composite_suite, scattered_suite};
+use lpmem::prelude::*;
+
+#[test]
+fn t1_shape_clustering_beats_plain_partitioning_on_average() {
+    let tech = Technology::tech180();
+    let cfg = PartitioningConfig::default();
+    let mut workloads = composite_suite(2003).expect("kernels verify");
+    workloads.extend(scattered_suite(2003));
+    let mut reductions = Vec::new();
+    for (name, trace) in workloads {
+        let out = run_partitioning(&name, &trace, &cfg, &tech).expect("flow");
+        // Clustering must never hurt (it is rejected when unprofitable).
+        assert!(out.clustered <= out.partitioned, "{name}");
+        // Partitioning itself must never lose to the monolith.
+        assert!(out.partitioned <= out.monolithic, "{name}");
+        reductions.push(out.reduction_vs_partitioned());
+    }
+    let avg = reductions.iter().sum::<f64>() / reductions.len() as f64;
+    let max = reductions.iter().cloned().fold(0.0, f64::max);
+    // Paper: avg 25%, max 57%. Accept the same order of magnitude.
+    assert!(avg > 0.10, "average clustering reduction too small: {avg}");
+    assert!(max > 0.35, "maximum clustering reduction too small: {max}");
+}
+
+#[test]
+fn t2_shape_compression_saves_energy_and_vliw_beats_risc() {
+    let codec = DiffCodec::new();
+    let kernels = [(Kernel::Fir, 640u32), (Kernel::Dct8, 160)];
+    let mut vliw_avg = 0.0;
+    let mut risc_avg = 0.0;
+    for (kernel, scale) in kernels {
+        let vliw =
+            run_compression_kernel(kernel, scale, 2003, PlatformKind::VliwLike, &codec)
+                .expect("flow");
+        let risc =
+            run_compression_kernel(kernel, scale, 2003, PlatformKind::RiscLike, &codec)
+                .expect("flow");
+        assert!(vliw.energy_saving() > 0.05, "{}: vliw saving too small", kernel);
+        assert!(risc.energy_saving() > 0.02, "{}: risc saving too small", kernel);
+        vliw_avg += vliw.energy_saving();
+        risc_avg += risc.energy_saving();
+    }
+    // Paper shape: the wide-line VLIW platform gains more than RISC.
+    assert!(vliw_avg > risc_avg, "vliw {vliw_avg} <= risc {risc_avg}");
+}
+
+#[test]
+fn t3_shape_functional_encoding_halves_transitions_and_beats_businvert() {
+    let tech = Technology::tech180();
+    for kernel in [Kernel::MatMul, Kernel::Histogram, Kernel::RleEncode] {
+        let run = kernel.run(kernel.default_scale(), 2003).expect("kernel");
+        let out = run_buscoding(kernel.name(), &run.trace, 4, &tech).expect("flow");
+        // Paper: "up to half of the original transitions".
+        assert!(out.reduction() > 0.40, "{}: reduction {}", kernel, out.reduction());
+        assert!(
+            out.encoded_transitions < out.businvert_transitions,
+            "{}: xor must beat bus-invert",
+            kernel
+        );
+    }
+}
+
+#[test]
+fn t4_shape_scheduler_beats_naive_and_cuts_reconfig_energy() {
+    let tech = Technology::tech180();
+    let platform = lpmem::core::flows::scheduling::default_platform(&tech);
+    let mut savings = Vec::new();
+    let mut reconfig = Vec::new();
+    for seed in 0..6 {
+        let app = dsp_pipeline_app(4, 32, seed).expect("builder");
+        let out = run_scheduling("dsp", &app, &platform).expect("flow");
+        assert!(out.greedy <= out.naive, "seed {seed}");
+        assert!(out.greedy < out.external_only, "seed {seed}");
+        savings.push(out.saving_vs_naive());
+        reconfig.push(out.reconfig_saving());
+    }
+    let avg = savings.iter().sum::<f64>() / savings.len() as f64;
+    assert!(avg > 0.05, "average scheduling saving too small: {avg}");
+    assert!(
+        reconfig.iter().any(|&r| r > 0.3),
+        "configuration caching never paid off: {reconfig:?}"
+    );
+}
+
+#[test]
+fn sys_shape_optimizations_compose() {
+    let codec = DiffCodec::new();
+    let combined = run_system(Kernel::Dct8, 96, 2003, PlatformKind::VliwLike, &codec, 4)
+        .expect("flow");
+    let compression_only =
+        run_compression_kernel(Kernel::Dct8, 96, 2003, PlatformKind::VliwLike, &codec)
+            .expect("flow");
+    // The combined study must save at least as much absolute energy as
+    // compression alone (the ibus component only adds savings).
+    let combined_saved = combined.baseline.total() - combined.optimized.total();
+    let compression_saved =
+        compression_only.baseline.total() - compression_only.compressed.total();
+    assert!(combined_saved > compression_saved);
+    assert!(combined.saving() > 0.0);
+}
