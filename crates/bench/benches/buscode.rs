@@ -1,7 +1,7 @@
-//! Criterion bench for the T3 encoder: training and encoding throughput.
+//! Std-only bench for the T3 encoder: training and encoding throughput.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::hint::black_box;
+use lpmem_bench::benchrun::{options, run_case, table};
+use lpmem_util::bench::black_box;
 
 use lpmem_buscode::{RegionEncoder, XorTransform};
 use lpmem_isa::Kernel;
@@ -11,35 +11,30 @@ fn fetch_stream() -> Vec<(u64, u32)> {
     run.trace.fetches_only().iter().map(|e| (e.addr, e.value)).collect()
 }
 
-fn bench_train(c: &mut Criterion) {
+fn main() {
+    let opts = options();
     let stream = fetch_stream();
     let words: Vec<u32> = stream.iter().map(|&(_, w)| w).collect();
-    let mut group = c.benchmark_group("buscode_train");
-    group.throughput(Throughput::Elements(words.len() as u64));
-    group.bench_function("single_transform", |b| {
-        b.iter(|| XorTransform::train(black_box(&words)))
+    let elems = (stream.len() as u64, "elem");
+
+    let mut train = table("B3a", "buscode_train");
+    run_case(&mut train, &opts, "single_transform", Some(elems), || {
+        XorTransform::train(black_box(&words))
     });
     for regions in [1usize, 4, 16] {
-        group.bench_with_input(
-            BenchmarkId::new("region_encoder", regions),
-            &stream,
-            |b, s| b.iter(|| RegionEncoder::train(black_box(s), regions)),
-        );
+        run_case(&mut train, &opts, &format!("region_encoder/{regions}"), Some(elems), || {
+            RegionEncoder::train(black_box(&stream), regions)
+        });
     }
-    group.finish();
-}
+    print!("{train}");
 
-fn bench_encode(c: &mut Criterion) {
-    let stream = fetch_stream();
     let encoder = RegionEncoder::train(&stream, 4);
-    let mut group = c.benchmark_group("buscode_encode");
-    group.throughput(Throughput::Elements(stream.len() as u64));
-    group.bench_function("encode_stream", |b| {
-        b.iter(|| encoder.encode_stream(black_box(&stream)))
+    let mut encode = table("B3b", "buscode_encode");
+    run_case(&mut encode, &opts, "encode_stream", Some(elems), || {
+        encoder.encode_stream(black_box(&stream))
     });
-    group.bench_function("evaluate", |b| b.iter(|| encoder.evaluate(black_box(&stream))));
-    group.finish();
+    run_case(&mut encode, &opts, "evaluate", Some(elems), || {
+        encoder.evaluate(black_box(&stream))
+    });
+    print!("{encode}");
 }
-
-criterion_group!(benches, bench_train, bench_encode);
-criterion_main!(benches);

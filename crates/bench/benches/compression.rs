@@ -1,8 +1,8 @@
-//! Criterion bench for the T2 codecs: throughput of compress/decompress
+//! Std-only bench for the T2 codecs: throughput of compress/decompress
 //! over realistic cache-line payloads.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::hint::black_box;
+use lpmem_bench::benchrun::{options, run_case, table};
+use lpmem_util::bench::black_box;
 
 use lpmem_compress::{DiffCodec, FpcCodec, LineCodec, ZeroRunCodec};
 
@@ -18,41 +18,40 @@ fn random_line(words: usize) -> Vec<u8> {
         .collect()
 }
 
-fn bench_codecs(c: &mut Criterion) {
+fn main() {
+    let opts = options();
     let codecs: Vec<(&str, Box<dyn LineCodec>)> = vec![
         ("diff", Box::new(DiffCodec::new())),
         ("zero", Box::new(ZeroRunCodec::new())),
         ("fpc", Box::new(FpcCodec::new())),
     ];
-    let mut group = c.benchmark_group("codec_compress");
+
+    let mut compress = table("B2a", "codec_compress");
     for (data_name, line) in [("smooth", smooth_line(16)), ("random", random_line(16))] {
-        group.throughput(Throughput::Bytes(line.len() as u64));
+        let bytes = (line.len() as u64, "B");
         for (name, codec) in &codecs {
-            group.bench_with_input(BenchmarkId::new(*name, data_name), &line, |b, line| {
-                b.iter(|| codec.compress(black_box(line)))
+            run_case(&mut compress, &opts, &format!("{name}/{data_name}"), Some(bytes), || {
+                codec.compress(black_box(&line))
             });
         }
     }
-    group.finish();
+    print!("{compress}");
 
-    let mut group = c.benchmark_group("codec_roundtrip");
+    let mut roundtrip = table("B2b", "codec_roundtrip");
     let line = smooth_line(16);
     for (name, codec) in &codecs {
         let encoded = codec.compress(&line);
-        group.bench_with_input(BenchmarkId::new(*name, "decompress"), &encoded, |b, e| {
-            b.iter(|| codec.decompress(black_box(e), line.len()))
-        });
+        run_case(
+            &mut roundtrip,
+            &opts,
+            &format!("{name}/decompress"),
+            Some((line.len() as u64, "B")),
+            || codec.decompress(black_box(&encoded), line.len()),
+        );
     }
-    group.finish();
-}
-
-fn bench_compressed_bits(c: &mut Criterion) {
-    let codec = DiffCodec::new();
-    let line = smooth_line(16);
-    c.bench_function("codec/compressed_bits_only", |b| {
-        b.iter(|| codec.compressed_bits(black_box(&line)))
+    let diff = DiffCodec::new();
+    run_case(&mut roundtrip, &opts, "diff/compressed_bits_only", None, || {
+        diff.compressed_bits(black_box(&line))
     });
+    print!("{roundtrip}");
 }
-
-criterion_group!(benches, bench_codecs, bench_compressed_bits);
-criterion_main!(benches);

@@ -1,8 +1,8 @@
-//! Criterion bench for the T1/F1a/F1b pipeline: profiling, clustering, and
+//! Std-only bench for the T1/F1a/F1b pipeline: profiling, clustering, and
 //! DP-optimal partitioning.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use lpmem_bench::benchrun::{options, run_case, table};
+use lpmem_util::bench::black_box;
 
 use lpmem_cluster::{cluster_blocks, ClusterConfig};
 use lpmem_energy::Technology;
@@ -20,35 +20,30 @@ fn profile_of(blocks: u64) -> (Trace, BlockProfile) {
     (trace, profile)
 }
 
-fn bench_partitioning(c: &mut Criterion) {
-    let mut group = c.benchmark_group("partitioning");
+fn main() {
+    let opts = options();
     let tech = Technology::tech180();
     let cost = PartitionCost::new(&tech);
+
+    let mut t = table("B1a", "partitioning");
     for blocks in [32u64, 64, 128, 256] {
         let (trace, profile) = profile_of(blocks);
-        group.bench_with_input(BenchmarkId::new("optimal_dp", blocks), &profile, |b, p| {
-            b.iter(|| optimal_partition(black_box(p), 8, &cost))
+        run_case(&mut t, &opts, &format!("optimal_dp/{blocks}"), None, || {
+            optimal_partition(black_box(&profile), 8, &cost)
         });
-        group.bench_with_input(BenchmarkId::new("greedy", blocks), &profile, |b, p| {
-            b.iter(|| greedy_partition(black_box(p), 8, &cost))
+        run_case(&mut t, &opts, &format!("greedy/{blocks}"), None, || {
+            greedy_partition(black_box(&profile), 8, &cost)
         });
-        group.bench_with_input(
-            BenchmarkId::new("cluster", blocks),
-            &(&trace, &profile),
-            |b, (t, p)| {
-                b.iter(|| cluster_blocks(black_box(p), Some(t), &ClusterConfig::default()))
-            },
-        );
+        run_case(&mut t, &opts, &format!("cluster/{blocks}"), None, || {
+            cluster_blocks(black_box(&profile), Some(&trace), &ClusterConfig::default())
+        });
     }
-    group.finish();
-}
+    print!("{t}");
 
-fn bench_profile_build(c: &mut Criterion) {
     let trace: Trace = HotColdGen::new(1 << 18, 12, 0.9).seed(7).events(200_000).collect();
-    c.bench_function("profile/from_trace_200k", |b| {
-        b.iter(|| BlockProfile::from_trace(black_box(&trace), 2048).expect("profile"))
+    let mut p = table("B1b", "profile_build");
+    run_case(&mut p, &opts, "from_trace_200k", Some((trace.len() as u64, "event")), || {
+        BlockProfile::from_trace(black_box(&trace), 2048).expect("profile")
     });
+    print!("{p}");
 }
-
-criterion_group!(benches, bench_partitioning, bench_profile_build);
-criterion_main!(benches);

@@ -1,31 +1,30 @@
-//! Criterion bench for the T4 scheduler.
+//! Std-only bench for the T4 scheduler.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use lpmem_bench::benchrun::{options, run_case, table};
+use lpmem_util::bench::black_box;
 
 use lpmem_core::flows::scheduling::{default_platform, dsp_pipeline_app};
 use lpmem_energy::Technology;
 use lpmem_sched::{greedy_schedule, naive_schedule};
 
-fn bench_schedulers(c: &mut Criterion) {
+fn main() {
+    let opts = options();
     let tech = Technology::tech180();
     let platform = default_platform(&tech);
-    let mut group = c.benchmark_group("sched");
+
+    let mut t = table("B4", "sched");
     for stages in [2usize, 4, 8, 16] {
         let app = dsp_pipeline_app(stages, 32, 1).expect("builder");
-        group.bench_with_input(BenchmarkId::new("greedy", stages), &app, |b, app| {
-            b.iter(|| greedy_schedule(black_box(app), &platform))
+        run_case(&mut t, &opts, &format!("greedy/{stages}"), None, || {
+            greedy_schedule(black_box(&app), &platform)
         });
-        group.bench_with_input(BenchmarkId::new("naive", stages), &app, |b, app| {
-            b.iter(|| naive_schedule(black_box(app), &platform))
+        run_case(&mut t, &opts, &format!("naive/{stages}"), None, || {
+            naive_schedule(black_box(&app), &platform)
         });
         let greedy = greedy_schedule(&app, &platform);
-        group.bench_with_input(BenchmarkId::new("evaluate", stages), &app, |b, app| {
-            b.iter(|| platform.evaluate(black_box(app), &greedy).expect("valid"))
+        run_case(&mut t, &opts, &format!("evaluate/{stages}"), None, || {
+            platform.evaluate(black_box(&app), &greedy).expect("valid")
         });
     }
-    group.finish();
+    print!("{t}");
 }
-
-criterion_group!(benches, bench_schedulers);
-criterion_main!(benches);

@@ -1,63 +1,48 @@
-//! Criterion bench for the substrates: TinyRISC execution and cache replay
+//! Std-only bench for the substrates: TinyRISC execution and cache replay
 //! throughput.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::hint::black_box;
+use lpmem_bench::benchrun::{options, run_case, table};
+use lpmem_util::bench::black_box;
 
 use lpmem_isa::{Kernel, Machine};
 use lpmem_mem::{Cache, CacheConfig, FlatMemory};
 use lpmem_trace::AccessKind;
 
-fn bench_machine(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tinyrisc");
+fn main() {
+    let opts = options();
+
+    let mut t = table("B5a", "tinyrisc");
     for (kernel, scale) in [(Kernel::Fir, 64u32), (Kernel::Crc32, 64), (Kernel::MatMul, 10)] {
         let program = kernel.program(scale, 1);
         let steps = {
             let mut m = Machine::new(&program);
             m.run(10_000_000).expect("halts").steps
         };
-        group.throughput(Throughput::Elements(steps));
-        group.bench_with_input(
-            BenchmarkId::new("run", kernel.name()),
-            &program,
-            |b, program| {
-                b.iter(|| {
-                    let mut m = Machine::new(black_box(program));
-                    m.run(10_000_000).expect("halts")
-                })
-            },
-        );
-    }
-    group.finish();
-}
-
-fn bench_cache(c: &mut Criterion) {
-    let run = Kernel::Histogram.run(64, 1).expect("kernel");
-    let data: Vec<_> = run.trace.data_only().into_inner();
-    let mut group = c.benchmark_group("cache_replay");
-    group.throughput(Throughput::Elements(data.len() as u64));
-    for (name, line) in [("line16", 16u32), ("line64", 64)] {
-        let cfg = CacheConfig::new(4 << 10, line, 2).expect("geometry");
-        group.bench_with_input(BenchmarkId::new(name, data.len()), &data, |b, data| {
-            b.iter(|| {
-                let mut cache = Cache::new(cfg);
-                let mut mem = FlatMemory::new();
-                let mut buf = [0u8; 4];
-                for ev in data.iter() {
-                    match ev.kind {
-                        AccessKind::Read => cache.read(ev.addr, &mut buf, &mut mem),
-                        AccessKind::Write => {
-                            cache.write(ev.addr, &ev.value.to_le_bytes(), &mut mem)
-                        }
-                        AccessKind::InstrFetch => {}
-                    }
-                }
-                black_box(cache.stats().hits())
-            })
+        run_case(&mut t, &opts, &format!("run/{}", kernel.name()), Some((steps, "inst")), || {
+            let mut m = Machine::new(black_box(&program));
+            m.run(10_000_000).expect("halts")
         });
     }
-    group.finish();
-}
+    print!("{t}");
 
-criterion_group!(benches, bench_machine, bench_cache);
-criterion_main!(benches);
+    let run = Kernel::Histogram.run(64, 1).expect("kernel");
+    let data: Vec<_> = run.trace.data_only().into_inner();
+    let mut c = table("B5b", "cache_replay");
+    for (name, line) in [("line16", 16u32), ("line64", 64)] {
+        let cfg = CacheConfig::new(4 << 10, line, 2).expect("geometry");
+        run_case(&mut c, &opts, name, Some((data.len() as u64, "event")), || {
+            let mut cache = Cache::new(cfg);
+            let mut mem = FlatMemory::new();
+            let mut buf = [0u8; 4];
+            for ev in data.iter() {
+                match ev.kind {
+                    AccessKind::Read => cache.read(ev.addr, &mut buf, &mut mem),
+                    AccessKind::Write => cache.write(ev.addr, &ev.value.to_le_bytes(), &mut mem),
+                    AccessKind::InstrFetch => {}
+                }
+            }
+            black_box(cache.stats().hits())
+        });
+    }
+    print!("{c}");
+}

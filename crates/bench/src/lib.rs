@@ -3,9 +3,10 @@
 //!
 //! Every experiment returns a [`Table`] whose `Display` rendering is what
 //! the `repro` binary prints and what `EXPERIMENTS.md` records. The same
-//! functions back the Criterion benches, so "the benchmark suite" and "the
+//! functions back the std-only benches, so "the benchmark suite" and "the
 //! reproduction harness" cannot drift apart.
 
+pub mod benchrun;
 pub mod experiments;
 pub mod table;
 

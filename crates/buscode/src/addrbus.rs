@@ -137,7 +137,7 @@ impl T0Decoder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use lpmem_util::Props;
 
     #[test]
     fn gray_roundtrip_small() {
@@ -191,20 +191,25 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn gray_roundtrips(v in any::<u32>()) {
-            prop_assert_eq!(gray_decode(gray_encode(v)), v);
-        }
+    #[test]
+    fn gray_roundtrips() {
+        Props::new("gray code roundtrips on arbitrary words").run(|rng| {
+            let v = rng.next_u32();
+            assert_eq!(gray_decode(gray_encode(v)), v);
+        });
+    }
 
-        #[test]
-        fn t0_roundtrips_arbitrary_streams(addrs in prop::collection::vec(any::<u32>(), 1..128)) {
+    #[test]
+    fn t0_roundtrips_arbitrary_streams() {
+        Props::new("T0 codec roundtrips arbitrary address streams").run(|rng| {
+            let len = rng.gen_range(1..128usize);
+            let addrs: Vec<u32> = (0..len).map(|_| rng.next_u32()).collect();
             let mut enc = T0Encoder::new(4);
             let mut dec = T0Decoder::new(4);
             for &a in &addrs {
                 let (lines, inc) = enc.push(a);
-                prop_assert_eq!(dec.pull(lines, inc), a);
+                assert_eq!(dec.pull(lines, inc), a);
             }
-        }
+        });
     }
 }

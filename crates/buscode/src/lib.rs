@@ -37,7 +37,6 @@
 
 pub mod addrbus;
 
-use serde::{Deserialize, Serialize};
 
 /// A unit-lower-triangular XOR network over 32 bus lines.
 ///
@@ -45,7 +44,8 @@ use serde::{Deserialize, Serialize};
 /// `pair[i] < i`), else `in_i`. A per-line inversion mask is supported for
 /// completeness; it cancels out of transition counts but documents the full
 /// hardware family.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct XorTransform {
     pair: [Option<u8>; 32],
     invert: u32,
@@ -196,7 +196,8 @@ impl BusInvert {
 
 /// Per-region reprogrammable encoder: the address range of the fetch stream
 /// is split into equal regions, each with its own trained [`XorTransform`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RegionEncoder {
     base: u64,
     region_bytes: u64,
@@ -204,7 +205,8 @@ pub struct RegionEncoder {
 }
 
 /// Result of evaluating a [`RegionEncoder`] on a fetch stream.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EncodingReport {
     /// Transitions of the unencoded stream.
     pub raw_transitions: u64,
@@ -304,7 +306,7 @@ impl RegionEncoder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use lpmem_util::Props;
 
     #[test]
     fn identity_is_identity() {
@@ -440,23 +442,30 @@ mod tests {
         assert_eq!(idle.reduction(), 0.0);
     }
 
-    proptest! {
-        #[test]
-        fn trained_transform_roundtrips(words in prop::collection::vec(any::<u32>(), 2..128)) {
+    fn arb_words(rng: &mut lpmem_util::Rng) -> Vec<u32> {
+        let len = rng.gen_range(2..128usize);
+        (0..len).map(|_| rng.next_u32()).collect()
+    }
+
+    #[test]
+    fn trained_transform_roundtrips() {
+        Props::new("trained transform roundtrips its training stream").run(|rng| {
+            let words = arb_words(rng);
             let t = XorTransform::train(&words);
             for &w in &words {
-                prop_assert_eq!(t.decode(t.encode(w)), w);
+                assert_eq!(t.decode(t.encode(w)), w);
             }
-        }
+        });
+    }
 
-        #[test]
-        fn trained_transform_never_increases_transitions(
-            words in prop::collection::vec(any::<u32>(), 2..128),
-        ) {
+    #[test]
+    fn trained_transform_never_increases_transitions() {
+        Props::new("trained transform never increases transitions").run(|rng| {
+            let words = arb_words(rng);
             let t = XorTransform::train(&words);
             let raw = transitions(words.iter().copied());
             let enc = transitions(words.iter().map(|&w| t.encode(w)));
-            prop_assert!(enc <= raw);
-        }
+            assert!(enc <= raw, "enc {enc} > raw {raw}");
+        });
     }
 }

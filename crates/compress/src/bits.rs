@@ -97,7 +97,7 @@ impl<'a> BitReader<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use lpmem_util::Props;
 
     #[test]
     fn single_bits_pack_msb_first() {
@@ -147,9 +147,12 @@ mod tests {
         BitWriter::new().write(0, 0);
     }
 
-    proptest! {
-        #[test]
-        fn roundtrip_arbitrary_fields(fields in prop::collection::vec((any::<u32>(), 1u32..=32), 0..64)) {
+    #[test]
+    fn roundtrip_arbitrary_fields() {
+        Props::new("bit fields roundtrip through writer and reader").run(|rng| {
+            let len = rng.gen_range(0..64usize);
+            let fields: Vec<(u32, u32)> =
+                (0..len).map(|_| (rng.next_u32(), rng.gen_range(1..=32u32))).collect();
             let mut w = BitWriter::new();
             for &(v, width) in &fields {
                 w.write(v, width);
@@ -158,17 +161,21 @@ mod tests {
             let mut r = BitReader::new(&bytes);
             for &(v, width) in &fields {
                 let mask = if width == 32 { u32::MAX } else { (1 << width) - 1 };
-                prop_assert_eq!(r.read(width), Some(v & mask));
+                assert_eq!(r.read(width), Some(v & mask));
             }
-        }
+        });
+    }
 
-        #[test]
-        fn bit_len_matches_sum_of_widths(widths in prop::collection::vec(1u32..=32, 0..64)) {
+    #[test]
+    fn bit_len_matches_sum_of_widths() {
+        Props::new("bit length equals the sum of written widths").run(|rng| {
+            let len = rng.gen_range(0..64usize);
+            let widths: Vec<u32> = (0..len).map(|_| rng.gen_range(1..=32u32)).collect();
             let mut w = BitWriter::new();
             for &width in &widths {
                 w.write(0, width);
             }
-            prop_assert_eq!(w.bit_len() as u32, widths.iter().sum::<u32>());
-        }
+            assert_eq!(w.bit_len() as u32, widths.iter().sum::<u32>());
+        });
     }
 }

@@ -7,7 +7,7 @@ use crate::bits::{BitReader, BitWriter};
 /// Lines are treated as sequences of little-endian 32-bit words; every
 /// implementation must satisfy
 /// `decompress(&compress(line), line.len()) == line` for any line whose
-/// length is a non-zero multiple of four (enforced by the proptests in this
+/// length is a non-zero multiple of four (enforced by the property tests in this
 /// module and exercised end-to-end by the compression flow).
 pub trait LineCodec {
     /// A short lowercase name for reports (e.g. `"diff"`).
@@ -294,7 +294,7 @@ impl LineCodec for RawCodec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use lpmem_util::{Props, Rng};
 
     fn line_of(words: &[u32]) -> Vec<u8> {
         words_to_bytes(words)
@@ -376,55 +376,70 @@ mod tests {
         DiffCodec::new().compress(&[1, 2, 3]);
     }
 
-    fn arb_line() -> impl Strategy<Value = Vec<u8>> {
-        prop::collection::vec(any::<u32>(), 1..=32).prop_map(|ws| words_to_bytes(&ws))
+    fn arb_line(rng: &mut Rng) -> Vec<u8> {
+        let len = rng.gen_range(1..=32usize);
+        let words: Vec<u32> = (0..len).map(|_| rng.next_u32()).collect();
+        words_to_bytes(&words)
     }
 
     /// Lines with realistic structure: smooth deltas, repeated values, zeros.
-    fn structured_line() -> impl Strategy<Value = Vec<u8>> {
-        (any::<u32>(), prop::collection::vec(-512i32..512, 1..=31)).prop_map(|(start, deltas)| {
-            let mut words = vec![start];
-            for d in deltas {
-                let prev = *words.last().expect("non-empty");
-                words.push(prev.wrapping_add(d as u32));
-            }
-            words_to_bytes(&words)
-        })
+    fn structured_line(rng: &mut Rng) -> Vec<u8> {
+        let mut words = vec![rng.next_u32()];
+        for _ in 0..rng.gen_range(1..=31usize) {
+            let prev = *words.last().expect("non-empty");
+            let delta = rng.gen_range(-512i32..512);
+            words.push(prev.wrapping_add(delta as u32));
+        }
+        words_to_bytes(&words)
     }
 
-    proptest! {
-        #[test]
-        fn diff_roundtrips(line in arb_line()) {
+    #[test]
+    fn diff_roundtrips() {
+        Props::new("diff codec roundtrips arbitrary lines").run(|rng| {
+            let line = arb_line(rng);
             let c = DiffCodec::new();
-            prop_assert_eq!(c.decompress(&c.compress(&line), line.len()), line);
-        }
+            assert_eq!(c.decompress(&c.compress(&line), line.len()), line);
+        });
+    }
 
-        #[test]
-        fn zero_roundtrips(line in arb_line()) {
+    #[test]
+    fn zero_roundtrips() {
+        Props::new("zero-run codec roundtrips arbitrary lines").run(|rng| {
+            let line = arb_line(rng);
             let c = ZeroRunCodec::new();
-            prop_assert_eq!(c.decompress(&c.compress(&line), line.len()), line);
-        }
+            assert_eq!(c.decompress(&c.compress(&line), line.len()), line);
+        });
+    }
 
-        #[test]
-        fn fpc_roundtrips(line in arb_line()) {
+    #[test]
+    fn fpc_roundtrips() {
+        Props::new("fpc codec roundtrips arbitrary lines").run(|rng| {
+            let line = arb_line(rng);
             let c = FpcCodec::new();
-            prop_assert_eq!(c.decompress(&c.compress(&line), line.len()), line);
-        }
+            assert_eq!(c.decompress(&c.compress(&line), line.len()), line);
+        });
+    }
 
-        #[test]
-        fn compressed_bits_matches_compress_len(line in arb_line()) {
-            for c in [&DiffCodec::new() as &dyn LineCodec, &ZeroRunCodec::new(), &FpcCodec::new()] {
+    #[test]
+    fn compressed_bits_matches_compress_len() {
+        Props::new("compressed_bits agrees with compress()").run(|rng| {
+            let line = arb_line(rng);
+            for c in [&DiffCodec::new() as &dyn LineCodec, &ZeroRunCodec::new(), &FpcCodec::new()]
+            {
                 let bits = c.compressed_bits(&line);
                 let bytes = c.compress(&line).len();
                 // compress() pads to whole bytes.
-                prop_assert_eq!(bytes, bits.div_ceil(8), "codec {}", c.name());
+                assert_eq!(bytes, bits.div_ceil(8), "codec {}", c.name());
             }
-        }
+        });
+    }
 
-        #[test]
-        fn diff_beats_raw_on_structured_data(line in structured_line()) {
+    #[test]
+    fn diff_beats_raw_on_structured_data() {
+        Props::new("diff codec never expands structured lines").run(|rng| {
+            let line = structured_line(rng);
             let c = DiffCodec::new();
-            prop_assert!(c.compressed_bits(&line) <= line.len() * 8);
-        }
+            assert!(c.compressed_bits(&line) <= line.len() * 8);
+        });
     }
 }

@@ -2,7 +2,6 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
 
 use crate::codec::LineCodec;
 
@@ -10,7 +9,8 @@ use crate::codec::LineCodec;
 pub const BEAT_BYTES: usize = 4;
 
 /// Aggregate result of compressing a write-back stream with one codec.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct WritebackAnalysis {
     /// Lines examined.
     pub lines: u64,

@@ -1,6 +1,5 @@
 //! The 1B.3 flow: application-specific instruction-bus encoding.
 
-use serde::{Deserialize, Serialize};
 
 use lpmem_buscode::{transitions, BusInvert, RegionEncoder};
 use lpmem_energy::{BusModel, Energy, Technology};
@@ -9,7 +8,8 @@ use lpmem_trace::{AccessKind, Trace};
 use crate::FlowError;
 
 /// Result of the bus-encoding study for one workload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BusCodingOutcome {
     /// Workload label.
     pub name: String,

@@ -1,6 +1,5 @@
 //! The 1B.2 flow: D-cache write-back compression on a simulated platform.
 
-use serde::{Deserialize, Serialize};
 
 use lpmem_compress::{CompressedMemoryModel, LineCodec};
 use lpmem_energy::{Energy, EnergyReport, OffChipModel, SramModel, Technology};
@@ -12,7 +11,8 @@ use crate::FlowError;
 
 /// Platform presets for the compression study, mirroring the two systems of
 /// the 1B.2 evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum PlatformKind {
     /// Lx-ST200-class VLIW: wide 64-byte lines, 4 KiB write-back D-cache.
     /// Wide lines mean more beats per write-back — the configuration where
@@ -138,7 +138,8 @@ impl Backing for CompressingBacking<'_> {
 }
 
 /// Result of the compression study for one workload on one platform.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CompressionOutcome {
     /// Workload label.
     pub name: String,

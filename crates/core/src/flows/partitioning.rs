@@ -1,7 +1,6 @@
 //! The 1B.1 flow: monolithic vs. partitioned vs. clustered+partitioned
 //! data memory.
 
-use serde::{Deserialize, Serialize};
 
 use lpmem_cluster::{cluster_blocks, AddressMap, ClusterConfig, Objective};
 use lpmem_energy::{Energy, Technology};
@@ -12,7 +11,8 @@ use lpmem_trace::{BlockProfile, MemEvent, Trace};
 use crate::FlowError;
 
 /// Parameters of the partitioning flow.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PartitioningConfig {
     /// Profile block size in bytes (the partitioning granularity).
     pub block_size: u64,
@@ -31,7 +31,8 @@ impl Default for PartitioningConfig {
 }
 
 /// Result of the three-way partitioning comparison for one workload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PartitioningOutcome {
     /// Workload label.
     pub name: String,
@@ -144,7 +145,8 @@ pub fn run_partitioning(
 /// Result of the sleep-aware three-way comparison (experiment **A4**):
 /// plain partitioning vs. frequency-only clustering vs. affinity-aware
 /// clustering, all evaluated with the trace-driven power-gating model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SleepPartitioningOutcome {
     /// Workload label.
     pub name: String,

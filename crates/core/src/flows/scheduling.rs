@@ -1,7 +1,6 @@
 //! The 1B.4 flow: two-level data scheduling for multi-context
 //! reconfigurable fabrics.
 
-use serde::{Deserialize, Serialize};
 
 use lpmem_energy::{Energy, Technology};
 use lpmem_sched::{
@@ -70,7 +69,8 @@ pub fn dsp_pipeline_app(
 }
 
 /// Result of the scheduling comparison for one application.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SchedulingOutcome {
     /// Application label.
     pub name: String,

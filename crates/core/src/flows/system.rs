@@ -9,7 +9,6 @@
 //! implicitly poses: *how much of an embedded SoC's memory-system energy
 //! do these techniques recover together?*
 
-use serde::{Deserialize, Serialize};
 
 use lpmem_buscode::RegionEncoder;
 use lpmem_compress::LineCodec;
@@ -22,7 +21,8 @@ use crate::workloads::kernel_trace_and_image;
 use crate::FlowError;
 
 /// Result of the whole-system study for one kernel.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SystemOutcome {
     /// Workload label.
     pub name: String,

@@ -1,6 +1,5 @@
 //! Bus switching-energy model and transition counting.
 
-use serde::{Deserialize, Serialize};
 
 use crate::{Energy, Technology};
 
@@ -19,7 +18,8 @@ use crate::{Energy, Technology};
 /// let e = bus.sequence_energy(&[0x0, 0xF]);
 /// assert!(e > lpmem_energy::Energy::ZERO);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BusModel {
     width_bits: u32,
     cap_pf_per_line: f64,

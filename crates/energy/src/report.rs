@@ -3,7 +3,6 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::Energy;
 
@@ -24,7 +23,8 @@ use crate::Energy;
 /// assert_eq!(r.total(), Energy::from_pj(1150.0));
 /// assert_eq!(r.component("sram.read"), Energy::from_pj(150.0));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EnergyReport {
     components: BTreeMap<String, Energy>,
 }

@@ -1,6 +1,5 @@
 //! Analytic SRAM and off-chip memory energy models.
 
-use serde::{Deserialize, Serialize};
 
 use crate::{Energy, Technology};
 
@@ -20,7 +19,8 @@ use crate::{Energy, Technology};
 /// let one_4k = sram.read_energy(4 << 10);
 /// assert!(one_4k.as_pj() < 0.5 * one_64k.as_pj());
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SramModel {
     e0_pj: f64,
     e1_pj: f64,
@@ -89,7 +89,8 @@ impl SramModel {
 
 /// Off-chip (main) memory model: energy is charged per 4-byte beat moved
 /// across the external interface, covering command, I/O, and core energy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct OffChipModel {
     beat_pj: f64,
 }

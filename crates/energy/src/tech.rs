@@ -1,6 +1,5 @@
 //! Technology parameter sets.
 
-use serde::{Deserialize, Serialize};
 
 /// Every technology-dependent constant used by the workspace, in one place.
 ///
@@ -9,7 +8,8 @@ use serde::{Deserialize, Serialize};
 /// (0.13 µm). The values are documented approximations with the correct
 /// ratios between components; see `DESIGN.md` §4 for the substitution
 /// rationale.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Technology {
     /// Human-readable node name, e.g. `"0.18um"`.
     pub name: String,

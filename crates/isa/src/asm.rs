@@ -22,7 +22,6 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
 
 use crate::inst::{Inst, Opcode, Reg, IMM18_MAX, IMM18_MIN, IMM22_MAX, IMM22_MIN};
 use crate::IsaError;
@@ -32,7 +31,8 @@ const DEFAULT_DATA_BASE: u32 = 0x1_0000;
 
 /// A loadable memory image: `(base address, bytes)` segments plus the entry
 /// point.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Program {
     segments: Vec<(u32, Vec<u8>)>,
     entry: u32,

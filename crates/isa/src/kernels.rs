@@ -17,8 +17,7 @@
 //! # Ok::<(), lpmem_isa::IsaError>(())
 //! ```
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lpmem_util::Rng;
 
 use lpmem_trace::Trace;
 
@@ -134,7 +133,7 @@ impl Kernel {
     }
 
     fn source(self, scale: u32, seed: u64) -> String {
-        let mut rng = StdRng::seed_from_u64(seed ^ (self as u64) << 32);
+        let mut rng = Rng::seed_from_u64(seed ^ (self as u64) << 32);
         match self {
             Kernel::MatMul => matmul_src(scale, &mut rng),
             Kernel::Fir => fir_src(scale, &mut rng),
@@ -149,7 +148,7 @@ impl Kernel {
     }
 
     fn verify(self, scale: u32, seed: u64, machine: &Machine) {
-        let mut rng = StdRng::seed_from_u64(seed ^ (self as u64) << 32);
+        let mut rng = Rng::seed_from_u64(seed ^ (self as u64) << 32);
         let mem = machine.mem();
         match self {
             Kernel::MatMul => {
@@ -285,13 +284,13 @@ pub struct KernelRun {
 // Input generation (shared between source emission and verification).
 // ---------------------------------------------------------------------------
 
-fn matmul_inputs(n: usize, rng: &mut StdRng) -> (Vec<i32>, Vec<i32>) {
+fn matmul_inputs(n: usize, rng: &mut Rng) -> (Vec<i32>, Vec<i32>) {
     let a = (0..n * n).map(|_| rng.gen_range(-100..100)).collect();
     let b = (0..n * n).map(|_| rng.gen_range(-100..100)).collect();
     (a, b)
 }
 
-fn fir_inputs(outs: usize, rng: &mut StdRng) -> (Vec<i32>, Vec<i32>, usize) {
+fn fir_inputs(outs: usize, rng: &mut Rng) -> (Vec<i32>, Vec<i32>, usize) {
     let taps = 16;
     let len = outs + taps;
     // A smooth waveform with noise: neighbouring samples correlate, which is
@@ -306,14 +305,14 @@ fn fir_inputs(outs: usize, rng: &mut StdRng) -> (Vec<i32>, Vec<i32>, usize) {
     (x, h, outs)
 }
 
-fn dct8_inputs(blocks: usize, rng: &mut StdRng) -> (Vec<i32>, Vec<i32>) {
+fn dct8_inputs(blocks: usize, rng: &mut Rng) -> (Vec<i32>, Vec<i32>) {
     // Pixel-like rows: a ramp plus noise per block.
     let mut pixels = Vec::with_capacity(blocks * 8);
     for _ in 0..blocks {
-        let base = rng.gen_range(0..200);
-        let slope = rng.gen_range(-6..6);
+        let base = rng.gen_range(0..200i32);
+        let slope = rng.gen_range(-6..6i32);
         for x in 0..8 {
-            let v = (base + slope * x + rng.gen_range(-3..3)).clamp(0, 255);
+            let v = (base + slope * x + rng.gen_range(-3..3i32)).clamp(0, 255);
             pixels.push(v);
         }
     }
@@ -329,7 +328,7 @@ fn dct8_inputs(blocks: usize, rng: &mut StdRng) -> (Vec<i32>, Vec<i32>) {
     (pixels, coefs)
 }
 
-fn byte_input(len: usize, rng: &mut StdRng) -> Vec<u8> {
+fn byte_input(len: usize, rng: &mut Rng) -> Vec<u8> {
     // Skewed byte distribution (text-like).
     (0..len)
         .map(|_| {
@@ -342,11 +341,11 @@ fn byte_input(len: usize, rng: &mut StdRng) -> Vec<u8> {
         .collect()
 }
 
-fn bsort_input(len: usize, rng: &mut StdRng) -> Vec<u32> {
+fn bsort_input(len: usize, rng: &mut Rng) -> Vec<u32> {
     (0..len).map(|_| rng.gen_range(0..10_000)).collect()
 }
 
-fn strsearch_inputs(len: usize, rng: &mut StdRng) -> (Vec<u8>, Vec<u8>) {
+fn strsearch_inputs(len: usize, rng: &mut Rng) -> (Vec<u8>, Vec<u8>) {
     let mut text: Vec<u8> = (0..len).map(|_| rng.gen_range(b'a'..=b'd')).collect();
     let pat = vec![b'a', b'b', b'c', b'a'];
     // Plant a few guaranteed matches.
@@ -357,7 +356,7 @@ fn strsearch_inputs(len: usize, rng: &mut StdRng) -> (Vec<u8>, Vec<u8>) {
     (text, pat)
 }
 
-fn rle_input(len: usize, rng: &mut StdRng) -> Vec<u8> {
+fn rle_input(len: usize, rng: &mut Rng) -> Vec<u8> {
     // Runs of repeated bytes (scan-line-like data).
     let mut out = Vec::with_capacity(len);
     while out.len() < len {
@@ -383,16 +382,16 @@ fn rle_reference(input: &[u8]) -> Vec<(u8, u32)> {
     pairs
 }
 
-fn conv2d_inputs(w: usize, rng: &mut StdRng) -> (Vec<i32>, Vec<i32>) {
+fn conv2d_inputs(w: usize, rng: &mut Rng) -> (Vec<i32>, Vec<i32>) {
     // Smooth image: a 2D gradient plus noise (pixel-like values).
     let mut img = Vec::with_capacity(w * w);
     for y in 0..w {
         for x in 0..w {
-            let v = ((x * 7 + y * 5) % 200) as i32 + rng.gen_range(-4..4);
+            let v = ((x * 7 + y * 5) % 200) as i32 + rng.gen_range(-4..4i32);
             img.push(v.clamp(0, 255));
         }
     }
-    let ker = (0..9).map(|_| rng.gen_range(-8..8)).collect();
+    let ker = (0..9).map(|_| rng.gen_range(-8..8i32)).collect();
     (img, ker)
 }
 
@@ -444,7 +443,7 @@ fn byte_words(bytes: &[u8]) -> String {
     words(packed)
 }
 
-fn matmul_src(n: u32, rng: &mut StdRng) -> String {
+fn matmul_src(n: u32, rng: &mut Rng) -> String {
     let (a, b) = matmul_inputs(n as usize, rng);
     format!(
         r#"
@@ -495,7 +494,7 @@ c:  .space {c_bytes}
     )
 }
 
-fn fir_src(outs: u32, rng: &mut StdRng) -> String {
+fn fir_src(outs: u32, rng: &mut Rng) -> String {
     let (x, h, _) = fir_inputs(outs as usize, rng);
     format!(
         r#"
@@ -540,7 +539,7 @@ y:  .space {y_bytes}
     )
 }
 
-fn dct8_src(blocks: u32, rng: &mut StdRng) -> String {
+fn dct8_src(blocks: u32, rng: &mut Rng) -> String {
     let (pixels, coefs) = dct8_inputs(blocks as usize, rng);
     format!(
         r#"
@@ -595,7 +594,7 @@ out: .space {out_bytes}
     )
 }
 
-fn histogram_src(len: u32, rng: &mut StdRng) -> String {
+fn histogram_src(len: u32, rng: &mut Rng) -> String {
     let input = byte_input(len as usize, rng);
     format!(
         r#"
@@ -624,7 +623,7 @@ hist: .space 1024
     )
 }
 
-fn crc32_src(len: u32, rng: &mut StdRng) -> String {
+fn crc32_src(len: u32, rng: &mut Rng) -> String {
     let input = byte_input(len as usize, rng);
     let table = crc32_table();
     format!(
@@ -664,7 +663,7 @@ out: .space 4
     )
 }
 
-fn bsort_src(len: u32, rng: &mut StdRng) -> String {
+fn bsort_src(len: u32, rng: &mut Rng) -> String {
     let input = bsort_input(len as usize, rng);
     format!(
         r#"
@@ -696,7 +695,7 @@ noswap: addi r2, r2, 1
     )
 }
 
-fn strsearch_src(len: u32, rng: &mut StdRng) -> String {
+fn strsearch_src(len: u32, rng: &mut Rng) -> String {
     let (text, pat) = strsearch_inputs(len as usize, rng);
     format!(
         r#"
@@ -738,7 +737,7 @@ out: .space 4
     )
 }
 
-fn rle_src(len: u32, rng: &mut StdRng) -> String {
+fn rle_src(len: u32, rng: &mut Rng) -> String {
     let input = rle_input(len as usize, rng);
     let outlen_addr = OUT_BASE + 0x8000;
     format!(
@@ -783,7 +782,7 @@ outlen: .space 4
     )
 }
 
-fn conv2d_src(w: u32, rng: &mut StdRng) -> String {
+fn conv2d_src(w: u32, rng: &mut Rng) -> String {
     assert!(w >= 3, "conv2d needs at least a 3x3 image");
     let (img, ker) = conv2d_inputs(w as usize, rng);
     format!(

@@ -7,7 +7,7 @@
 //! memory via `.word` directives — exercising the encoder, the decoder,
 //! and the interpreter against a second implementation of the semantics.
 
-use proptest::prelude::*;
+use lpmem_util::{Props, Rng};
 
 use lpmem_isa::{assemble, Inst, Machine, Opcode, Reg};
 use lpmem_trace::Trace;
@@ -129,69 +129,77 @@ fn reference_run(insts: &[Inst]) -> ([u32; 16], std::collections::HashMap<u32, u
     (regs, mem)
 }
 
-fn reg_strategy() -> impl Strategy<Value = Reg> {
-    (0u8..16).prop_map(|i| Reg::new(i).expect("in range"))
+fn random_reg(rng: &mut Rng) -> Reg {
+    Reg::new(rng.gen_range(0..16u8)).expect("in range")
 }
 
 /// One random instruction at position `pos` of a `len`-long program.
-fn inst_strategy(pos: usize, len: usize) -> BoxedStrategy<Inst> {
+fn random_inst(rng: &mut Rng, pos: usize, len: usize) -> Inst {
     use Opcode::*;
-    let alu_r = (
-        prop::sample::select(vec![Add, Sub, And, Or, Xor, Sll, Srl, Sra, Slt, Sltu, Mul]),
-        reg_strategy(),
-        reg_strategy(),
-        reg_strategy(),
-    )
-        .prop_map(|(op, rd, rs1, rs2)| Inst::R { op, rd, rs1, rs2 });
-    let alu_i = (
-        prop::sample::select(vec![Addi, Andi, Ori, Xori, Slli, Srli, Slti, Lui]),
-        reg_strategy(),
-        reg_strategy(),
-        -1000i32..1000,
-    )
-        .prop_map(|(op, rd, rs1, imm)| Inst::I { op, rd, rs1, imm });
-    // Loads/stores hit a small window at DATA_BASE via r0 so addresses are
-    // controlled (no self-modifying code).
-    let mem_op = (
-        prop::sample::select(vec![Lw, Lh, Lhu, Lb, Lbu, Sw, Sh, Sb]),
-        reg_strategy(),
-        0i32..64,
-    )
-        .prop_map(|(op, rd, off)| Inst::I {
-            op,
-            rd,
-            rs1: Reg::ZERO,
-            imm: DATA_BASE as i32 + off,
-        });
     // Control flow may only jump forward *within* the program (the word
-    // after the last generated instruction is the halt).
+    // after the last generated instruction is the halt), so branches and
+    // jumps are only generated where a forward target exists.
     let remaining = (len - pos - 1) as i32;
-    if remaining < 1 {
-        return prop_oneof![1 => alu_r, 1 => alu_i, 1 => mem_op].boxed();
+    // Weights mirror the original proptest mix: 4 ALU-R, 4 ALU-I,
+    // 2 loads/stores, 1 branch, 1 jump. Near the end of the program only
+    // the first three classes are drawn (equally weighted).
+    let pick = if remaining < 1 {
+        rng.gen_range(0..3u32) * 4 // 0, 4, or 8: one of the branch-free arms
+    } else {
+        rng.gen_range(0..12u32)
+    };
+    match pick {
+        0..=3 => {
+            let op =
+                *rng.choose(&[Add, Sub, And, Or, Xor, Sll, Srl, Sra, Slt, Sltu, Mul]).unwrap();
+            Inst::R { op, rd: random_reg(rng), rs1: random_reg(rng), rs2: random_reg(rng) }
+        }
+        4..=7 => {
+            let op = *rng.choose(&[Addi, Andi, Ori, Xori, Slli, Srli, Slti, Lui]).unwrap();
+            Inst::I {
+                op,
+                rd: random_reg(rng),
+                rs1: random_reg(rng),
+                imm: rng.gen_range(-1000i32..1000),
+            }
+        }
+        8..=9 => {
+            // Loads/stores hit a small window at DATA_BASE via r0 so
+            // addresses are controlled (no self-modifying code).
+            let op = *rng.choose(&[Lw, Lh, Lhu, Lb, Lbu, Sw, Sh, Sb]).unwrap();
+            Inst::I {
+                op,
+                rd: random_reg(rng),
+                rs1: Reg::ZERO,
+                imm: DATA_BASE as i32 + rng.gen_range(0i32..64),
+            }
+        }
+        10 => {
+            let op = *rng.choose(&[Beq, Bne, Blt, Bge, Bltu, Bgeu]).unwrap();
+            Inst::B {
+                op,
+                rs1: random_reg(rng),
+                rs2: random_reg(rng),
+                imm: rng.gen_range(1i32..=remaining.min(8)),
+            }
+        }
+        _ => Inst::J {
+            op: Jal,
+            rd: random_reg(rng),
+            imm: rng.gen_range(1i32..=remaining.min(8)),
+        },
     }
-    let branch = (
-        prop::sample::select(vec![Beq, Bne, Blt, Bge, Bltu, Bgeu]),
-        reg_strategy(),
-        reg_strategy(),
-        1i32..=remaining.min(8),
-    )
-        .prop_map(|(op, rs1, rs2, imm)| Inst::B { op, rs1, rs2, imm });
-    let jump = (reg_strategy(), 1i32..=remaining.min(8))
-        .prop_map(|(rd, imm)| Inst::J { op: Jal, rd, imm });
-    prop_oneof![4 => alu_r, 4 => alu_i, 2 => mem_op, 1 => branch, 1 => jump].boxed()
 }
 
-fn program_strategy() -> impl Strategy<Value = Vec<Inst>> {
-    (4usize..48).prop_flat_map(|len| {
-        (0..len).map(|pos| inst_strategy(pos, len)).collect::<Vec<_>>()
-    })
+fn random_program(rng: &mut Rng) -> Vec<Inst> {
+    let len = rng.gen_range(4..48usize);
+    (0..len).map(|pos| random_inst(rng, pos, len)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn machine_matches_reference_interpreter(insts in program_strategy()) {
+#[test]
+fn machine_matches_reference_interpreter() {
+    Props::new("machine matches the reference interpreter").cases(256).run(|rng| {
+        let insts = random_program(rng);
         // Assemble the raw words into a program (text at 0).
         let mut src = String::from(".text\n");
         for inst in &insts {
@@ -208,24 +216,18 @@ proptest! {
                 break;
             }
         }
-        prop_assert!(machine.is_halted(), "program must halt");
+        assert!(machine.is_halted(), "program must halt");
 
         let (ref_regs, ref_mem) = reference_run(&insts);
         for (i, &expect) in ref_regs.iter().enumerate() {
-            prop_assert_eq!(
+            assert_eq!(
                 machine.reg(Reg::new(i as u8).expect("in range")),
                 expect,
-                "register r{} diverged",
-                i
+                "register r{i} diverged"
             );
         }
         for (&addr, &byte) in &ref_mem {
-            prop_assert_eq!(
-                machine.mem().read_u8(addr as u64),
-                byte,
-                "memory byte {:#x} diverged",
-                addr
-            );
+            assert_eq!(machine.mem().read_u8(addr as u64), byte, "memory byte {addr:#x} diverged");
         }
-    }
+    });
 }

@@ -39,7 +39,6 @@
 
 pub mod sleep;
 
-use serde::{Deserialize, Serialize};
 
 use lpmem_energy::{Energy, EnergyReport, SramModel, Technology};
 use lpmem_trace::BlockProfile;
@@ -48,7 +47,8 @@ use lpmem_trace::BlockProfile;
 ///
 /// Stored as ascending cut points `0 = c₀ < c₁ < … < c_k = n`; bank `i`
 /// covers blocks `c_i..c_{i+1}`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Partition {
     cuts: Vec<usize>,
 }
@@ -99,7 +99,8 @@ impl Partition {
 }
 
 /// Per-bank energy summary within a [`PartitionEvaluation`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BankInfo {
     /// Block range of the bank.
     pub blocks: std::ops::Range<usize>,
@@ -113,7 +114,8 @@ pub struct BankInfo {
 
 /// Result of evaluating a partition: total energy breakdown plus per-bank
 /// detail.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PartitionEvaluation {
     /// Energy breakdown (`bank.read`, `bank.write`, `bank.select`,
     /// `sram.idle`).

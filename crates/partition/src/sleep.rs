@@ -16,7 +16,6 @@
 //! `sleep_frac` of its idle power; the next access pays a wake penalty
 //! proportional to the bank size.
 
-use serde::{Deserialize, Serialize};
 
 use lpmem_energy::{Energy, EnergyReport, SramModel, Technology};
 use lpmem_trace::{BlockProfile, Trace};
@@ -24,7 +23,8 @@ use lpmem_trace::{BlockProfile, Trace};
 use crate::Partition;
 
 /// Bank power-gating policy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SleepPolicy {
     /// Idle ticks (trace events) before a bank is put to sleep.
     pub timeout: u64,
@@ -52,7 +52,8 @@ impl SleepPolicy {
 }
 
 /// Result of a sleep-aware evaluation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SleepEvaluation {
     /// Energy breakdown: `bank.read`, `bank.write`, `bank.select`,
     /// `leak.idle`, `leak.sleep`, `wakeups`.

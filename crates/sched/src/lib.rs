@@ -37,7 +37,6 @@
 
 #![warn(missing_docs)]
 
-use serde::{Deserialize, Serialize};
 
 use lpmem_energy::{Energy, EnergyReport, OffChipModel, SramModel, Technology};
 
@@ -82,7 +81,8 @@ impl std::fmt::Display for SchedError {
 impl std::error::Error for SchedError {}
 
 /// A storage level for an array during one context.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Level {
     /// Small, cheapest on-chip store.
     L0,
@@ -94,7 +94,8 @@ pub enum Level {
 
 /// One context: its configuration size and the array traffic of its
 /// kernels (per loop iteration).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ContextSpec {
     /// 32-bit words of configuration loaded when this context starts.
     pub config_words: u64,
@@ -111,7 +112,8 @@ impl ContextSpec {
 
 /// A validated application: named arrays, the context sequence, and how
 /// many loop iterations the sequence repeats.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AppSpec {
     arrays: Vec<(String, u64)>,
     contexts: Vec<ContextSpec>,
@@ -205,7 +207,8 @@ impl AppSpec {
 
 /// A data schedule: per context, the level of every array, plus the
 /// configuration-residency flags.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Schedule {
     /// `placement[context][array] = level` (arrays not live in a context are
     /// conventionally `External` and cost nothing).

@@ -1,11 +1,11 @@
 //! Trace events and the [`Trace`] container.
 
-use serde::{Deserialize, Serialize};
 
 use crate::TraceError;
 
 /// The kind of memory access an event records.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum AccessKind {
     /// Instruction fetch (I-side).
     InstrFetch,
@@ -29,7 +29,8 @@ impl AccessKind {
 /// Events are ordered by their position in the [`Trace`]; there is no
 /// explicit timestamp because every consumer in this workspace treats the
 /// trace index as logical time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MemEvent {
     /// Byte address of the access.
     pub addr: u64,
@@ -89,7 +90,8 @@ impl MemEvent {
 /// assert_eq!(trace.len(), 16);
 /// assert_eq!(trace.span(), Some((0, 60)));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Trace {
     events: Vec<MemEvent>,
 }

@@ -11,8 +11,7 @@
 //! * [`MarkovGen`] — phase-structured traffic switching between regions.
 //! * [`PointerChaseGen`] — low-locality pointer chasing (worst case).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lpmem_util::Rng;
 
 use crate::{AccessKind, MemEvent};
 
@@ -23,7 +22,7 @@ fn synth_value(addr: u64) -> u32 {
     word.wrapping_mul(12).wrapping_add((word.wrapping_mul(0x9E37_79B9)) >> 27)
 }
 
-fn kind_for(rng: &mut StdRng, write_ratio: f64) -> AccessKind {
+fn kind_for(rng: &mut Rng, write_ratio: f64) -> AccessKind {
     if rng.gen_bool(write_ratio) {
         AccessKind::Write
     } else {
@@ -101,7 +100,7 @@ impl HotColdGen {
         let num_hot = (self.num_hot as u64).min(blocks) as usize;
         let hot_blocks: Vec<u64> =
             (0..num_hot).map(|i| (i as u64 * blocks) / num_hot as u64).collect();
-        let rng = StdRng::seed_from_u64(self.seed ^ 0x9e37_79b9_7f4a_7c15);
+        let rng = Rng::seed_from_u64(self.seed ^ 0x9e37_79b9_7f4a_7c15);
         HotColdIter { cfg: self, hot_blocks, blocks, rng, remaining: n }
     }
 }
@@ -112,7 +111,7 @@ pub struct HotColdIter {
     cfg: HotColdGen,
     hot_blocks: Vec<u64>,
     blocks: u64,
-    rng: StdRng,
+    rng: Rng,
     remaining: usize,
 }
 
@@ -234,7 +233,7 @@ impl MarkovGen {
     /// Returns an iterator producing exactly `n` events.
     pub fn events(self, n: usize) -> MarkovIter {
         MarkovIter {
-            rng: StdRng::seed_from_u64(self.seed ^ 0x517c_c1b7_2722_0a95),
+            rng: Rng::seed_from_u64(self.seed ^ 0x517c_c1b7_2722_0a95),
             cursor: 0,
             region: 0,
             cfg: self,
@@ -247,7 +246,7 @@ impl MarkovGen {
 #[derive(Debug)]
 pub struct MarkovIter {
     cfg: MarkovGen,
-    rng: StdRng,
+    rng: Rng,
     region: usize,
     cursor: u64,
     remaining: usize,
@@ -309,7 +308,7 @@ impl PointerChaseGen {
 
     /// Returns an iterator producing exactly `n` read events.
     pub fn events(self, n: usize) -> impl Iterator<Item = MemEvent> {
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x2545_f491_4f6c_dd1d);
+        let mut rng = Rng::seed_from_u64(self.seed ^ 0x2545_f491_4f6c_dd1d);
         let words = self.len / 4;
         let base = self.base;
         (0..n).map(move |_| {
@@ -388,7 +387,7 @@ impl PhaseScatterGen {
 
     /// Returns an iterator producing exactly `n` events.
     pub fn events(self, n: usize) -> impl Iterator<Item = MemEvent> {
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x7f4a_7c15_9e37_79b9);
+        let mut rng = Rng::seed_from_u64(self.seed ^ 0x7f4a_7c15_9e37_79b9);
         let PhaseScatterGen { phases, blocks_per_phase, block_size, dwell, write_ratio, .. } =
             self;
         (0..n).map(move |i| {

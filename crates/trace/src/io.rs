@@ -102,7 +102,7 @@ fn parse_line(line: &str) -> Result<MemEvent, TraceError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use lpmem_util::Props;
 
     fn sample() -> Trace {
         vec![
@@ -142,28 +142,23 @@ mod tests {
         assert_eq!(back, t);
     }
 
-    proptest! {
-        #[test]
-        fn arbitrary_traces_roundtrip(
-            events in prop::collection::vec(
-                (any::<u64>(), 0u8..3, prop::sample::select(vec![1u8, 2, 4]), any::<u32>()),
-                0..64,
-            )
-        ) {
-            let t: Trace = events
-                .into_iter()
-                .map(|(addr, k, size, value)| MemEvent {
-                    addr,
-                    kind: match k {
+    #[test]
+    fn arbitrary_traces_roundtrip() {
+        Props::new("arbitrary traces roundtrip through text").run(|rng| {
+            let len = rng.gen_range(0..64usize);
+            let t: Trace = (0..len)
+                .map(|_| MemEvent {
+                    addr: rng.next_u64(),
+                    kind: match rng.gen_range(0..3u8) {
                         0 => AccessKind::InstrFetch,
                         1 => AccessKind::Read,
                         _ => AccessKind::Write,
                     },
-                    size,
-                    value,
+                    size: *rng.choose(&[1u8, 2, 4]).expect("non-empty"),
+                    value: rng.next_u32(),
                 })
                 .collect();
-            prop_assert_eq!(from_text(&to_text(&t)).unwrap(), t);
-        }
+            assert_eq!(from_text(&to_text(&t)).unwrap(), t);
+        });
     }
 }

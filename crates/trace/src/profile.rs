@@ -5,7 +5,6 @@
 //! fixed-size address blocks, the exact input the DATE 2003 1B.1 flow feeds
 //! to its memory-partitioning engine.
 
-use serde::{Deserialize, Serialize};
 
 use crate::{checked_log2, Trace, TraceError};
 
@@ -17,7 +16,8 @@ use crate::{checked_log2, Trace, TraceError};
 /// blocks — those matter for partitioning, because a contiguous bank must
 /// still hold cold blocks that sit between hot ones (the inefficiency that
 /// address clustering removes).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BlockProfile {
     base: u64,
     block_size: u64,

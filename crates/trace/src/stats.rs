@@ -8,7 +8,6 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
 
 use crate::{checked_log2, Trace, TraceError};
 
@@ -55,7 +54,8 @@ impl Fenwick {
 /// The cumulative histogram is exactly the miss-ratio curve of a
 /// fully-associative LRU cache, so this single structure predicts hit rates
 /// for every capacity at once.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct StackDistanceHistogram {
     hist: Vec<u64>,
     cold: u64,
@@ -141,7 +141,8 @@ impl StackDistanceHistogram {
 }
 
 /// Summary locality metrics for a trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LocalityReport {
     /// Fraction of consecutive accesses within `spatial_window` bytes of each
     /// other.

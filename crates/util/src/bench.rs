@@ -1,0 +1,219 @@
+//! Std-only micro-benchmark timing harness.
+//!
+//! A deliberately small replacement for `criterion`: no statistics beyond
+//! warmup + median-of-N (plus min/max spread), no plotting, no external
+//! dependencies — just [`std::time::Instant`] and a calibrated inner loop,
+//! runnable as a plain binary so benches work offline.
+//!
+//! ```
+//! use lpmem_util::bench::{benchmark, black_box, Options};
+//!
+//! let m = benchmark("sum", &Options::quick(), || {
+//!     black_box((0..1000u64).sum::<u64>())
+//! });
+//! assert!(m.median_ns > 0.0);
+//! ```
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Sampling configuration for [`benchmark`].
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Target wall-clock time spent warming up, in nanoseconds.
+    pub warmup_ns: u64,
+    /// Number of timed samples; the reported time is their median.
+    pub samples: u32,
+    /// Target wall-clock time per sample, in nanoseconds (the inner
+    /// iteration count is calibrated to hit this).
+    pub sample_ns: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options { warmup_ns: 200_000_000, samples: 15, sample_ns: 50_000_000 }
+    }
+}
+
+impl Options {
+    /// A fast configuration for smoke runs and tests (~a few ms total).
+    pub fn quick() -> Self {
+        Options { warmup_ns: 1_000_000, samples: 5, sample_ns: 1_000_000 }
+    }
+}
+
+/// One benchmark's timing summary. All times are per-iteration.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark name.
+    pub name: String,
+    /// Median per-iteration time over the samples, in nanoseconds.
+    pub median_ns: f64,
+    /// Fastest sample's per-iteration time, in nanoseconds.
+    pub min_ns: f64,
+    /// Slowest sample's per-iteration time, in nanoseconds.
+    pub max_ns: f64,
+    /// Iterations per timed sample (after calibration).
+    pub iters_per_sample: u64,
+    /// Total iterations across warmup and sampling.
+    pub total_iters: u64,
+}
+
+impl Measurement {
+    /// Median throughput in iterations per second.
+    pub fn iters_per_sec(&self) -> f64 {
+        if self.median_ns > 0.0 {
+            1e9 / self.median_ns
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Median throughput in `elements`-per-second units, for a benchmark
+    /// whose one iteration processes `elements` items.
+    pub fn elems_per_sec(&self, elements: u64) -> f64 {
+        self.iters_per_sec() * elements as f64
+    }
+
+    /// Human-readable per-iteration median, e.g. `"12.3 µs"`.
+    pub fn human_median(&self) -> String {
+        format_ns(self.median_ns)
+    }
+}
+
+/// Formats a nanosecond quantity with an adaptive unit.
+pub fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Runs `f` under the given options and returns the timing summary.
+///
+/// The harness first calibrates an inner iteration count so each sample
+/// takes roughly `opts.sample_ns`, then warms up for `opts.warmup_ns`,
+/// then records `opts.samples` timed samples and reports their median.
+pub fn benchmark<R>(name: &str, opts: &Options, mut f: impl FnMut() -> R) -> Measurement {
+    // Calibration: double the iteration count until one batch is long
+    // enough to time reliably, then scale to the target sample length.
+    let mut iters: u64 = 1;
+    let mut calib_ns;
+    let mut total_iters = 0u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        calib_ns = start.elapsed().as_nanos() as u64;
+        total_iters += iters;
+        if calib_ns >= 1_000_000 || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 2;
+    }
+    let per_iter = (calib_ns / iters).max(1);
+    let iters_per_sample = (opts.sample_ns / per_iter).clamp(1, 100_000_000);
+
+    // Warmup.
+    let warm_start = Instant::now();
+    while (warm_start.elapsed().as_nanos() as u64) < opts.warmup_ns {
+        for _ in 0..iters_per_sample.min(1024) {
+            black_box(f());
+            total_iters += 1;
+        }
+    }
+
+    // Timed samples.
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(opts.samples as usize);
+    for _ in 0..opts.samples.max(1) {
+        let start = Instant::now();
+        for _ in 0..iters_per_sample {
+            black_box(f());
+        }
+        let ns = start.elapsed().as_nanos() as f64;
+        total_iters += iters_per_sample;
+        per_iter_ns.push(ns / iters_per_sample as f64);
+    }
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let median_ns = median_of_sorted(&per_iter_ns);
+
+    Measurement {
+        name: name.to_string(),
+        median_ns,
+        min_ns: per_iter_ns[0],
+        max_ns: *per_iter_ns.last().expect("at least one sample"),
+        iters_per_sample,
+        total_iters,
+    }
+}
+
+fn median_of_sorted(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_trivial_closure() {
+        let m = benchmark("noop", &Options::quick(), || black_box(1u32 + 1));
+        assert!(m.median_ns > 0.0);
+        assert!(m.min_ns <= m.median_ns && m.median_ns <= m.max_ns);
+        assert!(m.iters_per_sample >= 1);
+        assert!(m.total_iters >= u64::from(Options::quick().samples));
+    }
+
+    #[test]
+    fn slower_work_reports_larger_times() {
+        let opts = Options::quick();
+        let fast = benchmark("fast", &opts, || black_box((0..10u64).sum::<u64>()));
+        let slow = benchmark("slow", &opts, || black_box((0..10_000u64).sum::<u64>()));
+        assert!(
+            slow.median_ns > fast.median_ns,
+            "slow {} vs fast {}",
+            slow.median_ns,
+            fast.median_ns
+        );
+    }
+
+    #[test]
+    fn throughput_conversions_are_consistent() {
+        let m = Measurement {
+            name: "x".into(),
+            median_ns: 1000.0,
+            min_ns: 900.0,
+            max_ns: 1100.0,
+            iters_per_sample: 10,
+            total_iters: 100,
+        };
+        assert!((m.iters_per_sec() - 1e6).abs() < 1e-6);
+        assert!((m.elems_per_sec(64) - 64e6).abs() < 1e-3);
+    }
+
+    #[test]
+    fn format_ns_picks_sensible_units() {
+        assert_eq!(format_ns(12.0), "12.0 ns");
+        assert_eq!(format_ns(12_300.0), "12.30 µs");
+        assert_eq!(format_ns(12_300_000.0), "12.30 ms");
+        assert_eq!(format_ns(2_500_000_000.0), "2.500 s");
+    }
+
+    #[test]
+    fn median_handles_even_and_odd_counts() {
+        assert_eq!(median_of_sorted(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(median_of_sorted(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+    }
+}

@@ -1,0 +1,31 @@
+//! In-tree testkit for the lpmem workspace: everything the crates need to
+//! build, test, and benchmark **hermetically** — with zero external
+//! dependencies and no registry access.
+//!
+//! Three pillars:
+//!
+//! * [`rng`] — deterministic PRNG: a [`SplitMix64`](rng::SplitMix64) core
+//!   used for seeding and a [`Rng`](rng::Rng) (xoshiro256++) stream with
+//!   `rand`-style helpers (ranges, booleans, shuffles, weighted choice).
+//! * [`prop`] — a seeded property-test harness replacing `proptest`:
+//!   configurable case counts, deterministic case seeds, and failing-seed
+//!   reporting on panic so any violation is reproducible.
+//! * [`bench`] — a std-only timing harness replacing `criterion`:
+//!   warmup + median-of-N sampling, runnable as a normal binary.
+//!
+//! ```
+//! use lpmem_util::rng::Rng;
+//!
+//! let mut rng = Rng::seed_from_u64(42);
+//! let die = rng.gen_range(1..=6u32);
+//! assert!((1..=6).contains(&die));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod prop;
+pub mod rng;
+
+pub use prop::Props;
+pub use rng::{Rng, SplitMix64};

@@ -1,0 +1,226 @@
+//! Seeded property-test harness.
+//!
+//! A minimal, deterministic replacement for `proptest`: a property is a
+//! closure over an [`Rng`], the harness runs it for a configurable number
+//! of cases, and every case gets its own seed derived from the base seed
+//! through [`SplitMix64`]. When a case panics, the harness reports the
+//! case index and **case seed** before re-panicking, so any failure can be
+//! replayed exactly:
+//!
+//! ```text
+//! LPMEM_PROP_SEED=0x8c91…cafe cargo test -p lpmem-compress diff_roundtrips
+//! ```
+//!
+//! Environment knobs:
+//!
+//! * `LPMEM_PROP_CASES` — overrides the case count of every property
+//!   (e.g. `LPMEM_PROP_CASES=10000` for a soak run).
+//! * `LPMEM_PROP_SEED` — runs a *single* case with the given seed
+//!   (decimal or `0x`-hex), replaying a reported failure.
+//!
+//! ```
+//! use lpmem_util::Props;
+//!
+//! Props::new("addition commutes").cases(128).run(|rng| {
+//!     let (a, b) = (rng.next_u32() as u64, rng.next_u32() as u64);
+//!     assert_eq!(a + b, b + a);
+//! });
+//! ```
+
+use std::panic::{self, AssertUnwindSafe};
+
+use crate::rng::{Rng, SplitMix64};
+
+/// Default number of generated cases per property.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// A configured property run: name, case count, and base seed.
+#[derive(Debug, Clone)]
+pub struct Props {
+    name: String,
+    cases: u32,
+    seed: u64,
+}
+
+impl Props {
+    /// Creates a property named `name` with the default case count and a
+    /// base seed derived from the name (so distinct properties explore
+    /// distinct streams even with identical bodies).
+    pub fn new(name: impl Into<String>) -> Self {
+        let name = name.into();
+        let seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
+        });
+        Props { name, cases: DEFAULT_CASES, seed }
+    }
+
+    /// Sets the number of generated cases (default [`DEFAULT_CASES`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cases` is zero.
+    pub fn cases(mut self, cases: u32) -> Self {
+        assert!(cases > 0, "a property needs at least one case");
+        self.cases = cases;
+        self
+    }
+
+    /// Sets the base seed (default: derived from the property name).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs the property, panicking with the failing case seed on the
+    /// first violated case.
+    ///
+    /// # Panics
+    ///
+    /// Re-panics with case/seed context whenever `property` panics.
+    pub fn run<F>(&self, mut property: F)
+    where
+        F: FnMut(&mut Rng),
+    {
+        if let Some(seed) = env_seed() {
+            // Replay mode: exactly one case, the reported seed.
+            self.run_case(&mut property, 0, 1, seed);
+            return;
+        }
+        let cases = env_cases().unwrap_or(self.cases);
+        let mut sm = SplitMix64::new(self.seed);
+        for case in 0..cases {
+            let case_seed = sm.next_u64();
+            self.run_case(&mut property, case, cases, case_seed);
+        }
+    }
+
+    fn run_case<F>(&self, property: &mut F, case: u32, cases: u32, case_seed: u64)
+    where
+        F: FnMut(&mut Rng),
+    {
+        let mut rng = Rng::seed_from_u64(case_seed);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| property(&mut rng)));
+        if let Err(payload) = result {
+            let cause = payload_message(&payload);
+            panic!(
+                "property '{}' failed at case {}/{} (seed {:#018x}): {}\n\
+                 replay with: LPMEM_PROP_SEED={:#x} cargo test",
+                self.name,
+                case + 1,
+                cases,
+                case_seed,
+                cause,
+                case_seed,
+            );
+        }
+    }
+}
+
+/// Runs `property` for the default number of cases. Shorthand for
+/// [`Props::new`]`(name).run(property)`.
+pub fn check<F>(name: &str, property: F)
+where
+    F: FnMut(&mut Rng),
+{
+    Props::new(name).run(property);
+}
+
+fn env_cases() -> Option<u32> {
+    std::env::var("LPMEM_PROP_CASES").ok()?.trim().parse().ok()
+}
+
+fn env_seed() -> Option<u64> {
+    let raw = std::env::var("LPMEM_PROP_SEED").ok()?;
+    let raw = raw.trim();
+    if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        raw.parse().ok()
+    }
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn runs_the_configured_number_of_cases() {
+        let count = AtomicU32::new(0);
+        Props::new("counts cases").cases(37).run(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 37);
+    }
+
+    #[test]
+    fn case_streams_are_deterministic() {
+        let mut first = Vec::new();
+        Props::new("stream").cases(8).run(|rng| first.push(rng.next_u64()));
+        let mut second = Vec::new();
+        Props::new("stream").cases(8).run(|rng| second.push(rng.next_u64()));
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn distinct_names_explore_distinct_streams() {
+        let mut a = Vec::new();
+        Props::new("alpha").cases(4).run(|rng| a.push(rng.next_u64()));
+        let mut b = Vec::new();
+        Props::new("beta").cases(4).run(|rng| b.push(rng.next_u64()));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn failure_reports_the_failing_seed() {
+        let result = panic::catch_unwind(|| {
+            Props::new("always fails").cases(16).run(|rng| {
+                let v = rng.next_u64();
+                assert!(v == 0, "v = {v}");
+            });
+        });
+        let payload = result.expect_err("the property must fail");
+        let message = payload_message(&*payload);
+        assert!(message.contains("seed 0x"), "no seed in: {message}");
+        assert!(message.contains("LPMEM_PROP_SEED="), "no replay hint in: {message}");
+        assert!(message.contains("always fails"), "no property name in: {message}");
+        assert!(message.contains("case 1/16"), "first case must fail: {message}");
+    }
+
+    #[test]
+    fn reported_seed_replays_the_failure() {
+        // Find the seed the harness reports for a failing property…
+        let result = panic::catch_unwind(|| {
+            Props::new("replayable").cases(4).run(|rng| {
+                let v = rng.next_u64();
+                assert!(v % 2 == 1, "even draw {v:#x}");
+            });
+        });
+        let message = payload_message(&*result.expect_err("must fail"));
+        let seed_hex = message
+            .split("seed ")
+            .nth(1)
+            .and_then(|rest| rest.split(')').next())
+            .expect("message carries the seed");
+        let seed = u64::from_str_radix(seed_hex.trim_start_matches("0x"), 16).unwrap();
+        // …then replaying that exact seed must reproduce the violation.
+        let mut rng = Rng::seed_from_u64(seed);
+        assert_eq!(rng.next_u64() % 2, 0, "replayed case must still violate");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one case")]
+    fn zero_cases_is_rejected() {
+        let _ = Props::new("empty").cases(0);
+    }
+}

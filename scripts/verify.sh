@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Tier-1 verification: the whole workspace must build and test fully
+# offline against the committed Cargo.lock (the build is hermetic — see
+# DESIGN.md §5). Clippy runs as a strict third gate when it is installed.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --locked --offline"
+cargo build --release --locked --offline
+
+echo "==> cargo test -q --locked --offline"
+cargo test -q --locked --offline
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy --all-targets --locked --offline -- -D warnings"
+    cargo clippy --workspace --all-targets --locked --offline -- -D warnings
+else
+    echo "==> cargo clippy not installed; skipping lint gate"
+fi
+
+echo "verify: OK"

@@ -1,52 +1,62 @@
-//! Cross-crate property-based tests on randomly generated inputs.
+//! Cross-crate property-based tests on randomly generated inputs, driven
+//! by the in-tree `lpmem-util` property harness (seeded, deterministic,
+//! and hermetic — no external test dependencies).
 
-use proptest::prelude::*;
+use lpmem_util::{Props, Rng};
 
 use lpmem::cluster::{cluster_blocks, AddressMap, ClusterConfig, Objective};
 use lpmem::prelude::*;
 
-fn arb_profile() -> impl Strategy<Value = BlockProfile> {
-    prop::collection::vec(0u64..5_000, 4..64)
-        .prop_map(|counts| BlockProfile::from_counts(0, 1024, counts).unwrap())
+/// 4–64 blocks with counts in `[0, 5000)` — the same input family the
+/// original proptest strategy generated.
+fn arb_profile(rng: &mut Rng) -> BlockProfile {
+    let blocks = rng.gen_range(4..64usize);
+    let counts: Vec<u64> = (0..blocks).map(|_| rng.gen_range(0..5_000u64)).collect();
+    BlockProfile::from_counts(0, 1024, counts).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The DP partitioner never loses to the monolith or to greedy, for any
-    /// profile.
-    #[test]
-    fn optimal_partition_dominates(profile in arb_profile()) {
+/// The DP partitioner never loses to the monolith or to greedy, for any
+/// profile.
+#[test]
+fn optimal_partition_dominates() {
+    Props::new("DP partition dominates monolith and greedy").cases(64).run(|rng| {
+        let profile = arb_profile(rng);
         let cost = PartitionCost::new(&Technology::tech180());
         let (_, opt) = optimal_partition(&profile, 6, &cost);
         let mono = cost.evaluate(&profile, &Partition::monolithic(profile.num_blocks()));
         let (_, greedy) = greedy_partition(&profile, 6, &cost);
-        prop_assert!(opt.total().as_pj() <= mono.total().as_pj() + 1e-9);
-        prop_assert!(opt.total().as_pj() <= greedy.total().as_pj() + 1e-9);
-    }
+        assert!(opt.total().as_pj() <= mono.total().as_pj() + 1e-9);
+        assert!(opt.total().as_pj() <= greedy.total().as_pj() + 1e-9);
+    });
+}
 
-    /// Clustering always yields a valid permutation that preserves total
-    /// traffic, for both objectives.
-    #[test]
-    fn clustering_is_a_traffic_preserving_permutation(
-        profile in arb_profile(),
-        affinity in any::<bool>(),
-    ) {
-        let objective =
-            if affinity { Objective::FrequencyAffinity } else { Objective::FrequencyOnly };
+/// Clustering always yields a valid permutation that preserves total
+/// traffic, for both objectives.
+#[test]
+fn clustering_is_a_traffic_preserving_permutation() {
+    Props::new("clustering is a traffic-preserving permutation").cases(64).run(|rng| {
+        let profile = arb_profile(rng);
+        let objective = if rng.gen_bool(0.5) {
+            Objective::FrequencyAffinity
+        } else {
+            Objective::FrequencyOnly
+        };
         let cfg = ClusterConfig { objective, ..Default::default() };
         let map = cluster_blocks(&profile, None, &cfg);
         let remapped = map.apply(&profile).unwrap();
-        prop_assert_eq!(remapped.total_accesses(), profile.total_accesses());
+        assert_eq!(remapped.total_accesses(), profile.total_accesses());
         // Bijectivity: applying the inverse ordering restores the counts.
         let back = remapped.permuted(map.forward()).unwrap();
-        prop_assert_eq!(back.counts(), profile.counts());
-    }
+        assert_eq!(back.counts(), profile.counts());
+    });
+}
 
-    /// Clustering a frequency-sorted profile can never make the DP
-    /// partitioner worse than the identity map does.
-    #[test]
-    fn clustering_never_hurts_dp_energy(profile in arb_profile()) {
+/// Clustering a frequency-sorted profile can never make the DP
+/// partitioner worse than the identity map does.
+#[test]
+fn clustering_never_hurts_dp_energy() {
+    Props::new("clustering never hurts DP energy").cases(64).run(|rng| {
+        let profile = arb_profile(rng);
         let cost = PartitionCost::new(&Technology::tech180());
         let (_, plain) = optimal_partition(&profile, 6, &cost);
         let cfg = ClusterConfig { objective: Objective::FrequencyOnly, ..Default::default() };
@@ -55,39 +65,40 @@ proptest! {
         let (_, clustered) = optimal_partition(&remapped, 6, &cost);
         // Ignoring the relocation overhead, the sorted profile is always at
         // least as partitionable as the original.
-        prop_assert!(clustered.total().as_pj() <= plain.total().as_pj() + 1e-9);
-    }
+        assert!(clustered.total().as_pj() <= plain.total().as_pj() + 1e-9);
+    });
+}
 
-    /// remap_addr is a bijection on the mapped range.
-    #[test]
-    fn remap_addr_is_bijective(perm_seed in 0u64..1000) {
+/// remap_addr is a bijection on the mapped range.
+#[test]
+fn remap_addr_is_bijective() {
+    Props::new("remap_addr is a bijection").cases(64).run(|rng| {
         let n = 16usize;
-        // Derive a permutation from the seed.
+        // Derive a random permutation of the block indices.
         let mut forward: Vec<usize> = (0..n).collect();
-        let mut s = perm_seed;
-        for i in (1..n).rev() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
-            forward.swap(i, (s >> 33) as usize % (i + 1));
-        }
+        rng.shuffle(&mut forward);
         let map = AddressMap::new(forward, 0, 1024).unwrap();
         let mut seen = std::collections::HashSet::new();
         for block in 0..n as u64 {
             for off in [0u64, 4, 1020] {
                 let out = map.remap_addr(block * 1024 + off);
-                prop_assert!(out < (n as u64) * 1024);
-                prop_assert!(seen.insert(out));
+                assert!(out < (n as u64) * 1024);
+                assert!(seen.insert(out));
             }
         }
-    }
+    });
+}
 
-    /// Any word sequence written through any cache geometry and flushed is
-    /// durable in the backing.
-    #[test]
-    fn cache_writes_are_durable(
-        writes in prop::collection::vec((0u64..4096, any::<u32>()), 1..64),
-        size_kib in 0u32..3,
-        line in prop::sample::select(vec![16u32, 32, 64]),
-    ) {
+/// Any word sequence written through any cache geometry and flushed is
+/// durable in the backing.
+#[test]
+fn cache_writes_are_durable() {
+    Props::new("cache writes are durable after flush").cases(64).run(|rng| {
+        let writes: Vec<(u64, u32)> = (0..rng.gen_range(1..64usize))
+            .map(|_| (rng.gen_range(0..4096u64), rng.next_u32()))
+            .collect();
+        let size_kib = rng.gen_range(0..3u32);
+        let line = *rng.choose(&[16u32, 32, 64]).expect("non-empty");
         let cfg = CacheConfig::new(1 << (9 + size_kib), line, 2).unwrap();
         let mut cache = Cache::new(cfg);
         let mut mem = FlatMemory::new();
@@ -99,24 +110,25 @@ proptest! {
         }
         cache.flush(&mut mem);
         for (&addr, &value) in &expect {
-            prop_assert_eq!(mem.read_u32(addr), value, "addr {:#x}", addr);
+            assert_eq!(mem.read_u32(addr), value, "addr {addr:#x}");
         }
-    }
+    });
+}
 
-    /// The trained bus transform is always decodable and never increases
-    /// transitions, whatever the fetch stream.
-    #[test]
-    fn region_encoder_sound_on_random_streams(
-        words in prop::collection::vec(any::<u32>(), 2..256),
-        regions in 1usize..8,
-    ) {
+/// The trained bus transform is always decodable and never increases
+/// transitions, whatever the fetch stream.
+#[test]
+fn region_encoder_sound_on_random_streams() {
+    Props::new("region encoder is sound on random streams").cases(64).run(|rng| {
+        let words: Vec<u32> = (0..rng.gen_range(2..256usize)).map(|_| rng.next_u32()).collect();
+        let regions = rng.gen_range(1..8usize);
         let stream: Vec<(u64, u32)> =
             words.iter().enumerate().map(|(i, &w)| (4 * i as u64, w)).collect();
         let enc = RegionEncoder::train(&stream, regions);
         let report = enc.evaluate(&stream);
-        prop_assert!(report.encoded_transitions <= report.raw_transitions);
+        assert!(report.encoded_transitions <= report.raw_transitions);
         let encoded = enc.encode_stream(&stream);
         let addrs: Vec<u64> = stream.iter().map(|&(a, _)| a).collect();
-        prop_assert_eq!(enc.decode_stream(&addrs, &encoded), words);
-    }
+        assert_eq!(enc.decode_stream(&addrs, &encoded), words);
+    });
 }
