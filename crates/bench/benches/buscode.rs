@@ -1,6 +1,8 @@
 //! Std-only bench for the T3 encoder: training and encoding throughput.
+//! Cases are declared up front and executed through the sweep engine's
+//! pool.
 
-use lpmem_bench::benchrun::{options, run_case, table};
+use lpmem_bench::benchrun::{options, run_cases, table, BenchCase};
 use lpmem_util::bench::black_box;
 
 use lpmem_buscode::{RegionEncoder, XorTransform};
@@ -17,24 +19,30 @@ fn main() {
     let words: Vec<u32> = stream.iter().map(|&(_, w)| w).collect();
     let elems = (stream.len() as u64, "elem");
 
-    let mut train = table("B3a", "buscode_train");
-    run_case(&mut train, &opts, "single_transform", Some(elems), || {
+    let mut train_cases = vec![BenchCase::new("single_transform", Some(elems), move || {
         XorTransform::train(black_box(&words))
-    });
+    })];
     for regions in [1usize, 4, 16] {
-        run_case(&mut train, &opts, &format!("region_encoder/{regions}"), Some(elems), || {
-            RegionEncoder::train(black_box(&stream), regions)
-        });
+        let stream = stream.clone();
+        train_cases.push(BenchCase::new(
+            format!("region_encoder/{regions}"),
+            Some(elems),
+            move || RegionEncoder::train(black_box(&stream), regions),
+        ));
     }
+    let mut train = table("B3a", "buscode_train");
+    run_cases(&mut train, &opts, train_cases);
     print!("{train}");
 
     let encoder = RegionEncoder::train(&stream, 4);
+    let encode_cases = vec![
+        BenchCase::new("encode_stream", Some(elems), {
+            let (encoder, stream) = (encoder.clone(), stream.clone());
+            move || encoder.encode_stream(black_box(&stream))
+        }),
+        BenchCase::new("evaluate", Some(elems), move || encoder.evaluate(black_box(&stream))),
+    ];
     let mut encode = table("B3b", "buscode_encode");
-    run_case(&mut encode, &opts, "encode_stream", Some(elems), || {
-        encoder.encode_stream(black_box(&stream))
-    });
-    run_case(&mut encode, &opts, "evaluate", Some(elems), || {
-        encoder.evaluate(black_box(&stream))
-    });
+    run_cases(&mut encode, &opts, encode_cases);
     print!("{encode}");
 }

@@ -1,7 +1,8 @@
 //! Std-only bench for the T2 codecs: throughput of compress/decompress
-//! over realistic cache-line payloads.
+//! over realistic cache-line payloads. Cases are declared up front and
+//! executed through the sweep engine's pool.
 
-use lpmem_bench::benchrun::{options, run_case, table};
+use lpmem_bench::benchrun::{options, run_cases, table, BenchCase};
 use lpmem_util::bench::black_box;
 
 use lpmem_compress::{DiffCodec, FpcCodec, LineCodec, ZeroRunCodec};
@@ -18,40 +19,53 @@ fn random_line(words: usize) -> Vec<u8> {
         .collect()
 }
 
+fn compress_case<C: LineCodec + Send + 'static>(
+    codec_name: &str,
+    codec: C,
+    data_name: &str,
+    line: Vec<u8>,
+) -> BenchCase {
+    let bytes = (line.len() as u64, "B");
+    BenchCase::new(format!("{codec_name}/{data_name}"), Some(bytes), move || {
+        codec.compress(black_box(&line))
+    })
+}
+
+fn decompress_case<C: LineCodec + Send + 'static>(
+    codec_name: &str,
+    codec: C,
+    line: &[u8],
+) -> BenchCase {
+    let encoded = codec.compress(line);
+    let len = line.len();
+    BenchCase::new(format!("{codec_name}/decompress"), Some((len as u64, "B")), move || {
+        codec.decompress(black_box(&encoded), len)
+    })
+}
+
 fn main() {
     let opts = options();
-    let codecs: Vec<(&str, Box<dyn LineCodec>)> = vec![
-        ("diff", Box::new(DiffCodec::new())),
-        ("zero", Box::new(ZeroRunCodec::new())),
-        ("fpc", Box::new(FpcCodec::new())),
-    ];
 
-    let mut compress = table("B2a", "codec_compress");
+    let mut compress_cases = Vec::new();
     for (data_name, line) in [("smooth", smooth_line(16)), ("random", random_line(16))] {
-        let bytes = (line.len() as u64, "B");
-        for (name, codec) in &codecs {
-            run_case(&mut compress, &opts, &format!("{name}/{data_name}"), Some(bytes), || {
-                codec.compress(black_box(&line))
-            });
-        }
+        compress_cases.push(compress_case("diff", DiffCodec::new(), data_name, line.clone()));
+        compress_cases.push(compress_case("zero", ZeroRunCodec::new(), data_name, line.clone()));
+        compress_cases.push(compress_case("fpc", FpcCodec::new(), data_name, line));
     }
+    let mut compress = table("B2a", "codec_compress");
+    run_cases(&mut compress, &opts, compress_cases);
     print!("{compress}");
 
-    let mut roundtrip = table("B2b", "codec_roundtrip");
     let line = smooth_line(16);
-    for (name, codec) in &codecs {
-        let encoded = codec.compress(&line);
-        run_case(
-            &mut roundtrip,
-            &opts,
-            &format!("{name}/decompress"),
-            Some((line.len() as u64, "B")),
-            || codec.decompress(black_box(&encoded), line.len()),
-        );
-    }
-    let diff = DiffCodec::new();
-    run_case(&mut roundtrip, &opts, "diff/compressed_bits_only", None, || {
-        diff.compressed_bits(black_box(&line))
-    });
+    let mut roundtrip_cases = vec![
+        decompress_case("diff", DiffCodec::new(), &line),
+        decompress_case("zero", ZeroRunCodec::new(), &line),
+        decompress_case("fpc", FpcCodec::new(), &line),
+    ];
+    roundtrip_cases.push(BenchCase::new("diff/compressed_bits_only", None, move || {
+        DiffCodec::new().compressed_bits(black_box(&line))
+    }));
+    let mut roundtrip = table("B2b", "codec_roundtrip");
+    run_cases(&mut roundtrip, &opts, roundtrip_cases);
     print!("{roundtrip}");
 }

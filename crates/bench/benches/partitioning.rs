@@ -1,7 +1,8 @@
 //! Std-only bench for the T1/F1a/F1b pipeline: profiling, clustering, and
-//! DP-optimal partitioning.
+//! DP-optimal partitioning. Cases are declared up front and executed
+//! through the sweep engine's pool (see `benchrun::run_cases`).
 
-use lpmem_bench::benchrun::{options, run_case, table};
+use lpmem_bench::benchrun::{options, run_cases, table, BenchCase};
 use lpmem_util::bench::black_box;
 
 use lpmem_cluster::{cluster_blocks, ClusterConfig};
@@ -25,25 +26,34 @@ fn main() {
     let tech = Technology::tech180();
     let cost = PartitionCost::new(&tech);
 
-    let mut t = table("B1a", "partitioning");
+    let mut cases = Vec::new();
     for blocks in [32u64, 64, 128, 256] {
         let (trace, profile) = profile_of(blocks);
-        run_case(&mut t, &opts, &format!("optimal_dp/{blocks}"), None, || {
-            optimal_partition(black_box(&profile), 8, &cost)
-        });
-        run_case(&mut t, &opts, &format!("greedy/{blocks}"), None, || {
-            greedy_partition(black_box(&profile), 8, &cost)
-        });
-        run_case(&mut t, &opts, &format!("cluster/{blocks}"), None, || {
+        cases.push(BenchCase::new(format!("optimal_dp/{blocks}"), None, {
+            let (profile, cost) = (profile.clone(), cost.clone());
+            move || optimal_partition(black_box(&profile), 8, &cost)
+        }));
+        cases.push(BenchCase::new(format!("greedy/{blocks}"), None, {
+            let (profile, cost) = (profile.clone(), cost.clone());
+            move || greedy_partition(black_box(&profile), 8, &cost)
+        }));
+        cases.push(BenchCase::new(format!("cluster/{blocks}"), None, move || {
             cluster_blocks(black_box(&profile), Some(&trace), &ClusterConfig::default())
-        });
+        }));
     }
+    let mut t = table("B1a", "partitioning");
+    run_cases(&mut t, &opts, cases);
     print!("{t}");
 
     let trace: Trace = HotColdGen::new(1 << 18, 12, 0.9).seed(7).events(200_000).collect();
     let mut p = table("B1b", "profile_build");
-    run_case(&mut p, &opts, "from_trace_200k", Some((trace.len() as u64, "event")), || {
-        BlockProfile::from_trace(black_box(&trace), 2048).expect("profile")
-    });
+    let events = trace.len() as u64;
+    run_cases(
+        &mut p,
+        &opts,
+        vec![BenchCase::new("from_trace_200k", Some((events, "event")), move || {
+            BlockProfile::from_trace(black_box(&trace), 2048).expect("profile")
+        })],
+    );
     print!("{p}");
 }

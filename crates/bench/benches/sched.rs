@@ -1,6 +1,7 @@
-//! Std-only bench for the T4 scheduler.
+//! Std-only bench for the T4 scheduler. Cases are declared up front and
+//! executed through the sweep engine's pool.
 
-use lpmem_bench::benchrun::{options, run_case, table};
+use lpmem_bench::benchrun::{options, run_cases, table, BenchCase};
 use lpmem_util::bench::black_box;
 
 use lpmem_core::flows::scheduling::{default_platform, dsp_pipeline_app};
@@ -12,19 +13,24 @@ fn main() {
     let tech = Technology::tech180();
     let platform = default_platform(&tech);
 
-    let mut t = table("B4", "sched");
+    let mut cases = Vec::new();
     for stages in [2usize, 4, 8, 16] {
         let app = dsp_pipeline_app(stages, 32, 1).expect("builder");
-        run_case(&mut t, &opts, &format!("greedy/{stages}"), None, || {
-            greedy_schedule(black_box(&app), &platform)
-        });
-        run_case(&mut t, &opts, &format!("naive/{stages}"), None, || {
-            naive_schedule(black_box(&app), &platform)
-        });
+        cases.push(BenchCase::new(format!("greedy/{stages}"), None, {
+            let (app, platform) = (app.clone(), platform.clone());
+            move || greedy_schedule(black_box(&app), &platform)
+        }));
+        cases.push(BenchCase::new(format!("naive/{stages}"), None, {
+            let (app, platform) = (app.clone(), platform.clone());
+            move || naive_schedule(black_box(&app), &platform)
+        }));
         let greedy = greedy_schedule(&app, &platform);
-        run_case(&mut t, &opts, &format!("evaluate/{stages}"), None, || {
-            platform.evaluate(black_box(&app), &greedy).expect("valid")
-        });
+        cases.push(BenchCase::new(format!("evaluate/{stages}"), None, {
+            let platform = platform.clone();
+            move || platform.evaluate(black_box(&app), &greedy).expect("valid")
+        }));
     }
+    let mut t = table("B4", "sched");
+    run_cases(&mut t, &opts, cases);
     print!("{t}");
 }

@@ -1,7 +1,8 @@
 //! Std-only bench for the substrates: TinyRISC execution and cache replay
-//! throughput.
+//! throughput. Cases are declared up front and executed through the sweep
+//! engine's pool.
 
-use lpmem_bench::benchrun::{options, run_case, table};
+use lpmem_bench::benchrun::{options, run_cases, table, BenchCase};
 use lpmem_util::bench::black_box;
 
 use lpmem_isa::{Kernel, Machine};
@@ -11,26 +12,34 @@ use lpmem_trace::AccessKind;
 fn main() {
     let opts = options();
 
-    let mut t = table("B5a", "tinyrisc");
+    let mut cpu_cases = Vec::new();
     for (kernel, scale) in [(Kernel::Fir, 64u32), (Kernel::Crc32, 64), (Kernel::MatMul, 10)] {
         let program = kernel.program(scale, 1);
         let steps = {
             let mut m = Machine::new(&program);
             m.run(10_000_000).expect("halts").steps
         };
-        run_case(&mut t, &opts, &format!("run/{}", kernel.name()), Some((steps, "inst")), || {
-            let mut m = Machine::new(black_box(&program));
-            m.run(10_000_000).expect("halts")
-        });
+        cpu_cases.push(BenchCase::new(
+            format!("run/{}", kernel.name()),
+            Some((steps, "inst")),
+            move || {
+                let mut m = Machine::new(black_box(&program));
+                m.run(10_000_000).expect("halts")
+            },
+        ));
     }
+    let mut t = table("B5a", "tinyrisc");
+    run_cases(&mut t, &opts, cpu_cases);
     print!("{t}");
 
     let run = Kernel::Histogram.run(64, 1).expect("kernel");
     let data: Vec<_> = run.trace.data_only().into_inner();
-    let mut c = table("B5b", "cache_replay");
+    let events = (data.len() as u64, "event");
+    let mut replay_cases = Vec::new();
     for (name, line) in [("line16", 16u32), ("line64", 64)] {
         let cfg = CacheConfig::new(4 << 10, line, 2).expect("geometry");
-        run_case(&mut c, &opts, name, Some((data.len() as u64, "event")), || {
+        let data = data.clone();
+        replay_cases.push(BenchCase::new(name, Some(events), move || {
             let mut cache = Cache::new(cfg);
             let mut mem = FlatMemory::new();
             let mut buf = [0u8; 4];
@@ -42,7 +51,9 @@ fn main() {
                 }
             }
             black_box(cache.stats().hits())
-        });
+        }));
     }
+    let mut c = table("B5b", "cache_replay");
+    run_cases(&mut c, &opts, replay_cases);
     print!("{c}");
 }

@@ -41,6 +41,57 @@ pub fn run_case<R>(
     table.push_row(measurement_row(&m, throughput));
 }
 
+/// One bench case for [`run_cases`]: a named closure with an optional
+/// throughput annotation, boxed so a bench binary can build its whole
+/// suite up front and hand it to the sweep engine.
+pub struct BenchCase {
+    /// Row label.
+    pub name: String,
+    /// `(elements, unit)` one iteration processes; `None` reports
+    /// iterations/second.
+    pub throughput: Option<(u64, &'static str)>,
+    /// The workload to measure.
+    pub run: Box<dyn FnMut() + Send>,
+}
+
+impl BenchCase {
+    /// Builds a case. The closure's return value is black-boxed by the
+    /// timer, so `f` can return its result directly.
+    pub fn new<R>(
+        name: impl Into<String>,
+        throughput: Option<(u64, &'static str)>,
+        mut f: impl FnMut() -> R + Send + 'static,
+    ) -> Self {
+        BenchCase {
+            name: name.into(),
+            throughput,
+            run: Box::new(move || {
+                lpmem_util::bench::black_box(f());
+            }),
+        }
+    }
+}
+
+/// Measures every case through the sweep engine's worker pool and appends
+/// the rows in suite order.
+///
+/// Microbenchmark timing wants an unloaded machine, so this defaults to
+/// one worker; set `LPMEM_SWEEP_THREADS` above 1 only for smoke runs
+/// where wall-clock matters more than measurement fidelity.
+pub fn run_cases(table: &mut Table, opts: &Options, cases: Vec<BenchCase>) {
+    let workers = match std::env::var("LPMEM_SWEEP_THREADS") {
+        Ok(v) => v.trim().parse::<usize>().map_or(1, |n| n.max(1)),
+        Err(_) => 1,
+    };
+    let rows = crate::sweep::parallel_map(cases, workers, |mut case| {
+        let m = benchmark(&case.name, opts, &mut case.run);
+        measurement_row(&m, case.throughput)
+    });
+    for row in rows {
+        table.push_row(row);
+    }
+}
+
 fn measurement_row(m: &Measurement, throughput: Option<(u64, &str)>) -> Vec<String> {
     let thrpt = match throughput {
         Some((elements, unit)) => format_rate(m.elems_per_sec(elements), unit),
@@ -87,6 +138,23 @@ mod tests {
         run_case(&mut t, &opts, "bytes", Some((64, "B")), || 1u32 + 1);
         assert_eq!(t.rows.len(), 2);
         assert!(t.rows[0][4].contains("iter/s"));
+        assert!(t.rows[1][4].contains("B/s"));
+    }
+
+    #[test]
+    fn run_cases_keeps_suite_order() {
+        let mut t = table("B0", "demo");
+        let opts = Options::quick();
+        let cases = vec![
+            BenchCase::new("first", None, || 1u32 + 1),
+            BenchCase::new("second", Some((32, "B")), || 2u32 * 2),
+            BenchCase::new("third", None, || 3u32 - 1),
+        ];
+        run_cases(&mut t, &opts, cases);
+        assert_eq!(t.rows.len(), 3);
+        assert_eq!(t.rows[0][0], "first");
+        assert_eq!(t.rows[1][0], "second");
+        assert_eq!(t.rows[2][0], "third");
         assert!(t.rows[1][4].contains("B/s"));
     }
 }

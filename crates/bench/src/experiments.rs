@@ -619,28 +619,15 @@ pub fn sys() -> Table {
     table
 }
 
-/// All experiments in `DESIGN.md` order.
+/// All experiments in `DESIGN.md` order, fanned across the sweep
+/// engine's worker pool (each experiment is deterministic, so parallel
+/// execution changes only the wall-clock, never a table).
 pub fn all() -> Vec<Table> {
-    vec![
-        t1(),
-        f1a(),
-        f1b(),
-        t2(),
-        f2a(),
-        f2b(),
-        f2c(),
-        t3(),
-        f3a(),
-        f3b(),
-        t4(),
-        f4a(),
-        a1(),
-        a2(),
-        a3(),
-        a4(),
-        a5(),
-        sys(),
-    ]
+    let tables = crate::sweep::parallel_map(ALL_IDS.to_vec(), crate::sweep::worker_count(), |id| {
+        by_id(id).expect("ALL_IDS entries are known")
+    });
+    debug_assert_eq!(tables.len(), ALL_IDS.len());
+    tables
 }
 
 /// Looks up one experiment by id (case-insensitive).

@@ -8,6 +8,10 @@
 
 pub mod benchrun;
 pub mod experiments;
+pub mod metrics;
+pub mod sweep;
 pub mod table;
 
+pub use metrics::Metrics;
+pub use sweep::{run_sweep, SweepGrid, SweepReport};
 pub use table::Table;

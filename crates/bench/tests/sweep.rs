@@ -1,0 +1,69 @@
+//! Integration tests for the sweep engine: the JSON-lines report must be
+//! byte-identical at any worker count, and the report must stay in grid
+//! order with metrics that account for every task.
+
+use lpmem_bench::sweep::{run_sweep, SweepGrid};
+use lpmem_core::flows::{FlowSpec, TechNode, VariantSpec};
+use lpmem_isa::Kernel;
+
+/// A grid small enough for test time but covering every flow and both
+/// variants, so worker interleaving has real work to scramble.
+fn small_grid() -> SweepGrid {
+    SweepGrid {
+        flows: FlowSpec::ALL.to_vec(),
+        kernels: vec![(Kernel::Fir, 24), (Kernel::Dct8, 8)],
+        techs: vec![TechNode::T180, TechNode::T90],
+        variants: vec![VariantSpec::default(), VariantSpec::tight()],
+        base_seed: 2003,
+    }
+}
+
+#[test]
+fn jsonl_is_byte_identical_at_any_worker_count() {
+    let grid = small_grid();
+    let single = run_sweep(&grid, 1).jsonl();
+    for workers in [2, 8] {
+        let parallel = run_sweep(&grid, workers).jsonl();
+        assert_eq!(single, parallel, "JSONL diverged at {workers} workers");
+    }
+    assert_eq!(single.lines().count(), grid.len());
+    // Every line is a self-contained JSON object.
+    for line in single.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "bad line: {line}");
+    }
+}
+
+#[test]
+fn report_is_in_grid_order_with_complete_metrics() {
+    let grid = small_grid();
+    let report = run_sweep(&grid, 4);
+    assert_eq!(report.results.len(), grid.len());
+    for (i, r) in report.results.iter().enumerate() {
+        assert_eq!(r.task.index, i, "results not in grid order");
+    }
+    // No flow in this grid fails, and the metrics account for every task.
+    assert_eq!(report.metrics.errors, 0);
+    assert_eq!(report.metrics.tasks as usize, grid.len());
+    assert_eq!(report.metrics.latency.total() as usize, grid.len());
+    let per_flow_tasks: u64 = report.metrics.per_flow.values().map(|f| f.tasks).sum();
+    assert_eq!(per_flow_tasks as usize, grid.len());
+    // Both rendered tables exist and carry the run.
+    let tables = report.tables();
+    assert_eq!(tables.len(), 2);
+    assert_eq!(tables[0].rows.len(), report.metrics.per_flow.len());
+}
+
+#[test]
+fn worker_count_never_changes_results_only_timings() {
+    let grid = small_grid();
+    let a = run_sweep(&grid, 1);
+    let b = run_sweep(&grid, 8);
+    for (ra, rb) in a.results.iter().zip(&b.results) {
+        assert_eq!(ra.task, rb.task);
+        assert_eq!(ra.outcome, rb.outcome);
+        // wall_ns may differ — that is the point of keeping timings out
+        // of the JSONL schema.
+    }
+    assert_eq!(a.metrics.tasks, b.metrics.tasks);
+    assert_eq!(a.metrics.errors, b.metrics.errors);
+}

@@ -5,4 +5,7 @@ pub mod buscoding;
 pub mod compression;
 pub mod partitioning;
 pub mod scheduling;
+pub mod spec;
 pub mod system;
+
+pub use spec::{FlowSpec, FlowSummary, TechNode, VariantSpec};

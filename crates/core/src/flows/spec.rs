@@ -1,0 +1,378 @@
+//! Enumerable flow specifications for grid-driven experiment sweeps.
+//!
+//! The evaluation flows ([`partitioning`](crate::flows::partitioning),
+//! [`compression`](crate::flows::compression), …) each have their own
+//! argument and outcome types. A sweep engine needs a uniform surface
+//! instead: a closed set of [`FlowSpec`] values it can enumerate into a
+//! grid, a [`VariantSpec`] bundling every per-flow knob a grid axis may
+//! vary, and a flat [`FlowSummary`] every flow can report — the common
+//! denominator (baseline vs. optimized energy plus an event count) that a
+//! metrics layer or machine-readable report can aggregate without knowing
+//! the flow.
+
+use lpmem_compress::DiffCodec;
+use lpmem_energy::{Energy, Technology};
+use lpmem_isa::Kernel;
+use lpmem_sched::SchedPlatform;
+
+use crate::flows::buscoding::run_buscoding;
+use crate::flows::compression::{run_compression_trace, CompressionConfig, PlatformKind};
+use crate::flows::partitioning::{run_partitioning, PartitioningConfig};
+use crate::flows::scheduling::{dsp_pipeline_app, run_scheduling};
+use crate::flows::system::run_system_with_tech;
+use crate::workloads::kernel_trace_and_image;
+use crate::FlowError;
+
+/// A named technology node — the sweep grid's technology axis.
+///
+/// [`Technology`] itself is a bag of parameters; this enum is the closed,
+/// enumerable set of presets a grid can iterate over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum TechNode {
+    /// 0.18 µm (the DATE 2003 headline node).
+    T180,
+    /// 0.13 µm (Lx-ST200-class).
+    T130,
+    /// 90 nm projection (leakage-dominated).
+    T90,
+}
+
+impl TechNode {
+    /// Every technology node, in grid order.
+    pub const ALL: [TechNode; 3] = [TechNode::T180, TechNode::T130, TechNode::T90];
+
+    /// Short key used in grid syntax and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            TechNode::T180 => "t180",
+            TechNode::T130 => "t130",
+            TechNode::T90 => "t90",
+        }
+    }
+
+    /// The full parameter set of this node.
+    pub fn technology(self) -> Technology {
+        match self {
+            TechNode::T180 => Technology::tech180(),
+            TechNode::T130 => Technology::tech130(),
+            TechNode::T90 => Technology::tech90(),
+        }
+    }
+
+    /// Parses a short key (`"t180"`, `"t130"`, `"t90"`).
+    pub fn parse(s: &str) -> Option<TechNode> {
+        TechNode::ALL.into_iter().find(|t| t.name() == s.trim().to_ascii_lowercase())
+    }
+}
+
+/// One evaluation flow, enumerable and dispatchable by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum FlowSpec {
+    /// 1B.1: memory partitioning ± address clustering.
+    Partitioning,
+    /// 1B.2: D-cache write-back compression.
+    Compression,
+    /// 1B.3: instruction-bus functional encoding.
+    BusCoding,
+    /// 1B.4: two-level data scheduling.
+    Scheduling,
+    /// Capstone: bus encoding + compression on one platform.
+    System,
+}
+
+impl FlowSpec {
+    /// Every flow, in grid order.
+    pub const ALL: [FlowSpec; 5] = [
+        FlowSpec::Partitioning,
+        FlowSpec::Compression,
+        FlowSpec::BusCoding,
+        FlowSpec::Scheduling,
+        FlowSpec::System,
+    ];
+
+    /// The flow's key in grid syntax and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlowSpec::Partitioning => "partitioning",
+            FlowSpec::Compression => "compression",
+            FlowSpec::BusCoding => "buscoding",
+            FlowSpec::Scheduling => "scheduling",
+            FlowSpec::System => "system",
+        }
+    }
+
+    /// Parses a flow key (case-insensitive).
+    pub fn parse(s: &str) -> Option<FlowSpec> {
+        FlowSpec::ALL.into_iter().find(|f| f.name() == s.trim().to_ascii_lowercase())
+    }
+
+    /// Runs this flow on one grid point and reports the flat summary.
+    ///
+    /// The [`Scheduling`](FlowSpec::Scheduling) flow has no kernel input;
+    /// it treats the kernel axis as a replicate index (the task seed alone
+    /// distinguishes its runs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying flow's error.
+    pub fn run(
+        self,
+        kernel: Kernel,
+        scale: u32,
+        seed: u64,
+        tech: TechNode,
+        variant: &VariantSpec,
+    ) -> Result<FlowSummary, FlowError> {
+        let technology = tech.technology();
+        match self {
+            FlowSpec::Partitioning => {
+                let run = kernel.run(scale, seed)?;
+                let cfg = PartitioningConfig {
+                    block_size: variant.block_size,
+                    max_banks: variant.max_banks,
+                    ..Default::default()
+                };
+                let out = run_partitioning(kernel.name(), &run.trace, &cfg, &technology)?;
+                Ok(self.summary(kernel.name(), out.monolithic, out.clustered, out.accesses))
+            }
+            FlowSpec::Compression => {
+                let (trace, image) = kernel_trace_and_image(kernel, scale, seed)?;
+                let cfg = CompressionConfig {
+                    cache: variant.platform.cache_config(),
+                    threshold: variant.threshold,
+                    flush_at_end: true,
+                };
+                let out = run_compression_trace(
+                    kernel.name(),
+                    variant.platform.name(),
+                    &trace,
+                    image,
+                    &DiffCodec::new(),
+                    &cfg,
+                    &technology,
+                )?;
+                Ok(self.summary(
+                    kernel.name(),
+                    out.baseline.total(),
+                    out.compressed.total(),
+                    out.lines,
+                ))
+            }
+            FlowSpec::BusCoding => {
+                let run = kernel.run(scale, seed)?;
+                let out =
+                    run_buscoding(kernel.name(), &run.trace, variant.regions, &technology)?;
+                Ok(self.summary(kernel.name(), out.raw_energy, out.encoded_energy, out.fetches))
+            }
+            FlowSpec::Scheduling => {
+                let app = dsp_pipeline_app(variant.stages, variant.iterations, seed)?;
+                let platform = SchedPlatform::new(&technology, variant.l0_bytes, 16 << 10);
+                let name = format!("dsp-{}x{}", variant.stages, variant.iterations);
+                let out = run_scheduling(&name, &app, &platform)?;
+                Ok(self.summary(
+                    &name,
+                    out.naive,
+                    out.greedy,
+                    out.contexts as u64 * out.iterations,
+                ))
+            }
+            FlowSpec::System => {
+                let out = run_system_with_tech(
+                    kernel,
+                    scale,
+                    seed,
+                    variant.platform,
+                    &DiffCodec::new(),
+                    variant.regions,
+                    &technology,
+                )?;
+                Ok(self.summary(
+                    kernel.name(),
+                    out.baseline.total(),
+                    out.optimized.total(),
+                    out.fetches,
+                ))
+            }
+        }
+    }
+
+    fn summary(
+        self,
+        workload: &str,
+        baseline: Energy,
+        optimized: Energy,
+        events: u64,
+    ) -> FlowSummary {
+        FlowSummary { flow: self, workload: workload.to_owned(), baseline, optimized, events }
+    }
+}
+
+impl std::fmt::Display for FlowSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Every per-flow knob a sweep grid's variant axis may vary, bundled with
+/// a display name. Flows read only the fields they understand.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct VariantSpec {
+    /// Variant label in grid syntax and reports.
+    pub name: String,
+    /// Cache platform preset (compression, system).
+    pub platform: PlatformKind,
+    /// Bank budget (partitioning).
+    pub max_banks: usize,
+    /// Profile block size in bytes (partitioning).
+    pub block_size: u64,
+    /// Compression threshold as a line-size fraction (compression).
+    pub threshold: f64,
+    /// Reprogrammable bus-encoder regions (buscoding, system).
+    pub regions: usize,
+    /// L0 scratchpad capacity in bytes (scheduling).
+    pub l0_bytes: u64,
+    /// Pipeline stages of the generated application (scheduling).
+    pub stages: usize,
+    /// Loop iterations of the generated application (scheduling).
+    pub iterations: u64,
+}
+
+impl Default for VariantSpec {
+    /// The headline configuration of every experiment: 8 banks over 2 KiB
+    /// blocks, VLIW cache platform at threshold 0.75, 4 encoder regions,
+    /// 1 KiB L0 under a 4-stage 32-frame pipeline.
+    fn default() -> Self {
+        VariantSpec {
+            name: "default".to_owned(),
+            platform: PlatformKind::VliwLike,
+            max_banks: 8,
+            block_size: 2048,
+            threshold: 0.75,
+            regions: 4,
+            l0_bytes: 1 << 10,
+            stages: 4,
+            iterations: 32,
+        }
+    }
+}
+
+impl VariantSpec {
+    /// The resource-constrained counterpoint to
+    /// [`default`](VariantSpec::default): half the banks, the paper's
+    /// strict half-line compression slots on the RISC platform, more
+    /// encoder regions, and a smaller L0 — the corner that stresses every
+    /// flow's trade-off logic.
+    pub fn tight() -> Self {
+        VariantSpec {
+            name: "tight".to_owned(),
+            platform: PlatformKind::RiscLike,
+            max_banks: 4,
+            block_size: 1024,
+            threshold: 0.5,
+            regions: 8,
+            l0_bytes: 512,
+            stages: 4,
+            iterations: 32,
+        }
+    }
+
+    /// Looks a built-in variant up by name (`"default"` or `"tight"`).
+    pub fn parse(s: &str) -> Option<VariantSpec> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "default" => Some(VariantSpec::default()),
+            "tight" => Some(VariantSpec::tight()),
+            _ => None,
+        }
+    }
+}
+
+/// The flat result every flow reports to the sweep engine: the baseline
+/// and optimized energies of its headline comparison plus the number of
+/// events (accesses, lines, fetches, context activations) it evaluated.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FlowSummary {
+    /// The flow that produced this summary.
+    pub flow: FlowSpec,
+    /// Workload label (kernel name or generated-app label).
+    pub workload: String,
+    /// Energy of the unoptimized design.
+    pub baseline: Energy,
+    /// Energy of the optimized design.
+    pub optimized: Energy,
+    /// Events evaluated (the flow's natural unit of work).
+    pub events: u64,
+}
+
+impl FlowSummary {
+    /// Fractional energy saving of the optimized design.
+    pub fn saving(&self) -> f64 {
+        self.optimized.saving_vs(self.baseline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip_through_parse() {
+        for flow in FlowSpec::ALL {
+            assert_eq!(FlowSpec::parse(flow.name()), Some(flow));
+        }
+        for tech in TechNode::ALL {
+            assert_eq!(TechNode::parse(tech.name()), Some(tech));
+        }
+        assert_eq!(FlowSpec::parse("nonsense"), None);
+        assert_eq!(TechNode::parse("t65"), None);
+        assert_eq!(VariantSpec::parse("tight").map(|v| v.name), Some("tight".to_owned()));
+        assert!(VariantSpec::parse("nonsense").is_none());
+    }
+
+    #[test]
+    fn every_flow_runs_and_saves_energy() {
+        let variant = VariantSpec::default();
+        for flow in FlowSpec::ALL {
+            let out = flow
+                .run(Kernel::Fir, 48, 2003, TechNode::T180, &variant)
+                .unwrap_or_else(|e| panic!("{flow} failed: {e}"));
+            assert_eq!(out.flow, flow);
+            assert!(out.events > 0, "{flow}: no events");
+            assert!(out.baseline > Energy::ZERO, "{flow}: zero baseline");
+            assert!(
+                out.optimized <= out.baseline,
+                "{flow}: optimized {} worse than baseline {}",
+                out.optimized,
+                out.baseline
+            );
+        }
+    }
+
+    #[test]
+    fn flow_runs_are_deterministic_per_seed() {
+        let variant = VariantSpec::tight();
+        let a = FlowSpec::Compression
+            .run(Kernel::Dct8, 16, 42, TechNode::T130, &variant)
+            .unwrap();
+        let b = FlowSpec::Compression
+            .run(Kernel::Dct8, 16, 42, TechNode::T130, &variant)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn technology_axis_reaches_every_flow() {
+        // The same task at two nodes must price differently — the grid's
+        // technology axis is real for each flow, including the system flow
+        // (which historically pinned its platform's own node).
+        let variant = VariantSpec::default();
+        for flow in FlowSpec::ALL {
+            let old = flow.run(Kernel::Histogram, 24, 7, TechNode::T180, &variant).unwrap();
+            let new = flow.run(Kernel::Histogram, 24, 7, TechNode::T90, &variant).unwrap();
+            assert_ne!(old.baseline, new.baseline, "{flow}: tech axis had no effect");
+        }
+    }
+}

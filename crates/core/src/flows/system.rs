@@ -52,7 +52,8 @@ impl SystemOutcome {
 }
 
 /// Runs a kernel and evaluates the platform with bus encoding and
-/// write-back compression applied together.
+/// write-back compression applied together, at the platform's native
+/// technology node.
 ///
 /// # Errors
 ///
@@ -65,8 +66,26 @@ pub fn run_system(
     codec: &dyn LineCodec,
     regions: usize,
 ) -> Result<SystemOutcome, FlowError> {
+    run_system_with_tech(kernel, scale, seed, platform, codec, regions, &platform.technology())
+}
+
+/// [`run_system`] with an explicit technology node — the entry point the
+/// sweep engine uses so its technology axis applies to every flow.
+///
+/// # Errors
+///
+/// Propagates kernel and flow errors.
+pub fn run_system_with_tech(
+    kernel: Kernel,
+    scale: u32,
+    seed: u64,
+    platform: PlatformKind,
+    codec: &dyn LineCodec,
+    regions: usize,
+    tech: &lpmem_energy::Technology,
+) -> Result<SystemOutcome, FlowError> {
     let (trace, image) = kernel_trace_and_image(kernel, scale, seed)?;
-    let tech = platform.technology();
+    let tech = tech.clone();
 
     // Data side: the compression flow produces both baseline and optimized
     // D-cache + off-chip numbers.

@@ -12,6 +12,11 @@ cargo build --release --locked --offline
 echo "==> cargo test -q --locked --offline"
 cargo test -q --locked --offline
 
+echo "==> sweep smoke (quick grid, 4 workers)"
+LPMEM_BENCH_QUICK=1 LPMEM_SWEEP_THREADS=4 \
+    cargo run --release --locked --offline -p lpmem-bench --bin sweep -- \
+    --quick --jsonl /dev/null
+
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy --all-targets --locked --offline -- -D warnings"
     cargo clippy --workspace --all-targets --locked --offline -- -D warnings

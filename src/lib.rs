@@ -73,7 +73,8 @@ pub mod prelude {
     pub use lpmem_core::flows::scheduling::{
         dsp_pipeline_app, run_scheduling, SchedulingOutcome,
     };
-    pub use lpmem_core::flows::system::{run_system, SystemOutcome};
+    pub use lpmem_core::flows::system::{run_system, run_system_with_tech, SystemOutcome};
+    pub use lpmem_core::flows::{FlowSpec, FlowSummary, TechNode, VariantSpec};
     pub use lpmem_core::{workloads, FlowError};
     pub use lpmem_energy::{BusModel, Energy, EnergyReport, OffChipModel, SramModel, Technology};
     pub use lpmem_isa::{assemble, Kernel, KernelRun, Machine, Program};
