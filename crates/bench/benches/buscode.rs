@@ -10,7 +10,11 @@ use lpmem_isa::Kernel;
 
 fn fetch_stream() -> Vec<(u64, u32)> {
     let run = Kernel::Fir.run(96, 3).expect("kernel");
-    run.trace.fetches_only().iter().map(|e| (e.addr, e.value)).collect()
+    run.trace
+        .fetches_only()
+        .iter()
+        .map(|e| (e.addr, e.value))
+        .collect()
 }
 
 fn main() {
@@ -40,7 +44,9 @@ fn main() {
             let (encoder, stream) = (encoder.clone(), stream.clone());
             move || encoder.encode_stream(black_box(&stream))
         }),
-        BenchCase::new("evaluate", Some(elems), move || encoder.evaluate(black_box(&stream))),
+        BenchCase::new("evaluate", Some(elems), move || {
+            encoder.evaluate(black_box(&stream))
+        }),
     ];
     let mut encode = table("B3b", "buscode_encode");
     run_cases(&mut encode, &opts, encode_cases);

@@ -9,7 +9,9 @@ use lpmem_compress::{DiffCodec, FpcCodec, LineCodec, ZeroRunCodec};
 
 /// Smooth signal-like line (the favourable case).
 fn smooth_line(words: usize) -> Vec<u8> {
-    (0..words as u32).flat_map(|i| (100_000 + 37 * i).to_le_bytes()).collect()
+    (0..words as u32)
+        .flat_map(|i| (100_000 + 37 * i).to_le_bytes())
+        .collect()
 }
 
 /// High-entropy line (the unfavourable case).
@@ -26,9 +28,11 @@ fn compress_case<C: LineCodec + Send + 'static>(
     line: Vec<u8>,
 ) -> BenchCase {
     let bytes = (line.len() as u64, "B");
-    BenchCase::new(format!("{codec_name}/{data_name}"), Some(bytes), move || {
-        codec.compress(black_box(&line))
-    })
+    BenchCase::new(
+        format!("{codec_name}/{data_name}"),
+        Some(bytes),
+        move || codec.compress(black_box(&line)),
+    )
 }
 
 fn decompress_case<C: LineCodec + Send + 'static>(
@@ -38,9 +42,11 @@ fn decompress_case<C: LineCodec + Send + 'static>(
 ) -> BenchCase {
     let encoded = codec.compress(line);
     let len = line.len();
-    BenchCase::new(format!("{codec_name}/decompress"), Some((len as u64, "B")), move || {
-        codec.decompress(black_box(&encoded), len)
-    })
+    BenchCase::new(
+        format!("{codec_name}/decompress"),
+        Some((len as u64, "B")),
+        move || codec.decompress(black_box(&encoded), len),
+    )
 }
 
 fn main() {
@@ -48,8 +54,18 @@ fn main() {
 
     let mut compress_cases = Vec::new();
     for (data_name, line) in [("smooth", smooth_line(16)), ("random", random_line(16))] {
-        compress_cases.push(compress_case("diff", DiffCodec::new(), data_name, line.clone()));
-        compress_cases.push(compress_case("zero", ZeroRunCodec::new(), data_name, line.clone()));
+        compress_cases.push(compress_case(
+            "diff",
+            DiffCodec::new(),
+            data_name,
+            line.clone(),
+        ));
+        compress_cases.push(compress_case(
+            "zero",
+            ZeroRunCodec::new(),
+            data_name,
+            line.clone(),
+        ));
         compress_cases.push(compress_case("fpc", FpcCodec::new(), data_name, line));
     }
     let mut compress = table("B2a", "codec_compress");
@@ -62,9 +78,11 @@ fn main() {
         decompress_case("zero", ZeroRunCodec::new(), &line),
         decompress_case("fpc", FpcCodec::new(), &line),
     ];
-    roundtrip_cases.push(BenchCase::new("diff/compressed_bits_only", None, move || {
-        DiffCodec::new().compressed_bits(black_box(&line))
-    }));
+    roundtrip_cases.push(BenchCase::new(
+        "diff/compressed_bits_only",
+        None,
+        move || DiffCodec::new().compressed_bits(black_box(&line)),
+    ));
     let mut roundtrip = table("B2b", "codec_roundtrip");
     run_cases(&mut roundtrip, &opts, roundtrip_cases);
     print!("{roundtrip}");

@@ -37,23 +37,30 @@ fn main() {
             let (profile, cost) = (profile.clone(), cost.clone());
             move || greedy_partition(black_box(&profile), 8, &cost)
         }));
-        cases.push(BenchCase::new(format!("cluster/{blocks}"), None, move || {
-            cluster_blocks(black_box(&profile), Some(&trace), &ClusterConfig::default())
-        }));
+        cases.push(BenchCase::new(
+            format!("cluster/{blocks}"),
+            None,
+            move || cluster_blocks(black_box(&profile), Some(&trace), &ClusterConfig::default()),
+        ));
     }
     let mut t = table("B1a", "partitioning");
     run_cases(&mut t, &opts, cases);
     print!("{t}");
 
-    let trace: Trace = HotColdGen::new(1 << 18, 12, 0.9).seed(7).events(200_000).collect();
+    let trace: Trace = HotColdGen::new(1 << 18, 12, 0.9)
+        .seed(7)
+        .events(200_000)
+        .collect();
     let mut p = table("B1b", "profile_build");
     let events = trace.len() as u64;
     run_cases(
         &mut p,
         &opts,
-        vec![BenchCase::new("from_trace_200k", Some((events, "event")), move || {
-            BlockProfile::from_trace(black_box(&trace), 2048).expect("profile")
-        })],
+        vec![BenchCase::new(
+            "from_trace_200k",
+            Some((events, "event")),
+            move || BlockProfile::from_trace(black_box(&trace), 2048).expect("profile"),
+        )],
     );
     print!("{p}");
 }

@@ -13,7 +13,11 @@ fn main() {
     let opts = options();
 
     let mut cpu_cases = Vec::new();
-    for (kernel, scale) in [(Kernel::Fir, 64u32), (Kernel::Crc32, 64), (Kernel::MatMul, 10)] {
+    for (kernel, scale) in [
+        (Kernel::Fir, 64u32),
+        (Kernel::Crc32, 64),
+        (Kernel::MatMul, 10),
+    ] {
         let program = kernel.program(scale, 1);
         let steps = {
             let mut m = Machine::new(&program);

@@ -24,7 +24,12 @@ pub fn options() -> Options {
 
 /// A results table with the standard bench header.
 pub fn table(id: &'static str, title: impl Into<String>) -> Table {
-    Table::new(id, title, "n/a (microbenchmark)", vec!["case", "median", "min", "max", "thrpt"])
+    Table::new(
+        id,
+        title,
+        "n/a (microbenchmark)",
+        vec!["case", "median", "min", "max", "thrpt"],
+    )
 }
 
 /// Measures `f` and appends a row. `throughput` is the number of

@@ -1,0 +1,201 @@
+//! Multi-objective design-space exploration: emits the Pareto frontier
+//! over (energy, area, cycles) for the cross-flow configuration space.
+//!
+//! ```text
+//! explore                                  # full axes, auto strategy
+//! explore --axes small                     # the 32-point DSE-2 space
+//! explore --axes banks,codec               # explore two axes, pin the rest
+//! explore --strategy exhaustive            # or evolutionary / auto
+//! explore --budget 512 --seed 7            # evaluation budget and seed
+//! explore --threads 8                      # worker pool size
+//! explore --jsonl frontier.jsonl           # frontier dump ('-' = stdout)
+//! explore --list                           # axes and space size
+//! ```
+//!
+//! The search is seeded with the sweep grid's variant embeddings, so no
+//! frontier point is ever dominated by a configuration the existing
+//! experiments run. Frontier dumps are byte-identical for a given
+//! `(--axes, --strategy, --budget, --seed)` at any `--threads` count.
+
+use std::io::Write as _;
+
+use lpmem_bench::sweep::worker_count;
+use lpmem_core::flows::VariantSpec;
+use lpmem_explore::{parse_strategy, DesignPoint, DesignSpace, Evaluator, SearchConfig, Workload};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("explore: {msg}");
+    std::process::exit(2);
+}
+
+/// Builds the space from an `--axes` value: `full`, `small`, or a comma
+/// list of axis names — the listed axes keep their full breadth, the rest
+/// collapse to the default sweep variant's embedding.
+fn parse_axes(arg: &str) -> DesignSpace {
+    match arg.trim().to_ascii_lowercase().as_str() {
+        "full" => return DesignSpace::full(),
+        "small" => return DesignSpace::small(),
+        _ => {}
+    }
+    let full = DesignSpace::full();
+    let pin = DesignPoint::from_variant(&VariantSpec::default());
+    let mut space = DesignSpace {
+        banks: vec![pin.banks],
+        blocks: vec![pin.block],
+        caches: vec![pin.cache],
+        codecs: vec![pin.codec],
+        buses: vec![pin.bus],
+        l0s: vec![pin.l0],
+    };
+    for name in arg.split(',').filter(|s| !s.trim().is_empty()) {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "banks" => space.banks = full.banks.clone(),
+            "block" | "blocks" => space.blocks = full.blocks.clone(),
+            "cache" | "caches" => space.caches = full.caches.clone(),
+            "codec" | "codecs" => space.codecs = full.codecs.clone(),
+            "bus" | "buses" => space.buses = full.buses.clone(),
+            "l0" | "l0s" => space.l0s = full.l0s.clone(),
+            other => fail(&format!(
+                "unknown axis {other:?} (banks, block, cache, codec, bus, l0, full, small)"
+            )),
+        }
+    }
+    space
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut space = DesignSpace::full();
+    let mut strategy_name = "auto".to_owned();
+    let mut budget = 256usize;
+    let mut seed = 2003u64;
+    let mut threads: Option<usize> = None;
+    let mut jsonl_path: Option<String> = None;
+    let mut list = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| fail(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--axes" | "-a" => space = parse_axes(&value("--axes")),
+            "--strategy" | "-s" => strategy_name = value("--strategy"),
+            "--budget" | "-b" => match value("--budget").parse::<usize>() {
+                Ok(n) if n >= 1 => budget = n,
+                _ => fail("--budget needs a positive integer"),
+            },
+            "--seed" => match value("--seed").parse::<u64>() {
+                Ok(s) => seed = s,
+                Err(_) => fail("--seed needs an unsigned integer"),
+            },
+            "--threads" | "-t" => match value("--threads").parse::<usize>() {
+                Ok(n) if n >= 1 => threads = Some(n),
+                _ => fail("--threads needs a positive integer"),
+            },
+            "--jsonl" => jsonl_path = Some(value("--jsonl")),
+            "--list" | "-l" => list = true,
+            other => fail(&format!(
+                "unknown argument {other:?} (see src/bin/explore.rs)"
+            )),
+        }
+    }
+
+    if let Err(e) = space.validate() {
+        fail(&format!("invalid design space: {e}"));
+    }
+    if list {
+        println!(
+            "banks:  {}",
+            join(space.banks.iter().map(|b| b.to_string()))
+        );
+        println!(
+            "blocks: {}",
+            join(space.blocks.iter().map(|b| b.to_string()))
+        );
+        println!(
+            "caches: {}",
+            join(space.caches.iter().map(|c| c.to_string()))
+        );
+        println!(
+            "codecs: {}",
+            join(space.codecs.iter().map(|c| c.name().to_owned()))
+        );
+        println!("buses:  {}", join(space.buses.iter().map(|b| b.name())));
+        println!("l0s:    {}", join(space.l0s.iter().map(|b| b.to_string())));
+        println!("points: {}", space.len());
+        return;
+    }
+
+    let strategy = parse_strategy(&strategy_name, &space, budget)
+        .unwrap_or_else(|| fail("--strategy must be exhaustive, evolutionary, or auto"));
+    let workers = threads.unwrap_or_else(worker_count);
+    // Seed the search with the sweep grid's embeddings so the frontier
+    // provably covers the configurations the experiments already run.
+    let seeds: Vec<DesignPoint> = [VariantSpec::default(), VariantSpec::tight()]
+        .iter()
+        .map(DesignPoint::from_variant)
+        .filter(|p| space.contains(p))
+        .collect();
+    let cfg = SearchConfig {
+        budget,
+        seed,
+        workers,
+        seeds,
+    };
+
+    println!(
+        "explore: {} of {} points, {} search, seed {}, {} workers",
+        budget.min(space.len()),
+        space.len(),
+        strategy.name(),
+        seed,
+        workers,
+    );
+    let workload = Workload::default();
+    let evaluator = Evaluator::new(workload).unwrap_or_else(|e| fail(&format!("workload: {e}")));
+    let out = strategy
+        .search(&space, &evaluator, &cfg)
+        .unwrap_or_else(|e| fail(&format!("search failed: {e}")));
+
+    println!(
+        "explore: {} evaluated, {} on the frontier",
+        out.evaluated,
+        out.frontier.len()
+    );
+    println!(
+        "{:<42} {:>14} {:>10} {:>10}",
+        "key", "energy_pj", "area_mm2", "cycles"
+    );
+    for p in out.frontier.points() {
+        println!(
+            "{:<42} {:>14.1} {:>10.4} {:>10}",
+            p.point.key(),
+            p.objectives.energy_pj,
+            p.objectives.area_mm2,
+            p.objectives.cycles
+        );
+    }
+
+    if let Some(path) = jsonl_path {
+        let jsonl = out.frontier.to_jsonl();
+        if path == "-" {
+            print!("{jsonl}");
+        } else {
+            let mut f = std::fs::File::create(&path)
+                .unwrap_or_else(|e| fail(&format!("cannot create {path}: {e}")));
+            f.write_all(jsonl.as_bytes())
+                .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+            println!(
+                "explore: wrote {} frontier rows to {path}",
+                out.frontier.len()
+            );
+        }
+    }
+}
+
+fn join(items: impl Iterator<Item = impl Into<String>>) -> String {
+    items.map(Into::into).collect::<Vec<_>>().join(",")
+}

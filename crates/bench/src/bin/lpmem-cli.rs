@@ -72,13 +72,17 @@ fn print_usage() {
 
 /// Pulls `--name value` out of an argument list.
 fn opt(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn opt_num<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
     match opt(args, name) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("{name} expects a number, got `{v}`")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("{name} expects a number, got `{v}`")),
     }
 }
 
@@ -122,9 +126,15 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let seed = opt_num(args, "--seed", 1u64)?;
     let run = kernel.run(scale, seed).map_err(|e| e.to_string())?;
     let (f, r, w) = run.trace.kind_counts();
-    println!("kernel     : {} (scale {scale}, seed {seed})", kernel.name());
+    println!(
+        "kernel     : {} (scale {scale}, seed {seed})",
+        kernel.name()
+    );
     println!("instructions: {}", run.steps);
-    println!("trace      : {} events ({f} fetches, {r} reads, {w} writes)", run.trace.len());
+    println!(
+        "trace      : {} events ({f} fetches, {r} reads, {w} writes)",
+        run.trace.len()
+    );
     println!("verified   : yes (output matches the Rust reference)");
     if let Some(path) = opt(args, "--trace") {
         std::fs::write(&path, lpmem_trace::io::to_text(&run.trace))
@@ -138,7 +148,10 @@ fn cmd_disasm(args: &[String]) -> Result<(), String> {
     let kernel = kernel_by_name(&positional(args, "kernel name")?)?;
     let scale = opt_num(args, "--scale", kernel.default_scale())?;
     let program = kernel.program(scale, 1);
-    for (i, line) in disassemble(program.entry(), &program.text_words()).iter().enumerate() {
+    for (i, line) in disassemble(program.entry(), &program.text_words())
+        .iter()
+        .enumerate()
+    {
         println!("{:#07x}  {line}", program.entry() as usize + 4 * i);
     }
     Ok(())
@@ -149,8 +162,14 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     let trace = load_trace(&path)?;
     let report = LocalityReport::from_trace(&trace, 64).map_err(|e| e.to_string())?;
     println!("events             : {}", report.events);
-    println!("spatial locality   : {:.1}% (within 64 B)", 100.0 * report.spatial_locality);
-    println!("footprint          : {} x 64 B blocks", report.footprint_blocks);
+    println!(
+        "spatial locality   : {:.1}% (within 64 B)",
+        100.0 * report.spatial_locality
+    );
+    println!(
+        "footprint          : {} x 64 B blocks",
+        report.footprint_blocks
+    );
     match report.mean_stack_distance {
         Some(d) => println!("mean stack distance: {d:.1} blocks"),
         None => println!("mean stack distance: n/a (no reuse)"),
@@ -166,8 +185,8 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
         block_size: opt_num(args, "--block", 2048u64)?,
         ..Default::default()
     };
-    let out = run_partitioning(&path, &trace, &cfg, &Technology::tech180())
-        .map_err(|e| e.to_string())?;
+    let out =
+        run_partitioning(&path, &trace, &cfg, &Technology::tech180()).map_err(|e| e.to_string())?;
     println!("blocks     : {} x {} B", out.blocks, cfg.block_size);
     println!("monolithic : {}", out.monolithic);
     println!(
@@ -181,7 +200,11 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
         out.clustered,
         out.clustered_banks,
         100.0 * out.reduction_vs_partitioned(),
-        if out.clustering_adopted { "adopted" } else { "not adopted" }
+        if out.clustering_adopted {
+            "adopted"
+        } else {
+            "not adopted"
+        }
     );
     Ok(())
 }
@@ -202,9 +225,16 @@ fn cmd_compress(args: &[String]) -> Result<(), String> {
     };
     let out = run_compression_kernel(kernel, scale, 1, platform, codec.as_ref())
         .map_err(|e| e.to_string())?;
-    println!("kernel    : {} (scale {scale}) on {}", kernel.name(), platform.name());
+    println!(
+        "kernel    : {} (scale {scale}) on {}",
+        kernel.name(),
+        platform.name()
+    );
     println!("codec     : {}", out.codec);
-    println!("wb lines  : {} ({} compressed)", out.lines, out.compressed_lines);
+    println!(
+        "wb lines  : {} ({} compressed)",
+        out.lines, out.compressed_lines
+    );
     println!("beats     : {} -> {}", out.raw_beats, out.actual_beats);
     println!("hit ratio : {:.1}%", 100.0 * out.hit_ratio);
     println!("baseline  :\n{}", out.baseline);
@@ -216,18 +246,26 @@ fn cmd_compress(args: &[String]) -> Result<(), String> {
 fn cmd_buscode(args: &[String]) -> Result<(), String> {
     let kernel = kernel_by_name(&positional(args, "kernel name")?)?;
     let regions = opt_num(args, "--regions", 4usize)?;
-    let run = kernel.run(kernel.default_scale(), 1).map_err(|e| e.to_string())?;
+    let run = kernel
+        .run(kernel.default_scale(), 1)
+        .map_err(|e| e.to_string())?;
     let out = run_buscoding(kernel.name(), &run.trace, regions, &Technology::tech180())
         .map_err(|e| e.to_string())?;
     println!("kernel     : {} ({} fetches)", kernel.name(), out.fetches);
-    println!("raw        : {} transitions ({})", out.raw_transitions, out.raw_energy);
+    println!(
+        "raw        : {} transitions ({})",
+        out.raw_transitions, out.raw_energy
+    );
     println!(
         "encoded    : {} transitions ({}) with {} regions, {} gates",
         out.encoded_transitions, out.encoded_energy, out.regions, out.gates
     );
     println!("bus-invert : {} transitions", out.businvert_transitions);
-    println!("reduction  : {:.1}% (bus-invert {:.1}%)",
-        100.0 * out.reduction(), 100.0 * out.businvert_reduction());
+    println!(
+        "reduction  : {:.1}% (bus-invert {:.1}%)",
+        100.0 * out.reduction(),
+        100.0 * out.businvert_reduction()
+    );
     Ok(())
 }
 

@@ -52,7 +52,9 @@ fn main() {
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| -> String {
-            it.next().cloned().unwrap_or_else(|| fail(&format!("{name} needs a value")))
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| fail(&format!("{name} needs a value")))
         };
         match arg.as_str() {
             "--quick" | "-q" => {
@@ -72,7 +74,11 @@ fn main() {
             "--kernels" => {
                 let kernels = parse_list(&value("--kernels"), "kernel", parse_kernel);
                 let scale = |k: Kernel| {
-                    if quick { (k.default_scale() / 4).max(4) } else { k.default_scale() }
+                    if quick {
+                        (k.default_scale() / 4).max(4)
+                    } else {
+                        k.default_scale()
+                    }
                 };
                 grid.kernels = kernels.into_iter().map(|k| (k, scale(k))).collect();
             }
@@ -81,7 +87,9 @@ fn main() {
                 grid.variants = parse_list(&value("--variants"), "variant", VariantSpec::parse);
             }
             "--list" | "-l" => list = true,
-            other => fail(&format!("unknown argument {other:?} (see src/bin/sweep.rs)")),
+            other => fail(&format!(
+                "unknown argument {other:?} (see src/bin/sweep.rs)"
+            )),
         }
     }
 
@@ -89,10 +97,17 @@ fn main() {
         println!("flows:    {}", join(grid.flows.iter().map(|f| f.name())));
         println!(
             "kernels:  {}",
-            join(grid.kernels.iter().map(|&(k, s)| format!("{}@{s}", k.name())))
+            join(
+                grid.kernels
+                    .iter()
+                    .map(|&(k, s)| format!("{}@{s}", k.name()))
+            )
         );
         println!("techs:    {}", join(grid.techs.iter().map(|t| t.name())));
-        println!("variants: {}", join(grid.variants.iter().map(|v| v.name.clone())));
+        println!(
+            "variants: {}",
+            join(grid.variants.iter().map(|v| v.name.clone()))
+        );
         println!("seed:     {}", grid.base_seed);
         println!("tasks:    {}", grid.len());
         return;
@@ -123,7 +138,10 @@ fn main() {
                 .unwrap_or_else(|e| fail(&format!("cannot create {path}: {e}")));
             f.write_all(jsonl.as_bytes())
                 .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
-            println!("sweep: wrote {} JSONL records to {path}", report.results.len());
+            println!(
+                "sweep: wrote {} JSONL records to {path}",
+                report.results.len()
+            );
         }
     }
     for table in report.tables() {

@@ -63,7 +63,14 @@ pub fn t1() -> Table {
         "T1",
         "memory partitioning with address clustering (0.18um, <=8 banks, 2 KiB blocks)",
         "avg 25% (max 57%) energy reduction vs partitioning without clustering",
-        vec!["workload", "monolithic", "partitioned", "clustered", "banks", "reduction"],
+        vec![
+            "workload",
+            "monolithic",
+            "partitioned",
+            "clustered",
+            "banks",
+            "reduction",
+        ],
     );
     let mut reductions = Vec::new();
     for (name, trace) in t1_workloads() {
@@ -80,7 +87,11 @@ pub fn t1() -> Table {
     }
     let avg = reductions.iter().sum::<f64>() / reductions.len() as f64;
     let max = reductions.iter().cloned().fold(0.0, f64::max);
-    table.note(format!("average reduction {} | maximum {}", pct(avg), pct(max)));
+    table.note(format!(
+        "average reduction {} | maximum {}",
+        pct(avg),
+        pct(max)
+    ));
     table
 }
 
@@ -95,7 +106,10 @@ pub fn f1a() -> Table {
     );
     let (_, trace) = scattered_suite(SEED).remove(1);
     for max_banks in [1usize, 2, 4, 6, 8, 12, 16] {
-        let cfg = PartitioningConfig { max_banks, ..Default::default() };
+        let cfg = PartitioningConfig {
+            max_banks,
+            ..Default::default()
+        };
         let out = run_partitioning("scatter-medium", &trace, &cfg, &tech).expect("flow");
         table.push_row(vec![
             max_banks.to_string(),
@@ -114,11 +128,20 @@ pub fn f1b() -> Table {
         "F1b",
         "clustering gain vs block granularity (scatter-medium workload)",
         "finer blocks expose more scatter for clustering, until table overhead bites",
-        vec!["block_bytes", "blocks", "partitioned", "clustered", "reduction"],
+        vec![
+            "block_bytes",
+            "blocks",
+            "partitioned",
+            "clustered",
+            "reduction",
+        ],
     );
     let (_, trace) = scattered_suite(SEED).remove(1);
     for block_size in [256u64, 512, 1024, 2048, 4096, 8192, 16384] {
-        let cfg = PartitioningConfig { block_size, ..Default::default() };
+        let cfg = PartitioningConfig {
+            block_size,
+            ..Default::default()
+        };
         let out = run_partitioning("scatter-medium", &trace, &cfg, &tech).expect("flow");
         table.push_row(vec![
             block_size.to_string(),
@@ -138,18 +161,27 @@ pub fn t2() -> Table {
         "T2",
         "write-back data compression (diff codec, 4 KiB write-back D-cache)",
         "energy savings 10-22% on the VLIW (Lx) platform, 11-14% on the RISC (MIPS) platform",
-        vec!["workload", "platform", "wb lines", "compressed", "beats raw", "beats", "saving"],
+        vec![
+            "workload",
+            "platform",
+            "wb lines",
+            "compressed",
+            "beats raw",
+            "beats",
+            "saving",
+        ],
     );
-    let mut per_platform: Vec<(String, Vec<f64>)> =
-        vec![("vliw-lx".to_owned(), Vec::new()), ("risc-mips".to_owned(), Vec::new())];
+    let mut per_platform: Vec<(String, Vec<f64>)> = vec![
+        ("vliw-lx".to_owned(), Vec::new()),
+        ("risc-mips".to_owned(), Vec::new()),
+    ];
     let codec = DiffCodec::new();
     for (kernel, scale) in t2_kernels() {
         for (pi, platform) in [PlatformKind::VliwLike, PlatformKind::RiscLike]
             .into_iter()
             .enumerate()
         {
-            let out = run_compression_kernel(kernel, scale, SEED, platform, &codec)
-                .expect("flow");
+            let out = run_compression_kernel(kernel, scale, SEED, platform, &codec).expect("flow");
             per_platform[pi].1.push(out.energy_saving());
             table.push_row(vec![
                 kernel.name().to_owned(),
@@ -166,7 +198,12 @@ pub fn t2() -> Table {
         let avg = savings.iter().sum::<f64>() / savings.len() as f64;
         let lo = savings.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = savings.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        table.note(format!("{name}: savings {}..{} (avg {})", pct(lo), pct(hi), pct(avg)));
+        table.note(format!(
+            "{name}: savings {}..{} (avg {})",
+            pct(lo),
+            pct(hi),
+            pct(avg)
+        ));
     }
     table
 }
@@ -187,16 +224,9 @@ pub fn f2a() -> Table {
             let (trace, image) = kernel_trace_and_image(kernel, scale, SEED).expect("kernel");
             let mut cfg = CompressionConfig::for_platform(PlatformKind::VliwLike);
             cfg.cache = lpmem_mem::CacheConfig::new(kib << 10, 64, 2).expect("geometry");
-            let out = run_compression_trace(
-                kernel.name(),
-                "vliw-lx",
-                &trace,
-                image,
-                &codec,
-                &cfg,
-                &tech,
-            )
-            .expect("flow");
+            let out =
+                run_compression_trace(kernel.name(), "vliw-lx", &trace, image, &codec, &cfg, &tech)
+                    .expect("flow");
             row.push(pct(out.energy_saving()));
         }
         table.push_row(row);
@@ -214,9 +244,8 @@ pub fn f2b() -> Table {
     );
     let codec = DiffCodec::new();
     for (kernel, scale) in t2_kernels() {
-        let out =
-            run_compression_kernel(kernel, scale, SEED, PlatformKind::VliwLike, &codec)
-                .expect("flow");
+        let out = run_compression_kernel(kernel, scale, SEED, PlatformKind::VliwLike, &codec)
+            .expect("flow");
         let h = &out.size_histogram;
         let bucket = |lo: usize, hi: usize| -> u64 {
             (lo..=hi).map(|b| h.get(b).copied().unwrap_or(0)).sum()
@@ -240,7 +269,15 @@ pub fn t3() -> Table {
         "T3",
         "instruction-bus functional encoding (4 reprogrammable regions)",
         "transition reductions up to ~50% (\"up to half of the original transitions\")",
-        vec!["workload", "fetches", "raw", "encoded", "businvert", "xor red.", "bi red."],
+        vec![
+            "workload",
+            "fetches",
+            "raw",
+            "encoded",
+            "businvert",
+            "xor red.",
+            "bi red.",
+        ],
     );
     let mut reductions = Vec::new();
     for &kernel in &Kernel::ALL {
@@ -259,7 +296,11 @@ pub fn t3() -> Table {
     }
     let avg = reductions.iter().sum::<f64>() / reductions.len() as f64;
     let max = reductions.iter().cloned().fold(0.0, f64::max);
-    table.note(format!("average reduction {} | maximum {}", pct(avg), pct(max)));
+    table.note(format!(
+        "average reduction {} | maximum {}",
+        pct(avg),
+        pct(max)
+    ));
     table
 }
 
@@ -279,8 +320,7 @@ pub fn f3a() -> Table {
     for regions in [1usize, 2, 4, 8, 16] {
         let mut row = vec![regions.to_string()];
         for run in &runs {
-            let out =
-                run_buscoding(run.kernel.name(), &run.trace, regions, &tech).expect("flow");
+            let out = run_buscoding(run.kernel.name(), &run.trace, regions, &tech).expect("flow");
             row.push(pct(out.reduction()));
         }
         table.push_row(row);
@@ -301,13 +341,21 @@ pub fn f3b() -> Table {
     for &kernel in &Kernel::ALL {
         let run = kernel.run(kernel.default_scale(), SEED).expect("kernel");
         // The fetch bus drives word addresses (instructions are aligned).
-        let addrs: Vec<u32> =
-            run.trace.fetches_only().iter().map(|e| (e.addr >> 2) as u32).collect();
+        let addrs: Vec<u32> = run
+            .trace
+            .fetches_only()
+            .iter()
+            .map(|e| (e.addr >> 2) as u32)
+            .collect();
         let bin = lpmem_buscode::addrbus::binary_transitions(&addrs);
         let gray = lpmem_buscode::addrbus::gray_transitions(&addrs);
         let t0 = lpmem_buscode::addrbus::T0Encoder::transitions(1, &addrs);
         let red = |x: u64| {
-            if bin == 0 { 0.0 } else { 1.0 - x as f64 / bin as f64 }
+            if bin == 0 {
+                0.0
+            } else {
+                1.0 - x as f64 / bin as f64
+            }
         };
         table.push_row(vec![
             kernel.name().to_owned(),
@@ -329,7 +377,14 @@ pub fn t4() -> Table {
         "T4",
         "two-level data scheduling (1 KiB L0 + 16 KiB L1, 32-frame loop)",
         "scheduler cuts application energy incl. reconfiguration energy vs naive placement",
-        vec!["app", "external", "naive", "greedy", "saving", "reconfig saving"],
+        vec![
+            "app",
+            "external",
+            "naive",
+            "greedy",
+            "saving",
+            "reconfig saving",
+        ],
     );
     let mut savings = Vec::new();
     for seed in 0..6u64 {
@@ -387,7 +442,10 @@ energy (it buys sleep instead, see A4); the T1 flow keeps the cheaper of the two
         let mut row = vec![name.clone()];
         for objective in [Objective::FrequencyOnly, Objective::FrequencyAffinity] {
             let cfg = PartitioningConfig {
-                cluster: ClusterConfig { objective, ..Default::default() },
+                cluster: ClusterConfig {
+                    objective,
+                    ..Default::default()
+                },
                 ..Default::default()
             };
             let out = run_partitioning(&name, &trace, &cfg, &tech).expect("flow");
@@ -448,7 +506,14 @@ pub fn a3() -> Table {
         "A3",
         "partitioning algorithm ablation (energy; wall time in µs)",
         "DP is exact; greedy should be close but never better",
-        vec!["workload", "monolithic", "greedy", "optimal", "greedy µs", "optimal µs"],
+        vec![
+            "workload",
+            "monolithic",
+            "greedy",
+            "optimal",
+            "greedy µs",
+            "optimal µs",
+        ],
     );
     for (name, trace) in t1_workloads() {
         let data = trace.data_only();
@@ -567,17 +632,28 @@ pub fn a5() -> Table {
         "A5",
         "area cost of partitioning + clustering (mm², 0.18um)",
         "banking multiplies periphery; the relocation table is negligible next to the banks",
-        vec!["workload", "mono mm2", "banked mm2", "+table mm2", "area ovhd", "energy red."],
+        vec![
+            "workload",
+            "mono mm2",
+            "banked mm2",
+            "+table mm2",
+            "area ovhd",
+            "energy red.",
+        ],
     );
     for (name, trace) in t1_workloads() {
         let data = trace.data_only();
         let profile = BlockProfile::from_trace(&data, cfg.block_size).expect("profile");
-        let mono = cost.area_mm2(&profile, &Partition::monolithic(profile.num_blocks()));
+        let mono = cost
+            .area_report(&profile, &Partition::monolithic(profile.num_blocks()))
+            .total_mm2();
         let map = cluster_blocks(&profile, Some(&data), &cfg.cluster);
         let remapped = map.apply(&profile).expect("bijection");
         let (part, _) = optimal_partition(&remapped, cfg.max_banks, &cost);
-        let banked = cost.area_mm2(&remapped, &part);
-        let with_table = banked + map.table_area_mm2(&tech);
+        let mut clustered_area = cost.area_report(&remapped, &part);
+        let banked = clustered_area.total_mm2();
+        clustered_area.add("relocation.table", map.table_area_mm2(&tech));
+        let with_table = clustered_area.total_mm2();
         let out = run_partitioning(&name, &trace, &cfg, &tech).expect("flow");
         table.push_row(vec![
             name,
@@ -598,13 +674,18 @@ pub fn sys() -> Table {
         "SYS",
         "whole-system capstone: bus encoding + write-back compression together (vliw)",
         "the session's techniques compose: combined saving exceeds either alone",
-        vec!["workload", "baseline", "optimized", "ibus red.", "combined saving"],
+        vec![
+            "workload",
+            "baseline",
+            "optimized",
+            "ibus red.",
+            "combined saving",
+        ],
     );
     let codec = DiffCodec::new();
     let mut savings = Vec::new();
     for (kernel, scale) in t2_kernels() {
-        let out = run_system(kernel, scale, SEED, PlatformKind::VliwLike, &codec, 4)
-            .expect("flow");
+        let out = run_system(kernel, scale, SEED, PlatformKind::VliwLike, &codec, 4).expect("flow");
         savings.push(out.saving());
         table.push_row(vec![
             kernel.name().to_owned(),
@@ -615,7 +696,10 @@ pub fn sys() -> Table {
         ]);
     }
     let avg = savings.iter().sum::<f64>() / savings.len() as f64;
-    table.note(format!("average combined memory-system saving {}", pct(avg)));
+    table.note(format!(
+        "average combined memory-system saving {}",
+        pct(avg)
+    ));
     table
 }
 

@@ -1,6 +1,7 @@
-//! Run metrics for the sweep engine: per-flow aggregates, a fixed-bucket
-//! latency histogram, and a hand-rolled JSON serializer for the
-//! machine-readable report.
+//! Run metrics for the sweep engine: per-flow aggregates and a
+//! fixed-bucket latency histogram. The JSON serializer the report is built
+//! with lives in [`lpmem_util::json`] and is re-exported here for its
+//! original callers.
 //!
 //! Workers record into their own [`Metrics`] while they drain the queue;
 //! the engine [merges](Metrics::merge) them afterwards. Every counter is
@@ -11,6 +12,7 @@
 use std::collections::BTreeMap;
 
 use lpmem_core::flows::FlowSummary;
+pub use lpmem_util::json::JsonObject;
 
 use crate::table::Table;
 
@@ -19,13 +21,13 @@ use crate::table::Table;
 /// fixed so histograms from different runs and workers are always
 /// mergeable bucket-by-bucket.
 pub const BUCKET_BOUNDS_NS: [u64; 7] = [
-    100_000,       // < 0.1 ms
-    300_000,       // < 0.3 ms
-    1_000_000,     // < 1 ms
-    3_000_000,     // < 3 ms
-    10_000_000,    // < 10 ms
-    30_000_000,    // < 30 ms
-    100_000_000,   // < 100 ms
+    100_000,     // < 0.1 ms
+    300_000,     // < 0.3 ms
+    1_000_000,   // < 1 ms
+    3_000_000,   // < 3 ms
+    10_000_000,  // < 10 ms
+    30_000_000,  // < 30 ms
+    100_000_000, // < 100 ms
 ];
 
 /// Number of histogram buckets (the bounds plus the open-ended tail).
@@ -45,7 +47,10 @@ impl LatencyHistogram {
 
     /// The bucket index a latency falls into.
     pub fn bucket_of(ns: u64) -> usize {
-        BUCKET_BOUNDS_NS.iter().position(|&b| ns < b).unwrap_or(NUM_BUCKETS - 1)
+        BUCKET_BOUNDS_NS
+            .iter()
+            .position(|&b| ns < b)
+            .unwrap_or(NUM_BUCKETS - 1)
     }
 
     /// Human-readable label of a bucket.
@@ -57,12 +62,19 @@ impl LatencyHistogram {
         assert!(bucket < NUM_BUCKETS, "bucket {bucket} out of range");
         let ms = |ns: u64| {
             let v = ns as f64 / 1e6;
-            if v < 1.0 { format!("{v:.1}ms") } else { format!("{v:.0}ms") }
+            if v < 1.0 {
+                format!("{v:.1}ms")
+            } else {
+                format!("{v:.0}ms")
+            }
         };
         if bucket < BUCKET_BOUNDS_NS.len() {
             format!("<{}", ms(BUCKET_BOUNDS_NS[bucket]))
         } else {
-            format!(">={}", ms(*BUCKET_BOUNDS_NS.last().expect("non-empty bounds")))
+            format!(
+                ">={}",
+                ms(*BUCKET_BOUNDS_NS.last().expect("non-empty bounds"))
+            )
         }
     }
 
@@ -181,10 +193,22 @@ impl Metrics {
             "SWEEP",
             format!("sweep run metrics ({workers} workers)"),
             "n/a (run instrumentation)",
-            vec!["flow", "tasks", "errors", "busy", "avg task", "energy saved", "saving"],
+            vec![
+                "flow",
+                "tasks",
+                "errors",
+                "busy",
+                "avg task",
+                "energy saved",
+                "saving",
+            ],
         );
         for (flow, fm) in &self.per_flow {
-            let avg_ns = if fm.tasks == 0 { 0.0 } else { fm.wall_ns as f64 / fm.tasks as f64 };
+            let avg_ns = if fm.tasks == 0 {
+                0.0
+            } else {
+                fm.wall_ns as f64 / fm.tasks as f64
+            };
             let saved = lpmem_energy::Energy::from_pj(fm.baseline_pj - fm.optimized_pj);
             t.push_row(vec![
                 flow.clone(),
@@ -198,7 +222,11 @@ impl Metrics {
         }
         let elapsed_s = elapsed_ns as f64 / 1e9;
         let busy_s = self.busy_ns as f64 / 1e9;
-        let speedup = if elapsed_s > 0.0 { busy_s / elapsed_s } else { 0.0 };
+        let speedup = if elapsed_s > 0.0 {
+            busy_s / elapsed_s
+        } else {
+            0.0
+        };
         t.note(format!(
             "{} tasks ({} errors) | wall {:.2} s | busy {:.2} s | parallel speedup {:.2}x",
             self.tasks, self.errors, elapsed_s, busy_s, speedup
@@ -232,88 +260,6 @@ fn format_ms(ns: u64) -> String {
         format!("{:.2} s", ms / 1000.0)
     } else {
         format!("{ms:.1} ms")
-    }
-}
-
-/// A hand-rolled JSON object serializer — just enough for the sweep's
-/// JSON-lines report, with correct string escaping and deterministic
-/// number formatting (no external dependencies, per the hermetic-build
-/// rule).
-#[derive(Debug)]
-pub struct JsonObject {
-    buf: String,
-}
-
-impl JsonObject {
-    /// Starts an empty object.
-    pub fn new() -> Self {
-        JsonObject { buf: String::from("{") }
-    }
-
-    fn key(&mut self, k: &str) {
-        if self.buf.len() > 1 {
-            self.buf.push(',');
-        }
-        self.buf.push('"');
-        escape_into(&mut self.buf, k);
-        self.buf.push_str("\":");
-    }
-
-    /// Adds a string field.
-    pub fn str(mut self, k: &str, v: &str) -> Self {
-        self.key(k);
-        self.buf.push('"');
-        escape_into(&mut self.buf, v);
-        self.buf.push('"');
-        self
-    }
-
-    /// Adds an unsigned integer field.
-    pub fn u64(mut self, k: &str, v: u64) -> Self {
-        self.key(k);
-        self.buf.push_str(&v.to_string());
-        self
-    }
-
-    /// Adds a float field. Finite values use Rust's shortest-roundtrip
-    /// formatting (deterministic for a given value); non-finite values
-    /// become `null` (JSON has no NaN/Infinity).
-    pub fn f64(mut self, k: &str, v: f64) -> Self {
-        self.key(k);
-        if v.is_finite() {
-            self.buf.push_str(&format!("{v}"));
-        } else {
-            self.buf.push_str("null");
-        }
-        self
-    }
-
-    /// Finishes the object and returns the JSON text.
-    pub fn finish(mut self) -> String {
-        self.buf.push('}');
-        self.buf
-    }
-}
-
-impl Default for JsonObject {
-    fn default() -> Self {
-        JsonObject::new()
-    }
-}
-
-fn escape_into(buf: &mut String, s: &str) {
-    for c in s.chars() {
-        match c {
-            '"' => buf.push_str("\\\""),
-            '\\' => buf.push_str("\\\\"),
-            '\n' => buf.push_str("\\n"),
-            '\r' => buf.push_str("\\r"),
-            '\t' => buf.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                buf.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => buf.push(c),
-        }
     }
 }
 
@@ -352,7 +298,11 @@ mod tests {
         let s = summary(FlowSpec::Partitioning, 100.0, 75.0);
         m.record("partitioning", 1_000, Some(&s));
         m.record("partitioning", 2_000, None);
-        m.record("buscoding", 500, Some(&summary(FlowSpec::BusCoding, 10.0, 5.0)));
+        m.record(
+            "buscoding",
+            500,
+            Some(&summary(FlowSpec::BusCoding, 10.0, 5.0)),
+        );
         assert_eq!(m.tasks, 3);
         assert_eq!(m.errors, 1);
         assert_eq!(m.busy_ns, 3_500);
@@ -365,7 +315,11 @@ mod tests {
     #[test]
     fn tables_render_all_flows_and_buckets() {
         let mut m = Metrics::new();
-        m.record("system", 50_000_000, Some(&summary(FlowSpec::System, 4.0, 3.0)));
+        m.record(
+            "system",
+            50_000_000,
+            Some(&summary(FlowSpec::System, 4.0, 3.0)),
+        );
         let ft = m.flow_table(100_000_000, 2);
         assert_eq!(ft.rows.len(), 1);
         assert!(ft.to_string().contains("system"));
@@ -379,21 +333,23 @@ mod tests {
     // any latency stream.
     #[test]
     fn prop_histogram_counts_sum_to_task_count() {
-        Props::new("histogram sums to task count").cases(128).run(|rng| {
-            let mut m = Metrics::new();
-            let n = rng.gen_range(0..200usize);
-            for _ in 0..n {
-                // Latencies spanning every bucket, ns to minutes.
-                let ns = rng.gen_range(0..200_000_000_000u64);
-                let ok = rng.gen_bool(0.9);
-                let s = summary(FlowSpec::Compression, 2.0, 1.0);
-                m.record("compression", ns, if ok { Some(&s) } else { None });
-            }
-            assert_eq!(m.latency.total(), n as u64);
-            assert_eq!(m.tasks, n as u64);
-            let per_flow_tasks: u64 = m.per_flow.values().map(|f| f.tasks).sum();
-            assert_eq!(per_flow_tasks, n as u64);
-        });
+        Props::new("histogram sums to task count")
+            .cases(128)
+            .run(|rng| {
+                let mut m = Metrics::new();
+                let n = rng.gen_range(0..200usize);
+                for _ in 0..n {
+                    // Latencies spanning every bucket, ns to minutes.
+                    let ns = rng.gen_range(0..200_000_000_000u64);
+                    let ok = rng.gen_bool(0.9);
+                    let s = summary(FlowSpec::Compression, 2.0, 1.0);
+                    m.record("compression", ns, if ok { Some(&s) } else { None });
+                }
+                assert_eq!(m.latency.total(), n as u64);
+                assert_eq!(m.tasks, n as u64);
+                let per_flow_tasks: u64 = m.per_flow.values().map(|f| f.tasks).sum();
+                assert_eq!(per_flow_tasks, n as u64);
+            });
     }
 
     // Property: merging worker-local metrics equals the single-threaded
@@ -402,54 +358,56 @@ mod tests {
     #[test]
     fn prop_merged_worker_metrics_equal_single_threaded_aggregate() {
         const FLOWS: [&str; 3] = ["partitioning", "compression", "system"];
-        Props::new("metrics merge equals aggregate").cases(96).run(|rng| {
-            let n = rng.gen_range(1..120usize);
-            let workers = rng.gen_range(1..9usize);
-            let events: Vec<(usize, u64, bool, f64, f64)> = (0..n)
-                .map(|_| {
-                    (
-                        rng.gen_range(0..FLOWS.len()),
-                        rng.gen_range(0..50_000_000u64),
-                        rng.gen_bool(0.85),
-                        rng.gen_f64() * 1e6,
-                        rng.gen_f64() * 1e6,
-                    )
-                })
-                .collect();
+        Props::new("metrics merge equals aggregate")
+            .cases(96)
+            .run(|rng| {
+                let n = rng.gen_range(1..120usize);
+                let workers = rng.gen_range(1..9usize);
+                let events: Vec<(usize, u64, bool, f64, f64)> = (0..n)
+                    .map(|_| {
+                        (
+                            rng.gen_range(0..FLOWS.len()),
+                            rng.gen_range(0..50_000_000u64),
+                            rng.gen_bool(0.85),
+                            rng.gen_f64() * 1e6,
+                            rng.gen_f64() * 1e6,
+                        )
+                    })
+                    .collect();
 
-            let mut aggregate = Metrics::new();
-            let mut locals = vec![Metrics::new(); workers];
-            for (i, &(f, ns, ok, base, opt)) in events.iter().enumerate() {
-                let s = summary(FlowSpec::Partitioning, base, opt);
-                let outcome = if ok { Some(&s) } else { None };
-                aggregate.record(FLOWS[f], ns, outcome);
-                // Any assignment of tasks to workers must merge to the same
-                // totals; use a rotating assignment perturbed by the rng.
-                let w = (i + rng.gen_range(0..workers)) % workers;
-                locals[w].record(FLOWS[f], ns, outcome);
-            }
-            let mut merged = Metrics::new();
-            for local in &locals {
-                merged.merge(local);
-            }
-            assert_eq!(merged.tasks, aggregate.tasks);
-            assert_eq!(merged.errors, aggregate.errors);
-            assert_eq!(merged.busy_ns, aggregate.busy_ns);
-            assert_eq!(merged.latency, aggregate.latency);
-            assert_eq!(
-                merged.per_flow.keys().collect::<Vec<_>>(),
-                aggregate.per_flow.keys().collect::<Vec<_>>()
-            );
-            for (flow, fm) in &merged.per_flow {
-                let afm = &aggregate.per_flow[flow];
-                assert_eq!(fm.tasks, afm.tasks, "{flow}");
-                assert_eq!(fm.errors, afm.errors, "{flow}");
-                assert_eq!(fm.wall_ns, afm.wall_ns, "{flow}");
-                let tol = 1e-9 * afm.baseline_pj.abs().max(1.0);
-                assert!((fm.baseline_pj - afm.baseline_pj).abs() < tol, "{flow}");
-                assert!((fm.optimized_pj - afm.optimized_pj).abs() < tol, "{flow}");
-            }
-        });
+                let mut aggregate = Metrics::new();
+                let mut locals = vec![Metrics::new(); workers];
+                for (i, &(f, ns, ok, base, opt)) in events.iter().enumerate() {
+                    let s = summary(FlowSpec::Partitioning, base, opt);
+                    let outcome = if ok { Some(&s) } else { None };
+                    aggregate.record(FLOWS[f], ns, outcome);
+                    // Any assignment of tasks to workers must merge to the same
+                    // totals; use a rotating assignment perturbed by the rng.
+                    let w = (i + rng.gen_range(0..workers)) % workers;
+                    locals[w].record(FLOWS[f], ns, outcome);
+                }
+                let mut merged = Metrics::new();
+                for local in &locals {
+                    merged.merge(local);
+                }
+                assert_eq!(merged.tasks, aggregate.tasks);
+                assert_eq!(merged.errors, aggregate.errors);
+                assert_eq!(merged.busy_ns, aggregate.busy_ns);
+                assert_eq!(merged.latency, aggregate.latency);
+                assert_eq!(
+                    merged.per_flow.keys().collect::<Vec<_>>(),
+                    aggregate.per_flow.keys().collect::<Vec<_>>()
+                );
+                for (flow, fm) in &merged.per_flow {
+                    let afm = &aggregate.per_flow[flow];
+                    assert_eq!(fm.tasks, afm.tasks, "{flow}");
+                    assert_eq!(fm.errors, afm.errors, "{flow}");
+                    assert_eq!(fm.wall_ns, afm.wall_ns, "{flow}");
+                    let tol = 1e-9 * afm.baseline_pj.abs().max(1.0);
+                    assert!((fm.baseline_pj - afm.baseline_pj).abs() < tol, "{flow}");
+                    assert!((fm.optimized_pj - afm.optimized_pj).abs() < tol, "{flow}");
+                }
+            });
     }
 
     #[test]

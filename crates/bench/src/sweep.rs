@@ -10,25 +10,20 @@
 //! lives only in the human-facing [`Metrics`] tables, which are allowed
 //! to vary run to run.
 //!
-//! The pool is intentionally std-only (no rayon/crossbeam — the build is
-//! hermetic): a shared injector deque feeds per-worker local deques;
-//! workers grab small batches from the injector and steal half a victim's
-//! local queue when both run dry. Results land in per-task slots indexed
-//! by grid position, so collection order never matters.
+//! The worker pool itself lives in [`lpmem_util::pool`] (promoted there so
+//! the design-space explorer shares it); this module re-exports
+//! [`parallel_map`] for its original callers.
 
-use std::collections::VecDeque;
-use std::sync::Mutex;
 use std::time::Instant;
 
 use lpmem_core::flows::{FlowSpec, FlowSummary, TechNode, VariantSpec};
 use lpmem_isa::Kernel;
+pub use lpmem_util::pool::parallel_map;
+use lpmem_util::pool::parallel_map_workers;
 use lpmem_util::SplitMix64;
 
 use crate::metrics::{JsonObject, Metrics};
 use crate::table::Table;
-
-/// Tasks a worker takes from the injector in one lock acquisition.
-const INJECTOR_BATCH: usize = 4;
 
 /// The declarative sweep space: the cartesian product of four axes plus a
 /// base seed.
@@ -204,7 +199,10 @@ impl SweepReport {
     /// The human-facing tables: per-flow aggregates and the latency
     /// histogram.
     pub fn tables(&self) -> Vec<Table> {
-        vec![self.metrics.flow_table(self.elapsed_ns, self.workers), self.metrics.latency_table()]
+        vec![
+            self.metrics.flow_table(self.elapsed_ns, self.workers),
+            self.metrics.latency_table(),
+        ]
     }
 }
 
@@ -232,10 +230,18 @@ pub fn run_sweep(grid: &SweepGrid, workers: usize) -> SweepReport {
             let t0 = Instant::now();
             let outcome = task.run();
             let wall_ns = t0.elapsed().as_nanos() as u64;
-            TaskResult { task, outcome, wall_ns }
+            TaskResult {
+                task,
+                outcome,
+                wall_ns,
+            }
         },
         |state: &mut Metrics, result: &TaskResult| {
-            state.record(result.task.flow.name(), result.wall_ns, result.outcome.as_ref().ok());
+            state.record(
+                result.task.flow.name(),
+                result.wall_ns,
+                result.outcome.as_ref().ok(),
+            );
         },
     );
 
@@ -254,149 +260,10 @@ pub fn run_sweep(grid: &SweepGrid, workers: usize) -> SweepReport {
     }
 }
 
-/// Applies `f` to every item on a work-stealing pool of `workers`
-/// threads, preserving input order in the output. `workers <= 1` runs
-/// inline with no threads.
-pub fn parallel_map<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    let per_worker = parallel_map_workers(items, workers, f, |_: &mut (), _: &R| {});
-    let mut indexed: Vec<(usize, R)> =
-        per_worker.into_iter().flat_map(|(chunk, ())| chunk).collect();
-    indexed.sort_by_key(|&(i, _)| i);
-    indexed.into_iter().map(|(_, r)| r).collect()
-}
-
-/// The engine under [`parallel_map`] and [`run_sweep`]: maps `f` over the
-/// items on a work-stealing pool and additionally folds every result into
-/// a per-worker state `S` via `observe`. Returns each worker's
-/// `(indexed results, state)`; when `R` already carries its index (as
-/// `TaskResult` does) callers can drop the tuple index.
-fn parallel_map_workers<T, R, S, F, O>(
-    items: Vec<T>,
-    workers: usize,
-    f: F,
-    observe: O,
-) -> Vec<(Vec<(usize, R)>, S)>
-where
-    T: Send,
-    R: Send,
-    S: Default + Send,
-    F: Fn(T) -> R + Sync,
-    O: Fn(&mut S, &R) + Sync,
-{
-    let n = items.len();
-    let workers = workers.max(1).min(n.max(1));
-    if workers <= 1 {
-        let mut state = S::default();
-        let chunk: Vec<(usize, R)> = items
-            .into_iter()
-            .enumerate()
-            .map(|(i, item)| {
-                let r = f(item);
-                observe(&mut state, &r);
-                (i, r)
-            })
-            .collect();
-        return vec![(chunk, state)];
-    }
-
-    // Task storage: items move out of their slots as workers claim them.
-    let slots: Vec<Mutex<Option<(usize, T)>>> =
-        items.into_iter().enumerate().map(|p| Mutex::new(Some(p))).collect();
-    let injector: Mutex<VecDeque<usize>> = Mutex::new((0..n).collect());
-    let locals: Vec<Mutex<VecDeque<usize>>> =
-        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
-
-    let next_task = |me: usize| -> Option<usize> {
-        // 1. Own local queue (LIFO for locality).
-        if let Some(i) = lock(&locals[me]).pop_back() {
-            return Some(i);
-        }
-        // 2. A batch from the injector: keep one, queue the rest locally.
-        {
-            let mut inj = lock(&injector);
-            if let Some(first) = inj.pop_front() {
-                let mut mine = lock(&locals[me]);
-                for _ in 1..INJECTOR_BATCH {
-                    match inj.pop_front() {
-                        Some(i) => mine.push_back(i),
-                        None => break,
-                    }
-                }
-                return Some(first);
-            }
-        }
-        // 3. Steal the front half of the fullest victim's queue.
-        let victim = (0..workers)
-            .filter(|&w| w != me)
-            .max_by_key(|&w| lock(&locals[w]).len())?;
-        let stolen: Vec<usize> = {
-            let mut theirs = lock(&locals[victim]);
-            let take = theirs.len().div_ceil(2);
-            theirs.drain(..take).collect()
-        };
-        let mut iter = stolen.into_iter();
-        let first = iter.next()?;
-        lock(&locals[me]).extend(iter);
-        Some(first)
-    };
-
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|me| {
-                let next_task = &next_task;
-                let slots = &slots;
-                let f = &f;
-                let observe = &observe;
-                scope.spawn(move || {
-                    let mut chunk: Vec<(usize, R)> = Vec::new();
-                    let mut state = S::default();
-                    let mut idle_spins = 0u32;
-                    loop {
-                        match next_task(me) {
-                            Some(slot) => {
-                                idle_spins = 0;
-                                // A claimed index is owned by exactly one
-                                // worker, so the slot is always full here.
-                                let (index, item) =
-                                    lock(&slots[slot]).take().expect("task claimed twice");
-                                let r = f(item);
-                                observe(&mut state, &r);
-                                chunk.push((index, r));
-                            }
-                            None => {
-                                // Queues drained — but a peer may still
-                                // publish stealable work; yield a few times
-                                // before concluding the pool is dry.
-                                idle_spins += 1;
-                                if idle_spins > 32 {
-                                    break;
-                                }
-                                std::thread::yield_now();
-                            }
-                        }
-                    }
-                    (chunk, state)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect()
-    })
-}
-
-fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::collections::BTreeSet;
-    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn grid_expansion_covers_the_product_in_order() {
@@ -409,7 +276,9 @@ mod tests {
         }
         // Flow-major order: the first kernel×tech×variant block is all
         // partitioning.
-        assert!(tasks[..9 * 3 * 2].iter().all(|t| t.flow == FlowSpec::Partitioning));
+        assert!(tasks[..9 * 3 * 2]
+            .iter()
+            .all(|t| t.flow == FlowSpec::Partitioning));
     }
 
     #[test]
@@ -437,40 +306,10 @@ mod tests {
     }
 
     #[test]
-    fn parallel_map_preserves_order_and_runs_every_item() {
-        let items: Vec<u64> = (0..500).collect();
-        let calls = AtomicUsize::new(0);
-        let out = parallel_map(items.clone(), 8, |x| {
-            calls.fetch_add(1, Ordering::Relaxed);
-            x * 3 + 1
-        });
-        assert_eq!(calls.load(Ordering::Relaxed), 500);
-        assert_eq!(out, items.iter().map(|x| x * 3 + 1).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn parallel_map_handles_edge_worker_counts() {
-        for workers in [0, 1, 2, 64] {
-            let out = parallel_map(vec![10u32, 20, 30], workers, |x| x + 1);
-            assert_eq!(out, vec![11, 21, 31], "workers={workers}");
-        }
-        let empty: Vec<u32> = parallel_map(Vec::new(), 4, |x: u32| x);
-        assert!(empty.is_empty());
-    }
-
-    #[test]
-    fn worker_states_partition_the_work() {
-        // Each worker folds item count into its local state; the merged
-        // states must account for every item exactly once.
-        let per_worker = parallel_map_workers(
-            (0..300u32).collect::<Vec<_>>(),
-            4,
-            |x| x,
-            |count: &mut u64, _| *count += 1,
-        );
-        let total: u64 = per_worker.iter().map(|(_, c)| c).sum();
-        assert_eq!(total, 300);
-        let items: usize = per_worker.iter().map(|(chunk, _)| chunk.len()).sum();
-        assert_eq!(items, 300);
+    fn reexported_parallel_map_still_serves_old_callers() {
+        // The pool moved to `lpmem_util::pool`; the `sweep::parallel_map`
+        // path must keep working for benches and downstream users.
+        let out = parallel_map((0..50u64).collect(), 4, |x| x * 2);
+        assert_eq!(out, (0..50u64).map(|x| x * 2).collect::<Vec<_>>());
     }
 }

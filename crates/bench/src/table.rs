@@ -43,7 +43,12 @@ impl Table {
     ///
     /// Panics if the row width differs from the header width.
     pub fn push_row(&mut self, row: Vec<String>) {
-        assert_eq!(row.len(), self.header.len(), "row width mismatch in table {}", self.id);
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row width mismatch in table {}",
+            self.id
+        );
         self.rows.push(row);
     }
 
@@ -54,12 +59,19 @@ impl Table {
 
     /// Value at `(row, col)` parsed as `f64` (for tests).
     pub fn cell_f64(&self, row: usize, col: usize) -> Option<f64> {
-        self.rows.get(row)?.get(col)?.trim_end_matches('%').parse().ok()
+        self.rows
+            .get(row)?
+            .get(col)?
+            .trim_end_matches('%')
+            .parse()
+            .ok()
     }
 
     /// Parses an entire column as `f64`, skipping unparsable cells.
     pub fn column_f64(&self, col: usize) -> Vec<f64> {
-        (0..self.rows.len()).filter_map(|r| self.cell_f64(r, col)).collect()
+        (0..self.rows.len())
+            .filter_map(|r| self.cell_f64(r, col))
+            .collect()
     }
 }
 

@@ -1,0 +1,161 @@
+//! Integration tests for the design-space explorer: frontier JSONL must
+//! be byte-identical at any worker count, the evolutionary search must
+//! agree with exhaustive enumeration on spaces it can exhaust (DSE-2),
+//! and no frontier point may be dominated by any configuration the sweep
+//! grid already runs (DSE-1).
+
+use lpmem_bench::sweep::SweepGrid;
+use lpmem_explore::{
+    DesignPoint, DesignSpace, Evaluator, Evolutionary, Exhaustive, SearchConfig, SearchStrategy,
+    Workload,
+};
+
+/// A workload small enough for test time; identical across every test so
+/// the evaluator's memoized sub-flows behave exactly as in one process.
+fn tiny_workload() -> Workload {
+    Workload {
+        scale: 16,
+        iterations: 8,
+        ..Workload::default()
+    }
+}
+
+/// The sweep grid's variant axis, embedded as design points — the
+/// configurations every existing experiment runs.
+fn grid_embeddings() -> Vec<DesignPoint> {
+    let grid = SweepGrid::default_grid(true);
+    let mut points: Vec<DesignPoint> = grid
+        .variants
+        .iter()
+        .map(DesignPoint::from_variant)
+        .collect();
+    points.dedup_by_key(|p| p.key());
+    points
+}
+
+#[test]
+fn frontier_jsonl_is_byte_identical_at_any_worker_count() {
+    let space = DesignSpace::small();
+    let evaluator = Evaluator::new(tiny_workload()).expect("workload runs");
+    let single = {
+        let cfg = SearchConfig {
+            budget: space.len(),
+            workers: 1,
+            ..Default::default()
+        };
+        Exhaustive
+            .search(&space, &evaluator, &cfg)
+            .expect("search runs")
+    };
+    for workers in [2, 8] {
+        let cfg = SearchConfig {
+            budget: space.len(),
+            workers,
+            ..Default::default()
+        };
+        let out = Exhaustive
+            .search(&space, &evaluator, &cfg)
+            .expect("search runs");
+        assert_eq!(
+            single.frontier.to_jsonl(),
+            out.frontier.to_jsonl(),
+            "frontier JSONL diverged at {workers} workers"
+        );
+        assert_eq!(single.evaluated, out.evaluated);
+    }
+    // The evolutionary path schedules offspring batches across the pool
+    // too; its frontier must be just as worker-independent.
+    let evo = Evolutionary::default();
+    let single = {
+        let cfg = SearchConfig {
+            budget: 24,
+            workers: 1,
+            ..Default::default()
+        };
+        evo.search(&space, &evaluator, &cfg).expect("search runs")
+    };
+    for workers in [2, 8] {
+        let cfg = SearchConfig {
+            budget: 24,
+            workers,
+            ..Default::default()
+        };
+        let out = evo.search(&space, &evaluator, &cfg).expect("search runs");
+        assert_eq!(
+            single.frontier.to_jsonl(),
+            out.frontier.to_jsonl(),
+            "evolutionary frontier diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn dse2_evolutionary_recovers_the_exhaustive_frontier() {
+    let space = DesignSpace::small();
+    let evaluator = Evaluator::new(tiny_workload()).expect("workload runs");
+    let cfg = SearchConfig {
+        budget: space.len(),
+        workers: 2,
+        ..Default::default()
+    };
+    let exhaustive = Exhaustive
+        .search(&space, &evaluator, &cfg)
+        .expect("search runs");
+    let evolved = Evolutionary::default()
+        .search(&space, &evaluator, &cfg)
+        .expect("search runs");
+    assert_eq!(exhaustive.evaluated, space.len());
+    assert_eq!(
+        evolved.evaluated,
+        space.len(),
+        "budget >= |space| must exhaust it"
+    );
+    assert_eq!(
+        exhaustive.frontier.to_jsonl(),
+        evolved.frontier.to_jsonl(),
+        "DSE-2: evolutionary disagrees with exhaustive on an exhaustible space"
+    );
+}
+
+#[test]
+fn dse1_no_frontier_point_is_dominated_by_the_sweep_grid() {
+    let space = DesignSpace::full();
+    let evaluator = Evaluator::new(tiny_workload()).expect("workload runs");
+    let seeds: Vec<DesignPoint> = grid_embeddings()
+        .into_iter()
+        .filter(|p| space.contains(p))
+        .collect();
+    assert!(
+        !seeds.is_empty(),
+        "the full space embeds the sweep variants"
+    );
+    let cfg = SearchConfig {
+        budget: 96,
+        workers: 2,
+        seeds: seeds.clone(),
+        ..Default::default()
+    };
+    let out = Evolutionary::default()
+        .search(&space, &evaluator, &cfg)
+        .expect("search runs");
+    assert!(!out.frontier.is_empty());
+    // Every sweep-grid configuration is evaluated up front; the archive
+    // can therefore never retain a point one of them dominates.
+    for seed in &seeds {
+        let eval = evaluator.evaluate(seed).expect("seed evaluates");
+        for p in out.frontier.points() {
+            assert!(
+                !eval.objectives.dominates(&p.objectives),
+                "DSE-1: sweep configuration {} dominates frontier point {}",
+                seed.key(),
+                p.point.key()
+            );
+        }
+    }
+    // And the frontier itself is mutually non-dominated.
+    for a in out.frontier.points() {
+        for b in out.frontier.points() {
+            assert!(!a.objectives.dominates(&b.objectives));
+        }
+    }
+}

@@ -29,7 +29,10 @@ fn jsonl_is_byte_identical_at_any_worker_count() {
     assert_eq!(single.lines().count(), grid.len());
     // Every line is a self-contained JSON object.
     for line in single.lines() {
-        assert!(line.starts_with('{') && line.ends_with('}'), "bad line: {line}");
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "bad line: {line}"
+        );
     }
 }
 
@@ -51,6 +54,22 @@ fn report_is_in_grid_order_with_complete_metrics() {
     let tables = report.tables();
     assert_eq!(tables.len(), 2);
     assert_eq!(tables[0].rows.len(), report.metrics.per_flow.len());
+}
+
+#[test]
+fn base_seed_threads_through_to_every_task() {
+    // A different base seed rederives every task seed, so the JSONL
+    // changes — while each run stays internally deterministic.
+    let grid = small_grid();
+    let reseeded = SweepGrid {
+        base_seed: 7,
+        ..small_grid()
+    };
+    let a = run_sweep(&grid, 2).jsonl();
+    let b = run_sweep(&reseeded, 2).jsonl();
+    assert_ne!(a, b, "base_seed did not reach the task seeds");
+    assert_eq!(a, run_sweep(&grid, 1).jsonl());
+    assert_eq!(b, run_sweep(&reseeded, 1).jsonl());
 }
 
 #[test]

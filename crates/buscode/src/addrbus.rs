@@ -33,7 +33,10 @@ pub fn gray_decode(gray: u32) -> u32 {
 
 /// Transitions of an address stream when driven in plain binary.
 pub fn binary_transitions(addrs: &[u32]) -> u64 {
-    addrs.windows(2).map(|w| (w[0] ^ w[1]).count_ones() as u64).sum()
+    addrs
+        .windows(2)
+        .map(|w| (w[0] ^ w[1]).count_ones() as u64)
+        .sum()
 }
 
 /// Transitions of an address stream when driven Gray-coded.
@@ -66,7 +69,12 @@ impl T0Encoder {
     /// Panics if `stride` is zero.
     pub fn new(stride: u32) -> Self {
         assert!(stride > 0, "stride must be positive");
-        T0Encoder { stride, lines: 0, inc: false, expected: None }
+        T0Encoder {
+            stride,
+            lines: 0,
+            inc: false,
+            expected: None,
+        }
     }
 
     /// Encodes the next address, returning the `(address lines, inc line)`
@@ -117,7 +125,10 @@ impl T0Decoder {
     /// Panics if `stride` is zero.
     pub fn new(stride: u32) -> Self {
         assert!(stride > 0, "stride must be positive");
-        T0Decoder { stride, last_addr: None }
+        T0Decoder {
+            stride,
+            last_addr: None,
+        }
     }
 
     /// Decodes one bus state back to the address.

@@ -37,7 +37,6 @@
 
 pub mod addrbus;
 
-
 /// A unit-lower-triangular XOR network over 32 bus lines.
 ///
 /// Encoded bit `i` is `in_i ^ in_{pair[i]}` when `pair[i]` is set (and
@@ -60,7 +59,10 @@ impl Default for XorTransform {
 impl XorTransform {
     /// The identity transform.
     pub fn identity() -> Self {
-        XorTransform { pair: [None; 32], invert: 0 }
+        XorTransform {
+            pair: [None; 32],
+            invert: 0,
+        }
     }
 
     /// Builds a transform from explicit pairings.
@@ -72,7 +74,10 @@ impl XorTransform {
     pub fn new(pair: [Option<u8>; 32], invert: u32) -> Self {
         for (i, p) in pair.iter().enumerate() {
             if let Some(j) = *p {
-                assert!((j as usize) < i, "pair[{i}] = {j} violates lower-triangularity");
+                assert!(
+                    (j as usize) < i,
+                    "pair[{i}] = {j} violates lower-triangularity"
+                );
             }
         }
         XorTransform { pair, invert }
@@ -140,8 +145,10 @@ impl XorTransform {
             let mut best = base;
             let mut best_j = None;
             for j in 0..i {
-                let cost: u64 =
-                    deltas.iter().map(|d| (((d >> i) ^ (d >> j)) & 1) as u64).sum();
+                let cost: u64 = deltas
+                    .iter()
+                    .map(|d| (((d >> i) ^ (d >> j)) & 1) as u64)
+                    .sum();
                 if cost < best {
                     best = cost;
                     best_j = Some(j as u8);
@@ -255,9 +262,15 @@ impl RegionEncoder {
                 deltas[r0.min(num_regions - 1)].push(w0 ^ w1);
             }
         }
-        let transforms =
-            deltas.iter().map(|d| XorTransform::train_on_deltas(d)).collect();
-        RegionEncoder { base: lo, region_bytes, transforms }
+        let transforms = deltas
+            .iter()
+            .map(|d| XorTransform::train_on_deltas(d))
+            .collect();
+        RegionEncoder {
+            base: lo,
+            region_bytes,
+            transforms,
+        }
     }
 
     /// The trained transform for an address.
@@ -277,7 +290,10 @@ impl RegionEncoder {
 
     /// Encodes a fetch stream word-by-word (region chosen by address).
     pub fn encode_stream(&self, stream: &[(u64, u32)]) -> Vec<u32> {
-        stream.iter().map(|&(a, w)| self.transform_for(a).encode(w)).collect()
+        stream
+            .iter()
+            .map(|&(a, w)| self.transform_for(a).encode(w))
+            .collect()
     }
 
     /// Evaluates raw vs. encoded transitions on a stream.
@@ -355,7 +371,9 @@ mod tests {
         // the family).
         let streams: Vec<Vec<u32>> = vec![
             (0..64).map(|i| i * 0x0101).collect(),
-            (0..64).map(|i| (i as u32).wrapping_mul(0x9E37_79B9)).collect(),
+            (0..64)
+                .map(|i| (i as u32).wrapping_mul(0x9E37_79B9))
+                .collect(),
             vec![7; 32],
         ];
         for words in streams {
@@ -383,8 +401,9 @@ mod tests {
     fn bus_invert_caps_worst_case() {
         // Alternating all-zeros / all-ones: raw 32 transitions per step;
         // bus-invert sends the complement, paying only the invert line.
-        let stream: Vec<(u64, u32)> =
-            (0..10).map(|i| (4 * i, if i % 2 == 0 { 0 } else { u32::MAX })).collect();
+        let stream: Vec<(u64, u32)> = (0..10)
+            .map(|i| (4 * i, if i % 2 == 0 { 0 } else { u32::MAX }))
+            .collect();
         let raw = transitions(stream.iter().map(|&(_, w)| w));
         let bi = BusInvert::transitions(&stream);
         assert_eq!(raw, 9 * 32);
@@ -401,7 +420,10 @@ mod tests {
         }
         for i in 0..300u32 {
             // Region B at 0x8000: bits 8,9 correlate.
-            stream.push((0x8000 + 4 * i as u64, if i % 2 == 0 { 0b11 << 8 } else { 0 }));
+            stream.push((
+                0x8000 + 4 * i as u64,
+                if i % 2 == 0 { 0b11 << 8 } else { 0 },
+            ));
         }
         let one = RegionEncoder::train(&stream, 1).evaluate(&stream);
         let two = RegionEncoder::train(&stream, 2).evaluate(&stream);

@@ -45,7 +45,6 @@
 
 use std::collections::{HashMap, VecDeque};
 
-
 use lpmem_energy::{Energy, Technology};
 use lpmem_trace::{BlockProfile, Trace, TraceError};
 
@@ -76,7 +75,11 @@ pub struct ClusterConfig {
 
 impl Default for ClusterConfig {
     fn default() -> Self {
-        ClusterConfig { window: 16, max_cluster_blocks: 8, objective: Objective::default() }
+        ClusterConfig {
+            window: 16,
+            max_cluster_blocks: 8,
+            objective: Objective::default(),
+        }
     }
 }
 
@@ -108,11 +111,18 @@ impl AddressMap {
         let mut inverse = vec![usize::MAX; n];
         for (old, &new) in forward.iter().enumerate() {
             if new >= n || inverse[new] != usize::MAX {
-                return Err(TraceError::InvalidParameter("forward map is not a permutation"));
+                return Err(TraceError::InvalidParameter(
+                    "forward map is not a permutation",
+                ));
             }
             inverse[new] = old;
         }
-        Ok(AddressMap { forward, inverse, base, block_size })
+        Ok(AddressMap {
+            forward,
+            inverse,
+            base,
+            block_size,
+        })
     }
 
     /// The identity map over `n` blocks.
@@ -259,7 +269,10 @@ impl AffinityGraph {
 
     /// Edge weight between two blocks (symmetric).
     pub fn weight(&self, a: usize, b: usize) -> u64 {
-        self.weights.get(&(a.min(b), a.max(b))).copied().unwrap_or(0)
+        self.weights
+            .get(&(a.min(b), a.max(b)))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Edges sorted by descending weight.
@@ -285,7 +298,10 @@ struct UnionFind {
 
 impl UnionFind {
     fn new(n: usize) -> Self {
-        UnionFind { parent: (0..n).collect(), size: vec![1; n] }
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
     }
 
     fn find(&mut self, x: usize) -> usize {
@@ -306,7 +322,11 @@ impl UnionFind {
         if self.size[ra] + self.size[rb] > max_size {
             return false;
         }
-        let (big, small) = if self.size[ra] >= self.size[rb] { (ra, rb) } else { (rb, ra) };
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
         self.parent[small] = big;
         self.size[big] += self.size[small];
         true
@@ -449,7 +469,10 @@ mod tests {
     #[test]
     fn frequency_only_sorts_by_heat() {
         let p = profile(vec![5, 100, 1, 50]);
-        let cfg = ClusterConfig { objective: Objective::FrequencyOnly, ..Default::default() };
+        let cfg = ClusterConfig {
+            objective: Objective::FrequencyOnly,
+            ..Default::default()
+        };
         let map = cluster_blocks(&p, None, &cfg);
         let q = map.apply(&p).unwrap();
         assert_eq!(q.counts(), &[100, 50, 5, 1]);
@@ -497,7 +520,11 @@ mod tests {
         let map = cluster_blocks(&p, Some(&t), &ClusterConfig::default());
         let new0 = map.forward()[0];
         let new4 = map.forward()[4];
-        assert_eq!(new0.abs_diff(new4), 1, "co-accessed blocks must be adjacent");
+        assert_eq!(
+            new0.abs_diff(new4),
+            1,
+            "co-accessed blocks must be adjacent"
+        );
     }
 
     #[test]
@@ -509,7 +536,10 @@ mod tests {
         }
         let t: Trace = evs.into();
         let p = BlockProfile::from_trace(&t, 1024).unwrap();
-        let cfg = ClusterConfig { max_cluster_blocks: 2, ..Default::default() };
+        let cfg = ClusterConfig {
+            max_cluster_blocks: 2,
+            ..Default::default()
+        };
         let map = cluster_blocks(&p, Some(&t), &cfg);
         // The map must still be a permutation over all 5 blocks.
         let mut seen = [false; 5];

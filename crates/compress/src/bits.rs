@@ -46,7 +46,12 @@ impl BitWriter {
 
     /// Total bits written so far.
     pub fn bit_len(&self) -> usize {
-        self.bytes.len() * 8 - if self.used == 0 { 0 } else { (8 - self.used) as usize }
+        self.bytes.len() * 8
+            - if self.used == 0 {
+                0
+            } else {
+                (8 - self.used) as usize
+            }
     }
 
     /// Finishes, returning the zero-padded byte buffer.
@@ -151,8 +156,9 @@ mod tests {
     fn roundtrip_arbitrary_fields() {
         Props::new("bit fields roundtrip through writer and reader").run(|rng| {
             let len = rng.gen_range(0..64usize);
-            let fields: Vec<(u32, u32)> =
-                (0..len).map(|_| (rng.next_u32(), rng.gen_range(1..=32u32))).collect();
+            let fields: Vec<(u32, u32)> = (0..len)
+                .map(|_| (rng.next_u32(), rng.gen_range(1..=32u32)))
+                .collect();
             let mut w = BitWriter::new();
             for &(v, width) in &fields {
                 w.write(v, width);
@@ -160,7 +166,11 @@ mod tests {
             let bytes = w.into_bytes();
             let mut r = BitReader::new(&bytes);
             for &(v, width) in &fields {
-                let mask = if width == 32 { u32::MAX } else { (1 << width) - 1 };
+                let mask = if width == 32 {
+                    u32::MAX
+                } else {
+                    (1 << width) - 1
+                };
                 assert_eq!(r.read(width), Some(v & mask));
             }
         });

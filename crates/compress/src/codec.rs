@@ -35,8 +35,13 @@ pub trait LineCodec {
 }
 
 fn line_words(line: &[u8]) -> Vec<u32> {
-    assert!(!line.is_empty() && line.len().is_multiple_of(4), "line must be a multiple of 4 bytes");
-    line.chunks_exact(4).map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect()
+    assert!(
+        !line.is_empty() && line.len().is_multiple_of(4),
+        "line must be a multiple of 4 bytes"
+    );
+    line.chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
 }
 
 fn words_to_bytes(words: &[u32]) -> Vec<u8> {
@@ -103,7 +108,10 @@ impl LineCodec for DiffCodec {
     }
 
     fn decompress(&self, data: &[u8], line_len: usize) -> Vec<u8> {
-        assert!(line_len >= 4 && line_len.is_multiple_of(4), "line must be a multiple of 4 bytes");
+        assert!(
+            line_len >= 4 && line_len.is_multiple_of(4),
+            "line must be a multiple of 4 bytes"
+        );
         let n = line_len / 4;
         let mut r = BitReader::new(data);
         let first = r.read(32).expect("truncated diff stream");
@@ -174,11 +182,18 @@ impl LineCodec for ZeroRunCodec {
     fn decompress(&self, data: &[u8], line_len: usize) -> Vec<u8> {
         let n = line_len / 4;
         let mut r = BitReader::new(data);
-        let mask: Vec<bool> =
-            (0..n).map(|_| r.read(1).expect("truncated zero stream") == 1).collect();
+        let mask: Vec<bool> = (0..n)
+            .map(|_| r.read(1).expect("truncated zero stream") == 1)
+            .collect();
         let words: Vec<u32> = mask
             .iter()
-            .map(|&present| if present { r.read(32).expect("truncated zero stream") } else { 0 })
+            .map(|&present| {
+                if present {
+                    r.read(32).expect("truncated zero stream")
+                } else {
+                    0
+                }
+            })
             .collect();
         words_to_bytes(&words)
     }
@@ -231,7 +246,14 @@ impl LineCodec for FpcCodec {
             let (tag, width) = Self::classify(word);
             w.write(tag, 3);
             if width > 0 {
-                w.write(word & (if width == 32 { u32::MAX } else { (1 << width) - 1 }), width);
+                w.write(
+                    word & (if width == 32 {
+                        u32::MAX
+                    } else {
+                        (1 << width) - 1
+                    }),
+                    width,
+                );
             }
         }
         w.into_bytes()
@@ -257,7 +279,10 @@ impl LineCodec for FpcCodec {
     }
 
     fn compressed_bits(&self, line: &[u8]) -> usize {
-        line_words(line).iter().map(|&w| 3 + Self::classify(w).1 as usize).sum()
+        line_words(line)
+            .iter()
+            .map(|&w| 3 + Self::classify(w).1 as usize)
+            .sum()
     }
 }
 
@@ -323,7 +348,9 @@ mod tests {
 
     #[test]
     fn diff_handles_random_data_without_blowup_beyond_tags() {
-        let words: Vec<u32> = (0..8).map(|i| (i as u32).wrapping_mul(0x9E37_79B9)).collect();
+        let words: Vec<u32> = (0..8)
+            .map(|i| (i as u32).wrapping_mul(0x9E37_79B9))
+            .collect();
         let line = line_of(&words);
         let codec = DiffCodec::new();
         // Worst case: 32 + 7 × 34 = 270 bits for a 256-bit line.
@@ -424,8 +451,11 @@ mod tests {
     fn compressed_bits_matches_compress_len() {
         Props::new("compressed_bits agrees with compress()").run(|rng| {
             let line = arb_line(rng);
-            for c in [&DiffCodec::new() as &dyn LineCodec, &ZeroRunCodec::new(), &FpcCodec::new()]
-            {
+            for c in [
+                &DiffCodec::new() as &dyn LineCodec,
+                &ZeroRunCodec::new(),
+                &FpcCodec::new(),
+            ] {
                 let bits = c.compressed_bits(&line);
                 let bytes = c.compress(&line).len();
                 // compress() pads to whole bytes.

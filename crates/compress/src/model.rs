@@ -2,7 +2,6 @@
 
 use std::collections::HashMap;
 
-
 use crate::codec::LineCodec;
 
 /// Bytes per off-chip bus beat.
@@ -136,7 +135,10 @@ impl CompressedMemoryModel {
     /// Returns the beats a refill of `line_bytes` at `addr` moves (reduced
     /// when the line is stored compressed).
     pub fn fill_beats(&self, addr: u64, line_bytes: usize) -> usize {
-        self.stored.get(&addr).copied().unwrap_or(line_bytes / BEAT_BYTES)
+        self.stored
+            .get(&addr)
+            .copied()
+            .unwrap_or(line_bytes / BEAT_BYTES)
     }
 
     /// Number of lines currently stored compressed.
@@ -151,11 +153,15 @@ mod tests {
     use crate::codec::{DiffCodec, RawCodec};
 
     fn smooth_line(n: usize) -> Vec<u8> {
-        (0..n as u32).flat_map(|i| (1000 + 2 * i).to_le_bytes()).collect()
+        (0..n as u32)
+            .flat_map(|i| (1000 + 2 * i).to_le_bytes())
+            .collect()
     }
 
     fn random_line(n: usize) -> Vec<u8> {
-        (0..n as u32).flat_map(|i| i.wrapping_mul(0x9E37_79B9).to_le_bytes()).collect()
+        (0..n as u32)
+            .flat_map(|i| i.wrapping_mul(0x9E37_79B9).to_le_bytes())
+            .collect()
     }
 
     #[test]

@@ -1,6 +1,5 @@
 //! The 1B.3 flow: application-specific instruction-bus encoding.
 
-
 use lpmem_buscode::{transitions, BusInvert, RegionEncoder};
 use lpmem_energy::{BusModel, Energy, Technology};
 use lpmem_trace::{AccessKind, Trace};
@@ -104,8 +103,7 @@ mod tests {
     #[test]
     fn encoding_reduces_kernel_fetch_transitions() {
         let run = Kernel::Fir.run(48, 2).unwrap();
-        let out =
-            run_buscoding("fir", &run.trace, 4, &Technology::tech180()).unwrap();
+        let out = run_buscoding("fir", &run.trace, 4, &Technology::tech180()).unwrap();
         assert!(out.fetches > 1000);
         assert!(out.raw_transitions > 0);
         assert!(
@@ -121,8 +119,7 @@ mod tests {
         // Loop-dominated fetch streams have strong inter-bit correlation,
         // which the XOR family exploits and bus-invert cannot.
         let run = Kernel::MatMul.run(10, 1).unwrap();
-        let out =
-            run_buscoding("matmul", &run.trace, 4, &Technology::tech180()).unwrap();
+        let out = run_buscoding("matmul", &run.trace, 4, &Technology::tech180()).unwrap();
         assert!(
             out.encoded_transitions < out.businvert_transitions,
             "xor {} vs businvert {}",

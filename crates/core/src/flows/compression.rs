@@ -1,6 +1,5 @@
 //! The 1B.2 flow: D-cache write-back compression on a simulated platform.
 
-
 use lpmem_compress::{CompressedMemoryModel, LineCodec};
 use lpmem_energy::{Energy, EnergyReport, OffChipModel, SramModel, Technology};
 use lpmem_isa::{Kernel, Machine};
@@ -72,7 +71,11 @@ impl CompressionConfig {
     /// obtained by setting [`threshold`](Self::threshold) to `0.5` and is
     /// exercised by the threshold-sweep ablation.
     pub fn for_platform(kind: PlatformKind) -> Self {
-        CompressionConfig { cache: kind.cache_config(), threshold: 0.75, flush_at_end: true }
+        CompressionConfig {
+            cache: kind.cache_config(),
+            threshold: 0.75,
+            flush_at_end: true,
+        }
     }
 }
 
@@ -125,7 +128,9 @@ impl Backing for CompressingBacking<'_> {
 
     fn write_block(&mut self, addr: u64, data: &[u8]) {
         let raw = (data.len() / 4) as u64;
-        let actual = self.model.write_back(self.codec, addr, data, self.threshold) as u64;
+        let actual = self
+            .model
+            .write_back(self.codec, addr, data, self.threshold) as u64;
         self.raw_wb_beats += raw;
         self.actual_wb_beats += actual;
         self.codec_words += raw; // every dirty line runs through the compressor
@@ -234,12 +239,21 @@ pub fn run_compression_trace(
     let mut baseline = EnergyReport::new();
     baseline.add("dcache", dcache_energy);
     baseline.add("offchip.fill", off.transfer_energy(backing.raw_fill_beats));
-    baseline.add("offchip.writeback", off.transfer_energy(backing.raw_wb_beats));
+    baseline.add(
+        "offchip.writeback",
+        off.transfer_energy(backing.raw_wb_beats),
+    );
 
     let mut compressed = EnergyReport::new();
     compressed.add("dcache", dcache_energy);
-    compressed.add("offchip.fill", off.transfer_energy(backing.actual_fill_beats));
-    compressed.add("offchip.writeback", off.transfer_energy(backing.actual_wb_beats));
+    compressed.add(
+        "offchip.fill",
+        off.transfer_energy(backing.actual_fill_beats),
+    );
+    compressed.add(
+        "offchip.writeback",
+        off.transfer_energy(backing.actual_wb_beats),
+    );
     compressed.add(
         "codec",
         Energy::from_pj(tech.codec_word_pj * backing.codec_words as f64),
@@ -345,14 +359,9 @@ mod tests {
 
     #[test]
     fn raw_codec_saves_nothing_but_costs_codec_energy() {
-        let out = run_compression_kernel(
-            Kernel::Fir,
-            48,
-            5,
-            PlatformKind::RiscLike,
-            &RawCodec::new(),
-        )
-        .unwrap();
+        let out =
+            run_compression_kernel(Kernel::Fir, 48, 5, PlatformKind::RiscLike, &RawCodec::new())
+                .unwrap();
         assert_eq!(out.compressed_lines, 0);
         assert_eq!(out.raw_beats, out.actual_beats);
         assert!(out.energy_saving() <= 0.0);

@@ -1,9 +1,8 @@
 //! The 1B.1 flow: monolithic vs. partitioned vs. clustered+partitioned
 //! data memory.
 
-
 use lpmem_cluster::{cluster_blocks, AddressMap, ClusterConfig, Objective};
-use lpmem_energy::{Energy, Technology};
+use lpmem_energy::{AreaReport, Energy, Technology};
 use lpmem_partition::sleep::{evaluate_with_sleep, SleepPolicy};
 use lpmem_partition::{optimal_partition, Partition, PartitionCost};
 use lpmem_trace::{BlockProfile, MemEvent, Trace};
@@ -26,7 +25,11 @@ impl Default for PartitioningConfig {
     /// 2 KiB blocks, up to 8 banks, default clustering — the headline (T1)
     /// configuration.
     fn default() -> Self {
-        PartitioningConfig { block_size: 2048, max_banks: 8, cluster: ClusterConfig::default() }
+        PartitioningConfig {
+            block_size: 2048,
+            max_banks: 8,
+            cluster: ClusterConfig::default(),
+        }
     }
 }
 
@@ -54,6 +57,10 @@ pub struct PartitioningOutcome {
     pub blocks: usize,
     /// Data accesses evaluated.
     pub accesses: u64,
+    /// Silicon-area breakdown of the **adopted** design: per-bank cell
+    /// arrays and periphery, plus the relocation table when clustering
+    /// was adopted with a non-identity map (the promoted A5 accounting).
+    pub area: AreaReport,
 }
 
 impl PartitioningOutcome {
@@ -102,13 +109,14 @@ pub fn run_partitioning(
     // temporal grouping, which only pays under power gating — see A4).
     let objectives: &[Objective] = match cfg.cluster.objective {
         Objective::FrequencyOnly => &[Objective::FrequencyOnly],
-        Objective::FrequencyAffinity => {
-            &[Objective::FrequencyOnly, Objective::FrequencyAffinity]
-        }
+        Objective::FrequencyAffinity => &[Objective::FrequencyOnly, Objective::FrequencyAffinity],
     };
     let mut best: Option<(AddressMap, Partition, Energy)> = None;
     for &objective in objectives {
-        let cluster_cfg = ClusterConfig { objective, ..cfg.cluster.clone() };
+        let cluster_cfg = ClusterConfig {
+            objective,
+            ..cfg.cluster.clone()
+        };
         let map = cluster_blocks(&profile, Some(&data), &cluster_cfg);
         let remapped = map.apply(&profile)?;
         let (part, eval) = optimal_partition(&remapped, cfg.max_banks, &cost);
@@ -117,7 +125,7 @@ pub fn run_partitioning(
             best = Some((map, part, total));
         }
     }
-    let (_, part_clustered, with_clustering) =
+    let (map_clustered, part_clustered, with_clustering) =
         best.expect("at least one objective is evaluated");
 
     // Adopt clustering only when it pays for its relocation table — the
@@ -129,6 +137,18 @@ pub fn run_partitioning(
         (eval_plain.total(), part_plain.num_banks())
     };
 
+    // Area of the design the flow actually ships: the adopted banking,
+    // plus the relocation table if clustering (with a real remap) won.
+    let adopted_part = if adopted {
+        &part_clustered
+    } else {
+        &part_plain
+    };
+    let mut area = cost.area_report(&profile, adopted_part);
+    if adopted && !map_clustered.is_identity() {
+        area.add("relocation.table", map_clustered.table_area_mm2(tech));
+    }
+
     Ok(PartitioningOutcome {
         name: name.to_owned(),
         monolithic: monolithic.total(),
@@ -139,6 +159,7 @@ pub fn run_partitioning(
         clustering_adopted: adopted,
         blocks: profile.num_blocks(),
         accesses,
+        area,
     })
 }
 
@@ -176,7 +197,13 @@ impl SleepPartitioningOutcome {
 
 /// Remaps every data event of a trace through an [`AddressMap`].
 fn remap_trace(trace: &Trace, map: &AddressMap) -> Trace {
-    trace.iter().map(|ev| MemEvent { addr: map.remap_addr(ev.addr), ..*ev }).collect()
+    trace
+        .iter()
+        .map(|ev| MemEvent {
+            addr: map.remap_addr(ev.addr),
+            ..*ev
+        })
+        .collect()
 }
 
 /// Runs the sleep-aware comparison (see [`SleepPartitioningOutcome`]).
@@ -207,14 +234,19 @@ pub fn run_partitioning_sleep(
     let plain = evaluate_with_sleep(&data, &profile, &plain_part, tech, &policy);
 
     let variant = |objective: Objective| -> Result<(Energy, f64), FlowError> {
-        let cluster_cfg = ClusterConfig { objective, ..cfg.cluster.clone() };
+        let cluster_cfg = ClusterConfig {
+            objective,
+            ..cfg.cluster.clone()
+        };
         let map = cluster_blocks(&profile, Some(&data), &cluster_cfg);
         let remapped_profile = map.apply(&profile)?;
         let remapped_trace = remap_trace(&data, &map);
         let (part, _) = optimal_partition(&remapped_profile, cfg.max_banks, &cost);
-        let eval =
-            evaluate_with_sleep(&remapped_trace, &remapped_profile, &part, tech, &policy);
-        Ok((eval.total() + map.lookup_energy(accesses, tech), eval.sleep_fraction))
+        let eval = evaluate_with_sleep(&remapped_trace, &remapped_profile, &part, tech, &policy);
+        Ok((
+            eval.total() + map.lookup_energy(accesses, tech),
+            eval.sleep_fraction,
+        ))
     };
     let (freq_only, sf1) = variant(Objective::FrequencyOnly)?;
     let (affinity, sf2) = variant(Objective::FrequencyAffinity)?;
@@ -253,7 +285,11 @@ mod tests {
         .unwrap();
         assert!(out.partitioned < out.monolithic);
         assert!(out.clustered < out.partitioned, "{out:?}");
-        assert!(out.reduction_vs_partitioned() > 0.10, "{}", out.reduction_vs_partitioned());
+        assert!(
+            out.reduction_vs_partitioned() > 0.10,
+            "{}",
+            out.reduction_vs_partitioned()
+        );
     }
 
     #[test]
@@ -286,6 +322,25 @@ mod tests {
     }
 
     #[test]
+    fn outcome_carries_adopted_area() {
+        let trace = scattered_trace();
+        let out = run_partitioning(
+            "hotcold",
+            &trace,
+            &PartitioningConfig::default(),
+            &Technology::tech180(),
+        )
+        .unwrap();
+        assert!(out.area.component("bank.cells") > 0.0);
+        assert!(out.area.component("bank.periphery") > 0.0);
+        // On this workload clustering wins with a real remap, so the
+        // relocation table must be accounted for.
+        assert!(out.clustering_adopted);
+        assert!(out.area.component("relocation.table") > 0.0, "{}", out.area);
+        assert!(out.area.total_mm2() > out.area.component("bank.cells"));
+    }
+
+    #[test]
     fn sleep_flow_reports_sleep_fractions() {
         let trace = scattered_trace();
         let out = run_partitioning_sleep(
@@ -298,7 +353,10 @@ mod tests {
         .unwrap();
         // Clustered variants must not lose to plain partitioning here.
         assert!(out.affinity <= out.partitioned, "{out:?}");
-        assert!(out.sleep_fractions.iter().all(|&f| (0.0..=1.0).contains(&f)));
+        assert!(out
+            .sleep_fractions
+            .iter()
+            .all(|&f| (0.0..=1.0).contains(&f)));
     }
 
     #[test]

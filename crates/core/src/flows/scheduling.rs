@@ -1,7 +1,6 @@
 //! The 1B.4 flow: two-level data scheduling for multi-context
 //! reconfigurable fabrics.
 
-
 use lpmem_energy::{Energy, Technology};
 use lpmem_sched::{
     external_only_schedule, greedy_schedule, naive_schedule, AppSpec, ContextSpec, SchedPlatform,
@@ -25,16 +24,16 @@ use crate::FlowError;
 /// # Panics
 ///
 /// Panics if `stages` is zero.
-pub fn dsp_pipeline_app(
-    stages: usize,
-    iterations: u64,
-    seed: u64,
-) -> Result<AppSpec, FlowError> {
+pub fn dsp_pipeline_app(stages: usize, iterations: u64, seed: u64) -> Result<AppSpec, FlowError> {
     assert!(stages > 0, "pipeline needs at least one stage");
     // Simple deterministic LCG so the builder needs no external RNG.
-    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let mut state = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
     let mut next = |lo: u64, hi: u64| {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         lo + (state >> 33) % (hi - lo)
     };
 

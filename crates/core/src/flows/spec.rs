@@ -62,7 +62,9 @@ impl TechNode {
 
     /// Parses a short key (`"t180"`, `"t130"`, `"t90"`).
     pub fn parse(s: &str) -> Option<TechNode> {
-        TechNode::ALL.into_iter().find(|t| t.name() == s.trim().to_ascii_lowercase())
+        TechNode::ALL
+            .into_iter()
+            .find(|t| t.name() == s.trim().to_ascii_lowercase())
     }
 }
 
@@ -105,7 +107,9 @@ impl FlowSpec {
 
     /// Parses a flow key (case-insensitive).
     pub fn parse(s: &str) -> Option<FlowSpec> {
-        FlowSpec::ALL.into_iter().find(|f| f.name() == s.trim().to_ascii_lowercase())
+        FlowSpec::ALL
+            .into_iter()
+            .find(|f| f.name() == s.trim().to_ascii_lowercase())
     }
 
     /// Runs this flow on one grid point and reports the flat summary.
@@ -162,9 +166,13 @@ impl FlowSpec {
             }
             FlowSpec::BusCoding => {
                 let run = kernel.run(scale, seed)?;
-                let out =
-                    run_buscoding(kernel.name(), &run.trace, variant.regions, &technology)?;
-                Ok(self.summary(kernel.name(), out.raw_energy, out.encoded_energy, out.fetches))
+                let out = run_buscoding(kernel.name(), &run.trace, variant.regions, &technology)?;
+                Ok(self.summary(
+                    kernel.name(),
+                    out.raw_energy,
+                    out.encoded_energy,
+                    out.fetches,
+                ))
             }
             FlowSpec::Scheduling => {
                 let app = dsp_pipeline_app(variant.stages, variant.iterations, seed)?;
@@ -205,7 +213,13 @@ impl FlowSpec {
         optimized: Energy,
         events: u64,
     ) -> FlowSummary {
-        FlowSummary { flow: self, workload: workload.to_owned(), baseline, optimized, events }
+        FlowSummary {
+            flow: self,
+            workload: workload.to_owned(),
+            baseline,
+            optimized,
+            events,
+        }
     }
 }
 
@@ -328,7 +342,10 @@ mod tests {
         }
         assert_eq!(FlowSpec::parse("nonsense"), None);
         assert_eq!(TechNode::parse("t65"), None);
-        assert_eq!(VariantSpec::parse("tight").map(|v| v.name), Some("tight".to_owned()));
+        assert_eq!(
+            VariantSpec::parse("tight").map(|v| v.name),
+            Some("tight".to_owned())
+        );
         assert!(VariantSpec::parse("nonsense").is_none());
     }
 
@@ -370,9 +387,16 @@ mod tests {
         // (which historically pinned its platform's own node).
         let variant = VariantSpec::default();
         for flow in FlowSpec::ALL {
-            let old = flow.run(Kernel::Histogram, 24, 7, TechNode::T180, &variant).unwrap();
-            let new = flow.run(Kernel::Histogram, 24, 7, TechNode::T90, &variant).unwrap();
-            assert_ne!(old.baseline, new.baseline, "{flow}: tech axis had no effect");
+            let old = flow
+                .run(Kernel::Histogram, 24, 7, TechNode::T180, &variant)
+                .unwrap();
+            let new = flow
+                .run(Kernel::Histogram, 24, 7, TechNode::T90, &variant)
+                .unwrap();
+            assert_ne!(
+                old.baseline, new.baseline,
+                "{flow}: tech axis had no effect"
+            );
         }
     }
 }

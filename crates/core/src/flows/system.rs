@@ -9,7 +9,6 @@
 //! implicitly poses: *how much of an embedded SoC's memory-system energy
 //! do these techniques recover together?*
 
-
 use lpmem_buscode::RegionEncoder;
 use lpmem_compress::LineCodec;
 use lpmem_energy::{BusModel, Energy, EnergyReport};
@@ -47,7 +46,9 @@ impl SystemOutcome {
 
     /// Saving on the instruction-bus component alone.
     pub fn ibus_saving(&self) -> f64 {
-        self.optimized.component("ibus").saving_vs(self.baseline.component("ibus"))
+        self.optimized
+            .component("ibus")
+            .saving_vs(self.baseline.component("ibus"))
     }
 }
 
@@ -66,7 +67,15 @@ pub fn run_system(
     codec: &dyn LineCodec,
     regions: usize,
 ) -> Result<SystemOutcome, FlowError> {
-    run_system_with_tech(kernel, scale, seed, platform, codec, regions, &platform.technology())
+    run_system_with_tech(
+        kernel,
+        scale,
+        seed,
+        platform,
+        codec,
+        regions,
+        &platform.technology(),
+    )
 }
 
 /// [`run_system`] with an explicit technology node — the entry point the

@@ -63,7 +63,10 @@ pub fn scattered_suite(seed: u64) -> Vec<(String, Trace)> {
     }
     // A phase-structured workload (media-pipeline-like).
     let regions = vec![(0u64, 8 << 10), (96 << 10, 4 << 10), (160 << 10, 16 << 10)];
-    let trace: Trace = MarkovGen::new(regions, 0.002).seed(seed).events(80_000).collect();
+    let trace: Trace = MarkovGen::new(regions, 0.002)
+        .seed(seed)
+        .events(80_000)
+        .collect();
     suite.push(("phased-media".to_owned(), trace));
     suite
 }
@@ -84,15 +87,14 @@ pub fn scattered_suite(seed: u64) -> Vec<(String, Trace)> {
 /// # Errors
 ///
 /// Propagates kernel execution errors.
-pub fn composite_app(
-    phases: &[(Kernel, u32)],
-    seed: u64,
-) -> Result<Trace, FlowError> {
+pub fn composite_app(phases: &[(Kernel, u32)], seed: u64) -> Result<Trace, FlowError> {
     const SECTION_SHIFT: u32 = 16; // kernel sections are 64 KiB apart
     const SLOT_BYTES: u64 = 16 << 10; // relocated object slot
     let mut out = Trace::new();
     for (k_idx, &(kernel, scale)) in phases.iter().enumerate() {
-        let run = kernel.run(scale, seed ^ (k_idx as u64)).map_err(FlowError::from)?;
+        let run = kernel
+            .run(scale, seed ^ (k_idx as u64))
+            .map_err(FlowError::from)?;
         for ev in run.trace.data_only() {
             // Original sections start at 0x10000 (in), 0x20000 (out),
             // 0x30000 (tables).
@@ -126,12 +128,23 @@ pub fn composite_suite(seed: u64) -> Result<Vec<(String, Trace)>, FlowError> {
         ),
         (
             "app-inspect",
-            vec![(Kernel::Crc32, 96), (Kernel::Histogram, 96), (Kernel::StrSearch, 96)],
+            vec![
+                (Kernel::Crc32, 96),
+                (Kernel::Histogram, 96),
+                (Kernel::StrSearch, 96),
+            ],
         ),
-        ("app-dsp", vec![(Kernel::MatMul, 12), (Kernel::Fir, 64), (Kernel::Dct8, 16)]),
+        (
+            "app-dsp",
+            vec![(Kernel::MatMul, 12), (Kernel::Fir, 64), (Kernel::Dct8, 16)],
+        ),
         (
             "app-store",
-            vec![(Kernel::BubbleSort, 64), (Kernel::Histogram, 64), (Kernel::RleEncode, 64)],
+            vec![
+                (Kernel::BubbleSort, 64),
+                (Kernel::Histogram, 64),
+                (Kernel::RleEncode, 64),
+            ],
         ),
     ];
     apps.into_iter()

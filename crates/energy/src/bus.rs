@@ -1,6 +1,5 @@
 //! Bus switching-energy model and transition counting.
 
-
 use crate::{Energy, Technology};
 
 /// A parallel bus whose dynamic energy is `transitions × ½·C·V²`.
@@ -52,9 +51,16 @@ impl BusModel {
     /// Panics if `width_bits` is zero or exceeds 64, or if `cap_pf` is not
     /// positive.
     pub fn with_capacitance(tech: &Technology, width_bits: u32, cap_pf: f64) -> Self {
-        assert!(width_bits > 0 && width_bits <= 64, "bus width must be in 1..=64");
+        assert!(
+            width_bits > 0 && width_bits <= 64,
+            "bus width must be in 1..=64"
+        );
         assert!(cap_pf > 0.0, "capacitance must be positive");
-        BusModel { width_bits, cap_pf_per_line: cap_pf, vdd: tech.vdd }
+        BusModel {
+            width_bits,
+            cap_pf_per_line: cap_pf,
+            vdd: tech.vdd,
+        }
     }
 
     /// Bus width in bits.
@@ -84,13 +90,19 @@ impl BusModel {
     /// The first word contributes no transitions (the bus state before the
     /// sequence is taken to equal the first word).
     pub fn transitions(words: &[u64]) -> u64 {
-        words.windows(2).map(|w| (w[0] ^ w[1]).count_ones() as u64).sum()
+        words
+            .windows(2)
+            .map(|w| (w[0] ^ w[1]).count_ones() as u64)
+            .sum()
     }
 
     /// Counts transitions of a 32-bit word stream (convenience for
     /// instruction buses).
     pub fn transitions32(words: &[u32]) -> u64 {
-        words.windows(2).map(|w| (w[0] ^ w[1]).count_ones() as u64).sum()
+        words
+            .windows(2)
+            .map(|w| (w[0] ^ w[1]).count_ones() as u64)
+            .sum()
     }
 }
 

@@ -11,7 +11,9 @@
 //!   transitions (the property bus encoding exploits);
 //! * [`OffChipModel`] — per-beat main-memory energy, an order of magnitude
 //!   above on-chip accesses (the property write-back compression exploits);
-//! * [`EnergyReport`] — a named breakdown that flows combine and print.
+//! * [`EnergyReport`] — a named breakdown that flows combine and print;
+//! * [`AreaReport`] — the silicon-area counterpart (named mm² components),
+//!   the promoted A5 accounting the design-space explorer scores against.
 //!
 //! The absolute values are documented approximations of published
 //! 0.18 µm / 0.13 µm figures; all experiments in this workspace depend only
@@ -31,12 +33,14 @@
 
 #![warn(missing_docs)]
 
+pub mod area;
 pub mod bus;
 pub mod report;
 pub mod sram;
 pub mod tech;
 pub mod units;
 
+pub use area::AreaReport;
 pub use bus::BusModel;
 pub use report::EnergyReport;
 pub use sram::{OffChipModel, SramModel};

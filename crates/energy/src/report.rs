@@ -3,7 +3,6 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-
 use crate::Energy;
 
 /// An energy breakdown by named component.
@@ -37,7 +36,10 @@ impl EnergyReport {
 
     /// Adds energy to the named component (creating it if new).
     pub fn add(&mut self, component: impl Into<String>, energy: Energy) {
-        *self.components.entry(component.into()).or_insert(Energy::ZERO) += energy;
+        *self
+            .components
+            .entry(component.into())
+            .or_insert(Energy::ZERO) += energy;
     }
 
     /// Energy of one component (zero when absent).
@@ -66,7 +68,11 @@ impl EnergyReport {
     /// (useful for per-iteration normalization).
     pub fn scaled(&self, factor: f64) -> EnergyReport {
         EnergyReport {
-            components: self.components.iter().map(|(k, &v)| (k.clone(), v * factor)).collect(),
+            components: self
+                .components
+                .iter()
+                .map(|(k, &v)| (k.clone(), v * factor))
+                .collect(),
         }
     }
 
@@ -78,7 +84,13 @@ impl EnergyReport {
 
 impl fmt::Display for EnergyReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let width = self.components.keys().map(|k| k.len()).max().unwrap_or(5).max(5);
+        let width = self
+            .components
+            .keys()
+            .map(|k| k.len())
+            .max()
+            .unwrap_or(5)
+            .max(5);
         for (name, energy) in &self.components {
             writeln!(f, "  {name:<width$}  {energy}")?;
         }
@@ -144,10 +156,12 @@ mod tests {
 
     #[test]
     fn from_iterator_collects() {
-        let r: EnergyReport =
-            vec![("x".to_owned(), Energy::from_pj(1.0)), ("x".to_owned(), Energy::from_pj(2.0))]
-                .into_iter()
-                .collect();
+        let r: EnergyReport = vec![
+            ("x".to_owned(), Energy::from_pj(1.0)),
+            ("x".to_owned(), Energy::from_pj(2.0)),
+        ]
+        .into_iter()
+        .collect();
         assert_eq!(r.component("x"), Energy::from_pj(3.0));
     }
 }

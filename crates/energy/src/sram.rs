@@ -1,6 +1,5 @@
 //! Analytic SRAM and off-chip memory energy models.
 
-
 use crate::{Energy, Technology};
 
 /// CACTI-style analytic model of an on-chip SRAM macro.
@@ -54,9 +53,32 @@ impl SramModel {
     ///
     /// Panics if `bytes` is zero.
     pub fn area_mm2(&self, bytes: u64) -> f64 {
+        self.cell_area_mm2(bytes) + self.periphery_area_mm2(bytes)
+    }
+
+    /// The bit-cell array part of [`area_mm2`](Self::area_mm2): invariant
+    /// under banking (the same bits occupy the same cells however they are
+    /// split).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero.
+    pub fn cell_area_mm2(&self, bytes: u64) -> f64 {
+        assert!(bytes > 0, "SRAM macro must have non-zero capacity");
+        (bytes * 8) as f64 * self.cell_um2 * 1e-6
+    }
+
+    /// The periphery part of [`area_mm2`](Self::area_mm2) (decoder, sense
+    /// amps, word/bit-line drivers): paid once **per macro**, which is why
+    /// banking costs area.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero.
+    pub fn periphery_area_mm2(&self, bytes: u64) -> f64 {
         assert!(bytes > 0, "SRAM macro must have non-zero capacity");
         let bits = (bytes * 8) as f64;
-        bits * self.cell_um2 * 1e-6 + self.periph_mm2 + self.periph_slope_mm2 * bits.sqrt()
+        self.periph_mm2 + self.periph_slope_mm2 * bits.sqrt()
     }
 
     /// Energy of one read access to a macro of `bytes` capacity.
@@ -98,7 +120,9 @@ pub struct OffChipModel {
 impl OffChipModel {
     /// Builds the model for a technology node.
     pub fn new(tech: &Technology) -> Self {
-        OffChipModel { beat_pj: tech.offchip_beat_pj }
+        OffChipModel {
+            beat_pj: tech.offchip_beat_pj,
+        }
     }
 
     /// Energy of moving `beats` 4-byte beats (reads or writes).

@@ -1,6 +1,5 @@
 //! Technology parameter sets.
 
-
 /// Every technology-dependent constant used by the workspace, in one place.
 ///
 /// Two presets are provided, [`Technology::tech180`] (0.18 µm, the node of

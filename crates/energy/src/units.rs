@@ -4,7 +4,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
 
-
 /// An amount of energy, stored internally in picojoules.
 ///
 /// `Energy` is a zero-cost newtype ([C-NEWTYPE]) that keeps joules from

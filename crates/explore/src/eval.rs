@@ -1,0 +1,462 @@
+//! Scoring one [`DesignPoint`] as (energy, area, cycles) objectives.
+//!
+//! The evaluator runs the workload **once** at construction and replays the
+//! captured trace, fetch stream, and generated scheduling application
+//! against each candidate configuration. Scoring is a pure function of the
+//! point, so results are identical at any worker count; per-axis
+//! memoization (behind mutexes) only avoids recomputing a sub-flow two
+//! points share — the cached value is the value every thread would have
+//! computed.
+//!
+//! The modeled platform is a scratchpad-plus-cached-heap embedded SoC: the
+//! partitioned/clustered scratchpad (1B.1) and the compressed write-back
+//! D-cache (1B.2) are scored over the same data trace as two design
+//! regions whose energies add, the encoded instruction bus (1B.3) over the
+//! fetch stream, and the two-level scheduler (1B.4) over a DSP pipeline
+//! generated from the same seed. Area is the sum of the banked scratchpad
+//! (the promoted A5 accounting, relocation table included), the D-cache
+//! macro, codec and encoder gates, and the L0/L1 macros.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use lpmem_buscode::addrbus::gray_encode;
+use lpmem_buscode::{transitions, BusInvert, RegionEncoder};
+use lpmem_compress::{DiffCodec, FpcCodec, LineCodec, RawCodec, ZeroRunCodec};
+use lpmem_core::flows::compression::{run_compression_trace, CompressionConfig};
+use lpmem_core::flows::partitioning::{run_partitioning, PartitioningConfig};
+use lpmem_core::flows::scheduling::{dsp_pipeline_app, run_scheduling};
+use lpmem_core::flows::spec::TechNode;
+use lpmem_core::workloads::kernel_trace_and_image;
+use lpmem_core::FlowError;
+use lpmem_energy::{AreaReport, BusModel, SramModel, Technology};
+use lpmem_isa::Kernel;
+use lpmem_mem::FlatMemory;
+use lpmem_sched::{AppSpec, SchedPlatform};
+use lpmem_trace::{AccessKind, Trace};
+
+use crate::point::{BusChoice, CacheGeom, CodecChoice, DesignPoint};
+
+/// Cycles charged per off-chip beat (on-chip accesses cost one cycle).
+const OFFCHIP_BEAT_CYCLES: u64 = 10;
+
+/// Gate area as a multiple of the node's SRAM cell area — random logic is
+/// larger than a 6T bit cell; 2.5 cells/gate is a standard-cell-order
+/// approximation consistent with the workspace's ratio-only area model.
+const GATE_CELLS: f64 = 2.5;
+
+/// The workload a search scores every candidate against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Workload {
+    /// Kernel generating the trace and fetch stream.
+    pub kernel: Kernel,
+    /// Kernel problem scale.
+    pub scale: u32,
+    /// Seed for the kernel's data and the scheduling application.
+    pub seed: u64,
+    /// Technology node everything is priced at.
+    pub tech: TechNode,
+    /// Pipeline stages of the generated scheduling application.
+    pub stages: usize,
+    /// Loop iterations of the generated scheduling application.
+    pub iterations: u64,
+}
+
+impl Default for Workload {
+    /// The DSE headline workload: FIR at scale 48 on the 0.18 µm node with
+    /// a 4-stage, 32-frame pipeline — the same corner the sweep's spec
+    /// tests exercise.
+    fn default() -> Self {
+        Workload {
+            kernel: Kernel::Fir,
+            scale: 48,
+            seed: 2003,
+            tech: TechNode::T180,
+            stages: 4,
+            iterations: 32,
+        }
+    }
+}
+
+/// The three minimized objectives of one evaluated point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Objectives {
+    /// Total platform energy in pJ.
+    pub energy_pj: f64,
+    /// Total silicon area in mm².
+    pub area_mm2: f64,
+    /// Performance proxy: memory cycles (on-chip accesses plus weighted
+    /// off-chip beats).
+    pub cycles: u64,
+}
+
+impl Objectives {
+    /// Pareto dominance: no objective worse, at least one strictly better.
+    pub fn dominates(&self, other: &Objectives) -> bool {
+        let no_worse = self.energy_pj <= other.energy_pj
+            && self.area_mm2 <= other.area_mm2
+            && self.cycles <= other.cycles;
+        let better = self.energy_pj < other.energy_pj
+            || self.area_mm2 < other.area_mm2
+            || self.cycles < other.cycles;
+        no_worse && better
+    }
+}
+
+/// One scored design point.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Evaluation {
+    /// The configuration that was scored.
+    pub point: DesignPoint,
+    /// Its objective vector.
+    pub objectives: Objectives,
+    /// Named area breakdown behind `objectives.area_mm2`.
+    pub area: AreaReport,
+}
+
+#[derive(Clone)]
+struct PartEval {
+    energy_pj: f64,
+    area: AreaReport,
+}
+
+#[derive(Clone, Copy)]
+struct CompEval {
+    energy_pj: f64,
+    beats: u64,
+}
+
+/// Scores design points against one fixed workload.
+pub struct Evaluator {
+    workload: Workload,
+    tech: Technology,
+    trace: Trace,
+    image: FlatMemory,
+    fetch_stream: Vec<(u64, u32)>,
+    data_accesses: u64,
+    app: AppSpec,
+    part_cache: Mutex<HashMap<(usize, u64), PartEval>>,
+    comp_cache: Mutex<HashMap<(CacheGeom, CodecChoice), CompEval>>,
+    bus_cache: Mutex<HashMap<String, f64>>,
+    sched_cache: Mutex<HashMap<u64, f64>>,
+}
+
+impl Evaluator {
+    /// Runs the workload once and captures everything scoring needs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel execution and application-builder errors, and
+    /// rejects workloads whose trace lacks fetches or data accesses.
+    pub fn new(workload: Workload) -> Result<Evaluator, FlowError> {
+        let (trace, image) =
+            kernel_trace_and_image(workload.kernel, workload.scale, workload.seed)?;
+        let fetch_stream: Vec<(u64, u32)> = trace
+            .iter()
+            .filter(|e| e.kind == AccessKind::InstrFetch)
+            .map(|e| (e.addr, e.value))
+            .collect();
+        if fetch_stream.is_empty() {
+            return Err(FlowError::EmptyInput("trace has no instruction fetches"));
+        }
+        let data_accesses = trace.iter().filter(|e| e.kind.is_data()).count() as u64;
+        if data_accesses == 0 {
+            return Err(FlowError::EmptyInput("trace has no data accesses"));
+        }
+        let app = dsp_pipeline_app(workload.stages, workload.iterations, workload.seed)?;
+        let tech = workload.tech.technology();
+        Ok(Evaluator {
+            workload,
+            tech,
+            trace,
+            image,
+            fetch_stream,
+            data_accesses,
+            app,
+            part_cache: Mutex::new(HashMap::new()),
+            comp_cache: Mutex::new(HashMap::new()),
+            bus_cache: Mutex::new(HashMap::new()),
+            sched_cache: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The workload this evaluator scores against.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// Scores one point. Pure in the point: the same point always maps to
+    /// the same objectives, whichever thread asks first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flow errors (an invalid cache geometry, a scheduler
+    /// failure). Points from a validated [`DesignSpace`]
+    /// [`crate::point::DesignSpace`] never fail.
+    pub fn evaluate(&self, point: &DesignPoint) -> Result<Evaluation, FlowError> {
+        let part = self.partitioning(point.banks, point.block)?;
+        let comp = self.compression(point.cache, point.codec)?;
+        let ibus_pj = self.ibus(point.bus);
+        let sched_pj = self.scheduling(point.l0)?;
+
+        let energy_pj = part.energy_pj + comp.energy_pj + ibus_pj + sched_pj;
+
+        let sram = SramModel::new(&self.tech);
+        let mut area = part.area.clone();
+        area.add("dcache.macro", sram.area_mm2(point.cache.size));
+        area.add("dcache.codec", self.gate_area_mm2(codec_gates(point.codec)));
+        area.add("ibus.encoder", self.gate_area_mm2(bus_gates(point.bus)));
+        area.add("sched.l0", sram.area_mm2(point.l0));
+        area.add("sched.l1", sram.area_mm2(16 << 10));
+
+        let cycles =
+            self.fetch_stream.len() as u64 + self.data_accesses + OFFCHIP_BEAT_CYCLES * comp.beats;
+
+        Ok(Evaluation {
+            point: point.clone(),
+            objectives: Objectives {
+                energy_pj,
+                area_mm2: area.total_mm2(),
+                cycles,
+            },
+            area,
+        })
+    }
+
+    fn partitioning(&self, banks: usize, block: u64) -> Result<PartEval, FlowError> {
+        if let Some(hit) = lock(&self.part_cache).get(&(banks, block)) {
+            return Ok(hit.clone());
+        }
+        let cfg = PartitioningConfig {
+            block_size: block,
+            max_banks: banks,
+            ..Default::default()
+        };
+        let out = run_partitioning("dse", &self.trace, &cfg, &self.tech)?;
+        let eval = PartEval {
+            energy_pj: out.clustered.as_pj(),
+            area: out.area,
+        };
+        lock(&self.part_cache).insert((banks, block), eval.clone());
+        Ok(eval)
+    }
+
+    fn compression(&self, cache: CacheGeom, codec: CodecChoice) -> Result<CompEval, FlowError> {
+        if let Some(&hit) = lock(&self.comp_cache).get(&(cache, codec)) {
+            return Ok(hit);
+        }
+        let cfg = CompressionConfig {
+            cache: cache.config()?,
+            threshold: 0.75,
+            flush_at_end: true,
+        };
+        let codec_impl: Box<dyn LineCodec> = match codec {
+            CodecChoice::Off => Box::new(RawCodec::new()),
+            CodecChoice::Differential => Box::new(DiffCodec::new()),
+            CodecChoice::ZeroRun => Box::new(ZeroRunCodec::new()),
+            CodecChoice::Fpc => Box::new(FpcCodec::new()),
+        };
+        let out = run_compression_trace(
+            "dse",
+            "dse",
+            &self.trace,
+            self.image.clone(),
+            codec_impl.as_ref(),
+            &cfg,
+            &self.tech,
+        )?;
+        // With the codec off there is no compression hardware: the design
+        // pays raw traffic and no codec energy (the flow's baseline side).
+        let eval = match codec {
+            CodecChoice::Off => CompEval {
+                energy_pj: out.baseline.total().as_pj(),
+                beats: out.raw_beats,
+            },
+            _ => CompEval {
+                energy_pj: out.compressed.total().as_pj(),
+                beats: out.actual_beats,
+            },
+        };
+        lock(&self.comp_cache).insert((cache, codec), eval);
+        Ok(eval)
+    }
+
+    fn ibus(&self, bus: BusChoice) -> f64 {
+        let key = bus.name();
+        if let Some(&hit) = lock(&self.bus_cache).get(&key) {
+            return hit;
+        }
+        let model = BusModel::onchip(&self.tech, 32);
+        let raw = transitions(self.fetch_stream.iter().map(|&(_, w)| w));
+        let encoded = match bus {
+            BusChoice::Raw => raw,
+            BusChoice::Gray => transitions(self.fetch_stream.iter().map(|&(_, w)| gray_encode(w))),
+            BusChoice::BusInvert => BusInvert::transitions(&self.fetch_stream),
+            BusChoice::Xor(regions) => {
+                RegionEncoder::train(&self.fetch_stream, regions)
+                    .evaluate(&self.fetch_stream)
+                    .encoded_transitions
+            }
+        };
+        let mut pj = model.energy_of(encoded).as_pj();
+        if bus != BusChoice::Raw {
+            // Encoder + decoder gate switching, as priced by the system
+            // flow: ~0.004 of a line transition per side.
+            let gate_pj = 0.004 * model.transition_energy().as_pj();
+            pj += gate_pj * (raw + encoded) as f64;
+        }
+        lock(&self.bus_cache).insert(key, pj);
+        pj
+    }
+
+    fn scheduling(&self, l0: u64) -> Result<f64, FlowError> {
+        if let Some(&hit) = lock(&self.sched_cache).get(&l0) {
+            return Ok(hit);
+        }
+        let platform = SchedPlatform::new(&self.tech, l0, 16 << 10);
+        let out = run_scheduling("dse", &self.app, &platform)?;
+        let pj = out.greedy.as_pj();
+        lock(&self.sched_cache).insert(l0, pj);
+        Ok(pj)
+    }
+
+    fn gate_area_mm2(&self, gates: u64) -> f64 {
+        gates as f64 * GATE_CELLS * self.tech.sram_cell_um2 * 1e-6
+    }
+}
+
+/// First-order gate counts of the codec datapaths (zero when off).
+fn codec_gates(codec: CodecChoice) -> u64 {
+    match codec {
+        CodecChoice::Off => 0,
+        CodecChoice::ZeroRun => 900,
+        CodecChoice::Differential => 1200,
+        CodecChoice::Fpc => 2000,
+    }
+}
+
+/// First-order gate counts of the bus encoder + decoder pair.
+fn bus_gates(bus: BusChoice) -> u64 {
+    match bus {
+        BusChoice::Raw => 0,
+        BusChoice::Gray => 64,
+        BusChoice::BusInvert => 96,
+        BusChoice::Xor(regions) => 96 * regions as u64,
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::DesignSpace;
+
+    fn tiny_workload() -> Workload {
+        Workload {
+            scale: 16,
+            iterations: 8,
+            ..Workload::default()
+        }
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let eval = Evaluator::new(tiny_workload()).unwrap();
+        let p = DesignSpace::small().point_at(5);
+        let a = eval.evaluate(&p).unwrap();
+        let b = eval.evaluate(&p).unwrap();
+        assert_eq!(a, b);
+        // A fresh evaluator (cold caches) agrees too.
+        let eval2 = Evaluator::new(tiny_workload()).unwrap();
+        assert_eq!(eval2.evaluate(&p).unwrap(), a);
+    }
+
+    #[test]
+    fn objectives_respond_to_the_axes() {
+        let eval = Evaluator::new(tiny_workload()).unwrap();
+        let base = DesignPoint::from_variant(&lpmem_core::flows::spec::VariantSpec::default());
+        let a = eval.evaluate(&base).unwrap();
+        // A larger bank *budget* never costs energy (the partitioner
+        // optimizes over a superset of designs).
+        let narrow = DesignPoint {
+            banks: 2,
+            ..base.clone()
+        };
+        let wide = DesignPoint {
+            banks: 16,
+            ..base.clone()
+        };
+        let e_narrow = eval.evaluate(&narrow).unwrap();
+        let e_wide = eval.evaluate(&wide).unwrap();
+        assert!(e_wide.objectives.energy_pj <= e_narrow.objectives.energy_pj);
+        // A bigger D-cache macro always costs area.
+        let big_cache = DesignPoint {
+            cache: CacheGeom {
+                size: 8 << 10,
+                line: 64,
+                ways: 2,
+            },
+            ..base.clone()
+        };
+        let b = eval.evaluate(&big_cache).unwrap();
+        assert!(b.objectives.area_mm2 > a.objectives.area_mm2);
+        // No codec: no codec gates, at least as many off-chip beats.
+        let off = DesignPoint {
+            codec: CodecChoice::Off,
+            ..base.clone()
+        };
+        let c = eval.evaluate(&off).unwrap();
+        assert_eq!(c.area.component("dcache.codec"), 0.0);
+        assert!(c.objectives.cycles >= a.objectives.cycles);
+        // Raw bus: no encoder area, more bus energy than the trained XOR.
+        let raw = DesignPoint {
+            bus: BusChoice::Raw,
+            ..base.clone()
+        };
+        let d = eval.evaluate(&raw).unwrap();
+        assert_eq!(d.area.component("ibus.encoder"), 0.0);
+        assert!(d.objectives.energy_pj > a.objectives.energy_pj);
+    }
+
+    #[test]
+    fn dominance_is_strict_and_irreflexive() {
+        let a = Objectives {
+            energy_pj: 1.0,
+            area_mm2: 1.0,
+            cycles: 10,
+        };
+        let b = Objectives {
+            energy_pj: 2.0,
+            area_mm2: 1.0,
+            cycles: 10,
+        };
+        let c = Objectives {
+            energy_pj: 0.5,
+            area_mm2: 2.0,
+            cycles: 10,
+        };
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        assert!(!a.dominates(&a), "equal vectors do not dominate");
+        assert!(
+            !a.dominates(&c) && !c.dominates(&a),
+            "trade-offs are incomparable"
+        );
+    }
+
+    #[test]
+    fn area_breakdown_totals_the_objective() {
+        let eval = Evaluator::new(tiny_workload()).unwrap();
+        let p = DesignSpace::small().point_at(17);
+        let e = eval.evaluate(&p).unwrap();
+        assert!((e.area.total_mm2() - e.objectives.area_mm2).abs() < 1e-12);
+        assert!(e.area.component("bank.cells") > 0.0);
+        assert!(e.area.component("sched.l1") > 0.0);
+    }
+}

@@ -1,0 +1,582 @@
+//! The design-point encoding and the axis space it lives in.
+//!
+//! A [`DesignPoint`] fixes every cross-flow knob of the memory platform at
+//! once: scratchpad banking, clustering granularity, D-cache geometry,
+//! write-back codec, instruction-bus encoding, and scheduler L0 capacity.
+//! A [`DesignSpace`] is the per-axis choice lists a search enumerates,
+//! samples, and recombines — always through the space, so every produced
+//! point stays on the axes.
+
+use std::fmt;
+
+use lpmem_core::flows::compression::PlatformKind;
+use lpmem_core::flows::spec::VariantSpec;
+use lpmem_mem::CacheConfig;
+use lpmem_util::Rng;
+
+/// D-cache geometry: capacity, line size, associativity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CacheGeom {
+    /// Total capacity in bytes.
+    pub size: u64,
+    /// Line size in bytes.
+    pub line: u32,
+    /// Associativity (ways).
+    pub ways: u32,
+}
+
+impl CacheGeom {
+    /// The simulator configuration of this geometry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`lpmem_mem::MemError`] for invalid geometries.
+    pub fn config(&self) -> Result<CacheConfig, lpmem_mem::MemError> {
+        CacheConfig::new(self.size, self.line, self.ways)
+    }
+}
+
+impl fmt::Display for CacheGeom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.size, self.line, self.ways)
+    }
+}
+
+/// Write-back compression codec choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum CodecChoice {
+    /// No compression hardware at all (no codec energy or area).
+    Off,
+    /// Word-differencing codec ([`lpmem_compress::DiffCodec`]).
+    Differential,
+    /// Zero-run codec ([`lpmem_compress::ZeroRunCodec`]).
+    ZeroRun,
+    /// Frequent-pattern codec ([`lpmem_compress::FpcCodec`]).
+    Fpc,
+}
+
+impl CodecChoice {
+    /// Every codec choice, in axis order.
+    pub const ALL: [CodecChoice; 4] = [
+        CodecChoice::Off,
+        CodecChoice::Differential,
+        CodecChoice::ZeroRun,
+        CodecChoice::Fpc,
+    ];
+
+    /// Short key used in point keys and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CodecChoice::Off => "off",
+            CodecChoice::Differential => "diff",
+            CodecChoice::ZeroRun => "zrun",
+            CodecChoice::Fpc => "fpc",
+        }
+    }
+}
+
+/// Instruction-bus encoding choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum BusChoice {
+    /// Unencoded bus (no encoder energy or area).
+    Raw,
+    /// Gray-coded words.
+    Gray,
+    /// Bus-invert coding (one extra invert line).
+    BusInvert,
+    /// Trained per-region XOR encoding with this many regions.
+    Xor(usize),
+}
+
+impl BusChoice {
+    /// Short key used in point keys and reports.
+    pub fn name(self) -> String {
+        match self {
+            BusChoice::Raw => "raw".to_owned(),
+            BusChoice::Gray => "gray".to_owned(),
+            BusChoice::BusInvert => "businv".to_owned(),
+            BusChoice::Xor(r) => format!("xor{r}"),
+        }
+    }
+}
+
+/// One complete cross-flow platform configuration.
+///
+/// The key ties every axis into a stable, human-readable identifier
+/// (`b8-k2048-c4096x64x2-diff-xor4-l01024`) used for deduplication,
+/// deterministic tie-breaking, and JSONL rows.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DesignPoint {
+    /// Scratchpad bank budget (partitioning `max_banks`).
+    pub banks: usize,
+    /// Clustering/profiling block granularity in bytes.
+    pub block: u64,
+    /// D-cache geometry.
+    pub cache: CacheGeom,
+    /// Write-back codec.
+    pub codec: CodecChoice,
+    /// Instruction-bus encoding.
+    pub bus: BusChoice,
+    /// Scheduler L0 scratchpad capacity in bytes.
+    pub l0: u64,
+}
+
+impl DesignPoint {
+    /// The stable identifier of this point.
+    pub fn key(&self) -> String {
+        format!(
+            "b{}-k{}-c{}-{}-{}-l0{}",
+            self.banks,
+            self.block,
+            self.cache,
+            self.codec.name(),
+            self.bus.name(),
+            self.l0
+        )
+    }
+
+    /// Checks the structural validity constraints every axis value must
+    /// satisfy regardless of which space produced the point.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.banks == 0 {
+            return Err("bank budget must be at least 1".to_owned());
+        }
+        if self.block == 0 || !self.block.is_power_of_two() {
+            return Err(format!("block size {} must be a power of two", self.block));
+        }
+        self.cache
+            .config()
+            .map_err(|e| format!("cache geometry: {e}"))?;
+        if let BusChoice::Xor(0) = self.bus {
+            return Err("xor encoding needs at least one region".to_owned());
+        }
+        if self.l0 == 0 || !self.l0.is_power_of_two() {
+            return Err(format!("l0 capacity {} must be a power of two", self.l0));
+        }
+        Ok(())
+    }
+
+    /// Embeds a sweep-grid [`VariantSpec`] into the exploration space: the
+    /// configuration the existing experiments run, expressed as a point the
+    /// explorer can score and seed its search with.
+    pub fn from_variant(variant: &VariantSpec) -> DesignPoint {
+        let cache = match variant.platform {
+            PlatformKind::VliwLike => CacheGeom {
+                size: 4 << 10,
+                line: 64,
+                ways: 2,
+            },
+            PlatformKind::RiscLike => CacheGeom {
+                size: 2 << 10,
+                line: 16,
+                ways: 2,
+            },
+        };
+        DesignPoint {
+            banks: variant.max_banks,
+            block: variant.block_size,
+            cache,
+            codec: CodecChoice::Differential,
+            bus: BusChoice::Xor(variant.regions),
+            l0: variant.l0_bytes,
+        }
+    }
+}
+
+impl fmt::Display for DesignPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.key())
+    }
+}
+
+/// The per-axis choice lists a search runs over.
+///
+/// All search operators (enumeration, sampling, mutation, crossover) go
+/// through the space, so every point they produce is drawn from the axis
+/// lists — validity is a property of the space, checked once by
+/// [`DesignSpace::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DesignSpace {
+    /// Bank-budget axis.
+    pub banks: Vec<usize>,
+    /// Block-granularity axis (bytes).
+    pub blocks: Vec<u64>,
+    /// D-cache geometry axis.
+    pub caches: Vec<CacheGeom>,
+    /// Codec axis.
+    pub codecs: Vec<CodecChoice>,
+    /// Bus-encoding axis.
+    pub buses: Vec<BusChoice>,
+    /// L0-capacity axis (bytes).
+    pub l0s: Vec<u64>,
+}
+
+impl DesignSpace {
+    /// The full exploration space: every axis at its production breadth
+    /// (20 736 points). Contains the embeddings of both sweep variants
+    /// (`default` and `tight`).
+    pub fn full() -> DesignSpace {
+        let mut caches = Vec::new();
+        for size in [2u64 << 10, 4 << 10, 8 << 10] {
+            for line in [16u32, 32, 64] {
+                for ways in [1u32, 2] {
+                    caches.push(CacheGeom { size, line, ways });
+                }
+            }
+        }
+        DesignSpace {
+            banks: vec![2, 4, 8, 16],
+            blocks: vec![1024, 2048, 4096],
+            caches,
+            codecs: CodecChoice::ALL.to_vec(),
+            buses: vec![
+                BusChoice::Raw,
+                BusChoice::Gray,
+                BusChoice::BusInvert,
+                BusChoice::Xor(1),
+                BusChoice::Xor(4),
+                BusChoice::Xor(8),
+            ],
+            l0s: vec![256, 512, 1024, 2048],
+        }
+    }
+
+    /// The 32-point space of the DSE-2 agreement experiment: small enough
+    /// to exhaust, structured enough that the frontier is non-trivial.
+    pub fn small() -> DesignSpace {
+        DesignSpace {
+            banks: vec![4, 8],
+            blocks: vec![2048],
+            caches: vec![
+                CacheGeom {
+                    size: 2 << 10,
+                    line: 16,
+                    ways: 2,
+                },
+                CacheGeom {
+                    size: 4 << 10,
+                    line: 64,
+                    ways: 2,
+                },
+            ],
+            codecs: vec![CodecChoice::Off, CodecChoice::Differential],
+            buses: vec![BusChoice::Raw, BusChoice::Xor(4)],
+            l0s: vec![512, 1024],
+        }
+    }
+
+    /// Number of points in the space (product of axis lengths).
+    pub fn len(&self) -> usize {
+        self.banks.len()
+            * self.blocks.len()
+            * self.caches.len()
+            * self.codecs.len()
+            * self.buses.len()
+            * self.l0s.len()
+    }
+
+    /// `true` when any axis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Decodes the point at a mixed-radix index in enumeration order
+    /// (banks vary slowest, L0 fastest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.len()`.
+    pub fn point_at(&self, idx: usize) -> DesignPoint {
+        assert!(
+            idx < self.len(),
+            "index {idx} out of a {}-point space",
+            self.len()
+        );
+        let mut rest = idx;
+        let mut take = |len: usize| {
+            let i = rest % len;
+            rest /= len;
+            i
+        };
+        // Consume fastest-varying axes first (the reverse of the nesting).
+        let l0 = self.l0s[take(self.l0s.len())];
+        let bus = self.buses[take(self.buses.len())];
+        let codec = self.codecs[take(self.codecs.len())];
+        let cache = self.caches[take(self.caches.len())];
+        let block = self.blocks[take(self.blocks.len())];
+        let banks = self.banks[take(self.banks.len())];
+        DesignPoint {
+            banks,
+            block,
+            cache,
+            codec,
+            bus,
+            l0,
+        }
+    }
+
+    /// Iterates every point in enumeration order.
+    pub fn enumerate(&self) -> impl Iterator<Item = DesignPoint> + '_ {
+        (0..self.len()).map(|i| self.point_at(i))
+    }
+
+    /// `true` when every axis value of `point` is on the corresponding
+    /// axis list.
+    pub fn contains(&self, point: &DesignPoint) -> bool {
+        self.banks.contains(&point.banks)
+            && self.blocks.contains(&point.block)
+            && self.caches.contains(&point.cache)
+            && self.codecs.contains(&point.codec)
+            && self.buses.contains(&point.bus)
+            && self.l0s.contains(&point.l0)
+    }
+
+    /// Checks that the space is non-empty and every point it can produce
+    /// is structurally valid (it suffices to check each axis value once).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid axis value.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.is_empty() {
+            return Err("design space has an empty axis".to_owned());
+        }
+        // One representative point per axis value covers all constraints,
+        // since validity is per-axis.
+        let base = self.point_at(0);
+        for &banks in &self.banks {
+            DesignPoint {
+                banks,
+                ..base.clone()
+            }
+            .validate()?;
+        }
+        for &block in &self.blocks {
+            DesignPoint {
+                block,
+                ..base.clone()
+            }
+            .validate()?;
+        }
+        for &cache in &self.caches {
+            DesignPoint {
+                cache,
+                ..base.clone()
+            }
+            .validate()?;
+        }
+        for &codec in &self.codecs {
+            DesignPoint {
+                codec,
+                ..base.clone()
+            }
+            .validate()?;
+        }
+        for &bus in &self.buses {
+            DesignPoint {
+                bus,
+                ..base.clone()
+            }
+            .validate()?;
+        }
+        for &l0 in &self.l0s {
+            DesignPoint { l0, ..base.clone() }.validate()?;
+        }
+        Ok(())
+    }
+
+    /// Draws a uniformly random point.
+    pub fn sample(&self, rng: &mut Rng) -> DesignPoint {
+        let pick = |rng: &mut Rng, len: usize| rng.bounded_u64(len as u64) as usize;
+        DesignPoint {
+            banks: self.banks[pick(rng, self.banks.len())],
+            block: self.blocks[pick(rng, self.blocks.len())],
+            cache: self.caches[pick(rng, self.caches.len())],
+            codec: self.codecs[pick(rng, self.codecs.len())],
+            bus: self.buses[pick(rng, self.buses.len())],
+            l0: self.l0s[pick(rng, self.l0s.len())],
+        }
+    }
+
+    /// Replaces one randomly chosen axis value with a different value from
+    /// the same axis (a no-op on axes with a single choice — the next axis
+    /// in round-robin order is tried instead).
+    pub fn mutate(&self, point: &DesignPoint, rng: &mut Rng) -> DesignPoint {
+        let mut out = point.clone();
+        let start = rng.bounded_u64(6);
+        for step in 0..6 {
+            let axis = (start + step) % 6;
+            if self.mutate_axis(&mut out, axis, rng) {
+                return out;
+            }
+        }
+        out
+    }
+
+    /// Mutates one axis in place; `false` when the axis has no alternative
+    /// value to switch to.
+    fn mutate_axis(&self, point: &mut DesignPoint, axis: u64, rng: &mut Rng) -> bool {
+        fn other<T: PartialEq + Clone>(list: &[T], current: &T, rng: &mut Rng) -> Option<T> {
+            let alts: Vec<&T> = list.iter().filter(|v| *v != current).collect();
+            if alts.is_empty() {
+                None
+            } else {
+                Some((*alts[rng.bounded_u64(alts.len() as u64) as usize]).clone())
+            }
+        }
+        match axis {
+            0 => other(&self.banks, &point.banks, rng).map(|v| point.banks = v),
+            1 => other(&self.blocks, &point.block, rng).map(|v| point.block = v),
+            2 => other(&self.caches, &point.cache, rng).map(|v| point.cache = v),
+            3 => other(&self.codecs, &point.codec, rng).map(|v| point.codec = v),
+            4 => other(&self.buses, &point.bus, rng).map(|v| point.bus = v),
+            _ => other(&self.l0s, &point.l0, rng).map(|v| point.l0 = v),
+        }
+        .is_some()
+    }
+
+    /// Uniform per-axis crossover of two parents.
+    pub fn crossover(&self, a: &DesignPoint, b: &DesignPoint, rng: &mut Rng) -> DesignPoint {
+        DesignPoint {
+            banks: if rng.gen_bool(0.5) { a.banks } else { b.banks },
+            block: if rng.gen_bool(0.5) { a.block } else { b.block },
+            cache: if rng.gen_bool(0.5) { a.cache } else { b.cache },
+            codec: if rng.gen_bool(0.5) { a.codec } else { b.codec },
+            bus: if rng.gen_bool(0.5) { a.bus } else { b.bus },
+            l0: if rng.gen_bool(0.5) { a.l0 } else { b.l0 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_stable_and_distinct() {
+        let space = DesignSpace::small();
+        let keys: std::collections::BTreeSet<String> = space.enumerate().map(|p| p.key()).collect();
+        assert_eq!(keys.len(), space.len(), "keys must be unique");
+        let p = space.point_at(0);
+        assert_eq!(p.key(), space.point_at(0).key(), "keys must be stable");
+    }
+
+    #[test]
+    fn spaces_are_valid_and_sized_as_documented() {
+        let full = DesignSpace::full();
+        assert_eq!(full.len(), 4 * 3 * 18 * 4 * 6 * 4);
+        full.validate().unwrap();
+        let small = DesignSpace::small();
+        assert_eq!(small.len(), 32);
+        small.validate().unwrap();
+    }
+
+    #[test]
+    fn enumeration_visits_every_point_once() {
+        let space = DesignSpace::small();
+        let points: Vec<DesignPoint> = space.enumerate().collect();
+        assert_eq!(points.len(), 32);
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(*p, space.point_at(i));
+            assert!(space.contains(p));
+        }
+    }
+
+    #[test]
+    fn sweep_variants_embed_into_the_full_space() {
+        let space = DesignSpace::full();
+        for variant in [VariantSpec::default(), VariantSpec::tight()] {
+            let p = DesignPoint::from_variant(&variant);
+            p.validate().unwrap();
+            assert!(space.contains(&p), "{} not on the axes", p.key());
+        }
+        let d = DesignPoint::from_variant(&VariantSpec::default());
+        assert_eq!(d.key(), "b8-k2048-c4096x64x2-diff-xor4-l01024");
+    }
+
+    #[test]
+    fn operators_stay_on_the_axes() {
+        let space = DesignSpace::full();
+        let mut rng = Rng::seed_from_u64(7);
+        let mut a = space.sample(&mut rng);
+        let b = space.sample(&mut rng);
+        for _ in 0..200 {
+            let child = space.crossover(&a, &b, &mut rng);
+            let mutant = space.mutate(&child, &mut rng);
+            assert!(space.contains(&child));
+            assert!(space.contains(&mutant));
+            a = mutant;
+        }
+    }
+
+    #[test]
+    fn mutation_changes_exactly_one_axis() {
+        let space = DesignSpace::full();
+        let mut rng = Rng::seed_from_u64(11);
+        let p = space.sample(&mut rng);
+        for _ in 0..50 {
+            let m = space.mutate(&p, &mut rng);
+            let diffs = [
+                m.banks != p.banks,
+                m.block != p.block,
+                m.cache != p.cache,
+                m.codec != p.codec,
+                m.bus != p.bus,
+                m.l0 != p.l0,
+            ]
+            .iter()
+            .filter(|&&d| d)
+            .count();
+            assert_eq!(diffs, 1, "{} vs {}", p.key(), m.key());
+        }
+    }
+
+    #[test]
+    fn invalid_points_are_rejected() {
+        let good = DesignSpace::small().point_at(0);
+        assert!(DesignPoint {
+            banks: 0,
+            ..good.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(DesignPoint {
+            block: 1000,
+            ..good.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(DesignPoint {
+            bus: BusChoice::Xor(0),
+            ..good.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(DesignPoint {
+            l0: 0,
+            ..good.clone()
+        }
+        .validate()
+        .is_err());
+        let bad_cache = CacheGeom {
+            size: 100,
+            line: 64,
+            ways: 2,
+        };
+        assert!(DesignPoint {
+            cache: bad_cache,
+            ..good
+        }
+        .validate()
+        .is_err());
+    }
+}

@@ -22,7 +22,6 @@
 
 use std::collections::HashMap;
 
-
 use crate::inst::{Inst, Opcode, Reg, IMM18_MAX, IMM18_MIN, IMM22_MAX, IMM22_MIN};
 use crate::IsaError;
 
@@ -82,7 +81,11 @@ enum Section {
 /// One parsed source item, sized during pass 1 and emitted during pass 2.
 #[derive(Debug, Clone)]
 enum Item {
-    Inst { line: usize, mnemonic: String, args: Vec<String> },
+    Inst {
+        line: usize,
+        mnemonic: String,
+        args: Vec<String>,
+    },
     Word(Vec<i64>),
     Space(u32),
 }
@@ -149,10 +152,18 @@ fn strip_comment(line: &str) -> &str {
 
 /// Splits `imm(rN)` into its parts.
 fn parse_mem_operand(tok: &str) -> Result<(i64, Reg), String> {
-    let open = tok.find('(').ok_or_else(|| format!("expected `imm(reg)`, found `{tok}`"))?;
-    let close = tok.rfind(')').ok_or_else(|| format!("missing `)` in `{tok}`"))?;
+    let open = tok
+        .find('(')
+        .ok_or_else(|| format!("expected `imm(reg)`, found `{tok}`"))?;
+    let close = tok
+        .rfind(')')
+        .ok_or_else(|| format!("missing `)` in `{tok}`"))?;
     let imm_part = tok[..open].trim();
-    let imm = if imm_part.is_empty() { 0 } else { parse_imm(imm_part)? };
+    let imm = if imm_part.is_empty() {
+        0
+    } else {
+        parse_imm(imm_part)?
+    };
     let reg = parse_reg(&tok[open + 1..close])?;
     Ok((imm, reg))
 }
@@ -214,7 +225,9 @@ pub fn assemble(source: &str) -> Result<Program, IsaError> {
             let (label, rest) = line.split_at(colon);
             let label = label.trim();
             if label.is_empty()
-                || !label.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+                || !label
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
             {
                 break; // not a label; let the instruction parser complain
             }
@@ -296,8 +309,11 @@ pub fn assemble(source: &str) -> Result<Program, IsaError> {
                 } else {
                     tail.split(',').map(|a| a.trim().to_owned()).collect()
                 };
-                let item =
-                    Item::Inst { line: lineno, mnemonic: head.to_ascii_lowercase(), args };
+                let item = Item::Inst {
+                    line: lineno,
+                    mnemonic: head.to_ascii_lowercase(),
+                    args,
+                };
                 let size = item.size().map_err(|m| err(lineno, m))?;
                 items.push((text_pc, section, item));
                 text_pc += size;
@@ -323,17 +339,28 @@ pub fn assemble(source: &str) -> Result<Program, IsaError> {
     }
     let mut segments = text;
     segments.extend(data);
-    Ok(Program { segments, entry, symbols })
+    Ok(Program {
+        segments,
+        entry,
+        symbols,
+    })
 }
 
 fn emit(addr: u32, item: &Item, symbols: &HashMap<String, u32>) -> Result<Vec<u8>, IsaError> {
     match item {
         Item::Word(ws) => Ok(ws.iter().flat_map(|w| (*w as u32).to_le_bytes()).collect()),
         Item::Space(n) => Ok(vec![0; *n as usize]),
-        Item::Inst { line, mnemonic, args } => {
+        Item::Inst {
+            line,
+            mnemonic,
+            args,
+        } => {
             let insts = lower(addr, mnemonic, args, symbols)
                 .map_err(|msg| IsaError::Asm { line: *line, msg })?;
-            Ok(insts.into_iter().flat_map(|i| i.encode().to_le_bytes()).collect())
+            Ok(insts
+                .into_iter()
+                .flat_map(|i| i.encode().to_le_bytes())
+                .collect())
         }
     }
 }
@@ -352,7 +379,10 @@ fn lower(
         if args.len() == n {
             Ok(())
         } else {
-            Err(format!("`{mnemonic}` expects {n} operands, found {}", args.len()))
+            Err(format!(
+                "`{mnemonic}` expects {n} operands, found {}",
+                args.len()
+            ))
         }
     };
     let reg = |i: usize| parse_reg(&args[i]);
@@ -363,7 +393,9 @@ fn lower(
         if let Some(&a) = symbols.get(tok) {
             Ok(a)
         } else {
-            parse_imm(tok).map(|v| v as u32).map_err(|_| format!("undefined label `{tok}`"))
+            parse_imm(tok)
+                .map(|v| v as u32)
+                .map_err(|_| format!("undefined label `{tok}`"))
         }
     };
     let branch_off = |t: u32| -> Result<i32, String> {
@@ -382,33 +414,68 @@ fn lower(
 
     let r_type = |op: Opcode| -> Result<Vec<Inst>, String> {
         need(3)?;
-        Ok(vec![Inst::R { op, rd: reg(0)?, rs1: reg(1)?, rs2: reg(2)? }])
+        Ok(vec![Inst::R {
+            op,
+            rd: reg(0)?,
+            rs1: reg(1)?,
+            rs2: reg(2)?,
+        }])
     };
     let i_type = |op: Opcode| -> Result<Vec<Inst>, String> {
         need(3)?;
-        Ok(vec![Inst::I { op, rd: reg(0)?, rs1: reg(1)?, imm: imm18(imm(2)?)? }])
+        Ok(vec![Inst::I {
+            op,
+            rd: reg(0)?,
+            rs1: reg(1)?,
+            imm: imm18(imm(2)?)?,
+        }])
     };
     let mem_type = |op: Opcode| -> Result<Vec<Inst>, String> {
         need(2)?;
         let (off, base) = parse_mem_operand(&args[1])?;
-        Ok(vec![Inst::I { op, rd: reg(0)?, rs1: base, imm: imm18(off)? }])
+        Ok(vec![Inst::I {
+            op,
+            rd: reg(0)?,
+            rs1: base,
+            imm: imm18(off)?,
+        }])
     };
     let b_type = |op: Opcode| -> Result<Vec<Inst>, String> {
         need(3)?;
         let t = target(2)?;
-        Ok(vec![Inst::B { op, rs1: reg(0)?, rs2: reg(1)?, imm: branch_off(t)? }])
+        Ok(vec![Inst::B {
+            op,
+            rs1: reg(0)?,
+            rs2: reg(1)?,
+            imm: branch_off(t)?,
+        }])
     };
     // Materialize a 32-bit constant into `rd`.
     let load_const = |rd: Reg, v: i64| -> Vec<Inst> {
         if (IMM18_MIN as i64..=IMM18_MAX as i64).contains(&v) {
-            vec![Inst::I { op: Addi, rd, rs1: Reg::ZERO, imm: v as i32 }]
+            vec![Inst::I {
+                op: Addi,
+                rd,
+                rs1: Reg::ZERO,
+                imm: v as i32,
+            }]
         } else {
             let bits = v as u32;
             let hi = raw18(bits >> 14);
             let lo = (bits & 0x3FFF) as i32;
             vec![
-                Inst::I { op: Lui, rd, rs1: Reg::ZERO, imm: hi },
-                Inst::I { op: Ori, rd, rs1: rd, imm: lo },
+                Inst::I {
+                    op: Lui,
+                    rd,
+                    rs1: Reg::ZERO,
+                    imm: hi,
+                },
+                Inst::I {
+                    op: Ori,
+                    rd,
+                    rs1: rd,
+                    imm: lo,
+                },
             ]
         }
     };
@@ -462,7 +529,11 @@ fn lower(
             if !(IMM22_MIN as i64..=IMM22_MAX as i64).contains(&delta) {
                 return Err(format!("jump target {t:#x} out of range"));
             }
-            Ok(vec![Inst::J { op: Jal, rd: reg(0)?, imm: delta as i32 }])
+            Ok(vec![Inst::J {
+                op: Jal,
+                rd: reg(0)?,
+                imm: delta as i32,
+            }])
         }
         "j" => {
             need(1)?;
@@ -471,11 +542,20 @@ fn lower(
             if !(IMM22_MIN as i64..=IMM22_MAX as i64).contains(&delta) {
                 return Err(format!("jump target {t:#x} out of range"));
             }
-            Ok(vec![Inst::J { op: Jal, rd: Reg::ZERO, imm: delta as i32 }])
+            Ok(vec![Inst::J {
+                op: Jal,
+                rd: Reg::ZERO,
+                imm: delta as i32,
+            }])
         }
         "jalr" => {
             need(3)?;
-            Ok(vec![Inst::I { op: Jalr, rd: reg(0)?, rs1: reg(1)?, imm: imm18(imm(2)?)? }])
+            Ok(vec![Inst::I {
+                op: Jalr,
+                rd: reg(0)?,
+                rs1: reg(1)?,
+                imm: imm18(imm(2)?)?,
+            }])
         }
         "li" => {
             need(2)?;
@@ -490,17 +570,37 @@ fn lower(
             let lo = (bits & 0x3FFF) as i32;
             let rd = reg(0)?;
             Ok(vec![
-                Inst::I { op: Lui, rd, rs1: Reg::ZERO, imm: hi },
-                Inst::I { op: Ori, rd, rs1: rd, imm: lo },
+                Inst::I {
+                    op: Lui,
+                    rd,
+                    rs1: Reg::ZERO,
+                    imm: hi,
+                },
+                Inst::I {
+                    op: Ori,
+                    rd,
+                    rs1: rd,
+                    imm: lo,
+                },
             ])
         }
         "mv" => {
             need(2)?;
-            Ok(vec![Inst::R { op: Add, rd: reg(0)?, rs1: reg(1)?, rs2: Reg::ZERO }])
+            Ok(vec![Inst::R {
+                op: Add,
+                rd: reg(0)?,
+                rs1: reg(1)?,
+                rs2: Reg::ZERO,
+            }])
         }
         "nop" => {
             need(0)?;
-            Ok(vec![Inst::R { op: Add, rd: Reg::ZERO, rs1: Reg::ZERO, rs2: Reg::ZERO }])
+            Ok(vec![Inst::R {
+                op: Add,
+                rd: Reg::ZERO,
+                rs1: Reg::ZERO,
+                rs2: Reg::ZERO,
+            }])
         }
         "halt" => {
             need(0)?;
@@ -542,7 +642,11 @@ mod tests {
         let bne = Inst::decode(words[2]).unwrap();
         // bne at address 8, target 4 -> offset (4 - 12)/4 = -2 words.
         match bne {
-            Inst::B { op: Opcode::Bne, imm, .. } => assert_eq!(imm, -2),
+            Inst::B {
+                op: Opcode::Bne,
+                imm,
+                ..
+            } => assert_eq!(imm, -2),
             other => panic!("expected bne, got {other:?}"),
         }
     }
@@ -611,11 +715,19 @@ mod tests {
         let words = p.text_words();
         assert!(matches!(
             Inst::decode(words[0]),
-            Some(Inst::I { op: Opcode::Lw, imm: 8, .. })
+            Some(Inst::I {
+                op: Opcode::Lw,
+                imm: 8,
+                ..
+            })
         ));
         assert!(matches!(
             Inst::decode(words[1]),
-            Some(Inst::I { op: Opcode::Sw, imm: 0, .. })
+            Some(Inst::I {
+                op: Opcode::Sw,
+                imm: 0,
+                ..
+            })
         ));
     }
 

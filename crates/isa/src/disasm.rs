@@ -123,10 +123,42 @@ mod tests {
     #[test]
     fn renders_every_format() {
         let cases = [
-            (Inst::R { op: Opcode::Mul, rd: r(3), rs1: r(4), rs2: r(5) }, "mul r3, r4, r5"),
-            (Inst::I { op: Opcode::Addi, rd: r(1), rs1: r(2), imm: -7 }, "addi r1, r2, -7"),
-            (Inst::I { op: Opcode::Lw, rd: r(6), rs1: r(7), imm: 16 }, "lw r6, 16(r7)"),
-            (Inst::I { op: Opcode::Sw, rd: r(6), rs1: r(7), imm: 0 }, "sw r6, 0(r7)"),
+            (
+                Inst::R {
+                    op: Opcode::Mul,
+                    rd: r(3),
+                    rs1: r(4),
+                    rs2: r(5),
+                },
+                "mul r3, r4, r5",
+            ),
+            (
+                Inst::I {
+                    op: Opcode::Addi,
+                    rd: r(1),
+                    rs1: r(2),
+                    imm: -7,
+                },
+                "addi r1, r2, -7",
+            ),
+            (
+                Inst::I {
+                    op: Opcode::Lw,
+                    rd: r(6),
+                    rs1: r(7),
+                    imm: 16,
+                },
+                "lw r6, 16(r7)",
+            ),
+            (
+                Inst::I {
+                    op: Opcode::Sw,
+                    rd: r(6),
+                    rs1: r(7),
+                    imm: 0,
+                },
+                "sw r6, 0(r7)",
+            ),
             (Inst::Halt, "halt"),
         ];
         for (inst, expect) in cases {
@@ -137,7 +169,12 @@ mod tests {
     #[test]
     fn branch_targets_are_absolute() {
         // bne at 0x8 with offset -2 words targets 0x8 + 4 - 8 = 0x4.
-        let inst = Inst::B { op: Opcode::Bne, rs1: r(1), rs2: r(0), imm: -2 };
+        let inst = Inst::B {
+            op: Opcode::Bne,
+            rs1: r(1),
+            rs2: r(0),
+            imm: -2,
+        };
         assert_eq!(Located { addr: 8, inst }.to_string(), "bne r1, r0, 0x4");
     }
 
@@ -182,13 +219,15 @@ mod tests {
     /// the roundtrip is exact modulo re-encoding the decoded form).
     #[test]
     fn display_roundtrips_through_assembler() {
-        Props::new("disassembly roundtrips through the assembler").cases(256).run(|rng| {
-            let word = rng.next_u32();
-            if let Some(inst) = Inst::decode(word) {
-                let text = disassemble_word(0, word).expect("decodable");
-                let program = assemble(&text).expect("disassembly must parse");
-                assert_eq!(program.text_words(), vec![inst.encode()]);
-            }
-        });
+        Props::new("disassembly roundtrips through the assembler")
+            .cases(256)
+            .run(|rng| {
+                let word = rng.next_u32();
+                if let Some(inst) = Inst::decode(word) {
+                    let text = disassemble_word(0, word).expect("decodable");
+                    let program = assemble(&text).expect("disassembly must parse");
+                    assert_eq!(program.text_words(), vec![inst.encode()]);
+                }
+            });
     }
 }

@@ -10,7 +10,6 @@
 //! J-type:  [31:26 op][25:22 rd ][21:0  imm22 (words, signed)       ]
 //! ```
 
-
 /// A register index `r0..r15`; `r0` always reads zero.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -147,13 +146,28 @@ pub const IMM22_MAX: i32 = (1 << 21) - 1;
 #[allow(missing_docs)] // field meanings are given per variant
 pub enum Inst {
     /// R-type: `op rd, rs1, rs2`.
-    R { op: Opcode, rd: Reg, rs1: Reg, rs2: Reg },
+    R {
+        op: Opcode,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// I-type: `op rd, rs1, imm` (ALU), `op rd, imm(rs1)` (memory), or
     /// `jalr rd, rs1, imm`.
-    I { op: Opcode, rd: Reg, rs1: Reg, imm: i32 },
+    I {
+        op: Opcode,
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
     /// B-type: `op rs1, rs2, word_offset` (PC-relative, in words, from the
     /// instruction after the branch).
-    B { op: Opcode, rs1: Reg, rs2: Reg, imm: i32 },
+    B {
+        op: Opcode,
+        rs1: Reg,
+        rs2: Reg,
+        imm: i32,
+    },
     /// J-type: `jal rd, word_offset`.
     J { op: Opcode, rd: Reg, imm: i32 },
     /// `halt`.
@@ -181,21 +195,30 @@ impl Inst {
                     | (rs2.index() as u32) << 14
             }
             Inst::I { op, rd, rs1, imm } => {
-                assert!((IMM18_MIN..=IMM18_MAX).contains(&imm), "imm18 out of range: {imm}");
+                assert!(
+                    (IMM18_MIN..=IMM18_MAX).contains(&imm),
+                    "imm18 out of range: {imm}"
+                );
                 (op as u32) << 26
                     | (rd.index() as u32) << 22
                     | (rs1.index() as u32) << 18
                     | (imm as u32 & 0x3_FFFF)
             }
             Inst::B { op, rs1, rs2, imm } => {
-                assert!((IMM18_MIN..=IMM18_MAX).contains(&imm), "imm18 out of range: {imm}");
+                assert!(
+                    (IMM18_MIN..=IMM18_MAX).contains(&imm),
+                    "imm18 out of range: {imm}"
+                );
                 (op as u32) << 26
                     | (rs1.index() as u32) << 22
                     | (rs2.index() as u32) << 18
                     | (imm as u32 & 0x3_FFFF)
             }
             Inst::J { op, rd, imm } => {
-                assert!((IMM22_MIN..=IMM22_MAX).contains(&imm), "imm22 out of range: {imm}");
+                assert!(
+                    (IMM22_MIN..=IMM22_MAX).contains(&imm),
+                    "imm22 out of range: {imm}"
+                );
                 (op as u32) << 26 | (rd.index() as u32) << 22 | (imm as u32 & 0x3F_FFFF)
             }
             Inst::Halt => (Opcode::Halt as u32) << 26,
@@ -215,13 +238,30 @@ impl Inst {
             }
             // `lui` does not read rs1; normalize the don't-care field so
             // decode yields the canonical encoding.
-            Lui => Inst::I { op, rd, rs1: Reg(0), imm: sext(word & 0x3_FFFF, 18) },
-            Addi | Andi | Ori | Xori | Slli | Srli | Slti | Lw | Lh | Lb | Lbu | Lhu | Sw
-            | Sh | Sb | Jalr => Inst::I { op, rd, rs1, imm: sext(word & 0x3_FFFF, 18) },
-            Beq | Bne | Blt | Bge | Bltu | Bgeu => {
-                Inst::B { op, rs1: rd, rs2: rs1, imm: sext(word & 0x3_FFFF, 18) }
-            }
-            Jal => Inst::J { op, rd, imm: sext(word & 0x3F_FFFF, 22) },
+            Lui => Inst::I {
+                op,
+                rd,
+                rs1: Reg(0),
+                imm: sext(word & 0x3_FFFF, 18),
+            },
+            Addi | Andi | Ori | Xori | Slli | Srli | Slti | Lw | Lh | Lb | Lbu | Lhu | Sw | Sh
+            | Sb | Jalr => Inst::I {
+                op,
+                rd,
+                rs1,
+                imm: sext(word & 0x3_FFFF, 18),
+            },
+            Beq | Bne | Blt | Bge | Bltu | Bgeu => Inst::B {
+                op,
+                rs1: rd,
+                rs2: rs1,
+                imm: sext(word & 0x3_FFFF, 18),
+            },
+            Jal => Inst::J {
+                op,
+                rd,
+                imm: sext(word & 0x3F_FFFF, 22),
+            },
             Halt => Inst::Halt,
         })
     }
@@ -253,25 +293,44 @@ mod tests {
 
     #[test]
     fn encode_decode_roundtrip_r() {
-        let i = Inst::R { op: Opcode::Mul, rd: r(3), rs1: r(4), rs2: r(5) };
+        let i = Inst::R {
+            op: Opcode::Mul,
+            rd: r(3),
+            rs1: r(4),
+            rs2: r(5),
+        };
         assert_eq!(Inst::decode(i.encode()), Some(i));
     }
 
     #[test]
     fn encode_decode_roundtrip_i_negative_imm() {
-        let i = Inst::I { op: Opcode::Addi, rd: r(1), rs1: r(2), imm: -42 };
+        let i = Inst::I {
+            op: Opcode::Addi,
+            rd: r(1),
+            rs1: r(2),
+            imm: -42,
+        };
         assert_eq!(Inst::decode(i.encode()), Some(i));
     }
 
     #[test]
     fn encode_decode_roundtrip_branch() {
-        let i = Inst::B { op: Opcode::Bne, rs1: r(9), rs2: r(10), imm: -100 };
+        let i = Inst::B {
+            op: Opcode::Bne,
+            rs1: r(9),
+            rs2: r(10),
+            imm: -100,
+        };
         assert_eq!(Inst::decode(i.encode()), Some(i));
     }
 
     #[test]
     fn encode_decode_roundtrip_jal() {
-        let i = Inst::J { op: Opcode::Jal, rd: r(15), imm: IMM22_MIN };
+        let i = Inst::J {
+            op: Opcode::Jal,
+            rd: r(15),
+            imm: IMM22_MIN,
+        };
         assert_eq!(Inst::decode(i.encode()), Some(i));
     }
 
@@ -288,7 +347,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "imm18 out of range")]
     fn oversized_imm_panics() {
-        let _ = Inst::I { op: Opcode::Addi, rd: r(1), rs1: r(1), imm: IMM18_MAX + 1 }.encode();
+        let _ = Inst::I {
+            op: Opcode::Addi,
+            rd: r(1),
+            rs1: r(1),
+            imm: IMM18_MAX + 1,
+        }
+        .encode();
     }
 
     #[test]
@@ -296,8 +361,8 @@ mod tests {
         use Opcode::*;
         for op in [
             Add, Sub, And, Or, Xor, Sll, Srl, Sra, Slt, Sltu, Mul, Addi, Andi, Ori, Xori, Slli,
-            Srli, Slti, Lui, Lw, Lh, Lb, Lbu, Lhu, Sw, Sh, Sb, Beq, Bne, Blt, Bge, Bltu, Bgeu,
-            Jal, Jalr, Halt,
+            Srli, Slti, Lui, Lw, Lh, Lb, Lbu, Lhu, Sw, Sh, Sb, Beq, Bne, Blt, Bge, Bltu, Bgeu, Jal,
+            Jalr, Halt,
         ] {
             assert_eq!(Opcode::from_bits(op as u8), Some(op));
         }

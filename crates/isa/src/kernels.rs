@@ -129,7 +129,12 @@ impl Kernel {
         let mut machine = Machine::new(&program);
         let result = machine.run(MAX_STEPS)?;
         self.verify(scale, seed, &machine);
-        Ok(KernelRun { kernel: self, scale, trace: result.trace, steps: result.steps })
+        Ok(KernelRun {
+            kernel: self,
+            scale,
+            trace: result.trace,
+            steps: result.steps,
+        })
     }
 
     fn source(self, scale: u32, seed: u64) -> String {
@@ -183,12 +188,11 @@ impl Kernel {
                     for u in 0..8 {
                         let mut acc = 0i32;
                         for x in 0..8 {
-                            acc = acc
-                                .wrapping_add(pixels[b * 8 + x].wrapping_mul(coefs[u * 8 + x]));
+                            acc =
+                                acc.wrapping_add(pixels[b * 8 + x].wrapping_mul(coefs[u * 8 + x]));
                         }
                         let expect = acc >> 8;
-                        let got =
-                            mem.read_u32(OUT_BASE as u64 + 4 * (b * 8 + u) as u64) as i32;
+                        let got = mem.read_u32(OUT_BASE as u64 + 4 * (b * 8 + u) as u64) as i32;
                         assert_eq!(got, expect, "dct8 block {b} coef {u}");
                     }
                 }
@@ -220,10 +224,7 @@ impl Kernel {
             }
             Kernel::StrSearch => {
                 let (text, pat) = strsearch_inputs(scale as usize * 16, &mut rng);
-                let expect = text
-                    .windows(pat.len())
-                    .filter(|w| *w == &pat[..])
-                    .count() as u32;
+                let expect = text.windows(pat.len()).filter(|w| *w == &pat[..]).count() as u32;
                 let got = mem.read_u32(OUT_BASE as u64);
                 assert_eq!(got, expect, "strsearch count");
             }
@@ -321,7 +322,11 @@ fn dct8_inputs(blocks: usize, rng: &mut Rng) -> (Vec<i32>, Vec<i32>) {
     for u in 0..8 {
         for x in 0..8 {
             let c = (std::f64::consts::PI / 8.0 * (x as f64 + 0.5) * u as f64).cos();
-            let s = if u == 0 { (1.0f64 / 8.0).sqrt() } else { (2.0f64 / 8.0).sqrt() };
+            let s = if u == 0 {
+                (1.0f64 / 8.0).sqrt()
+            } else {
+                (2.0f64 / 8.0).sqrt()
+            };
             coefs.push((s * c * 256.0).round() as i32);
         }
     }
@@ -409,7 +414,11 @@ fn crc32_table() -> [u32; 256] {
     for (i, entry) in table.iter_mut().enumerate() {
         let mut c = i as u32;
         for _ in 0..8 {
-            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
         }
         *entry = c;
     }
@@ -935,8 +944,7 @@ mod tests {
 
     #[test]
     fn all_kernels_have_distinct_names() {
-        let names: std::collections::HashSet<_> =
-            Kernel::ALL.iter().map(|k| k.name()).collect();
+        let names: std::collections::HashSet<_> = Kernel::ALL.iter().map(|k| k.name()).collect();
         assert_eq!(names.len(), Kernel::ALL.len());
     }
 

@@ -38,7 +38,12 @@ impl Machine {
         for (base, bytes) in program.segments() {
             mem.load(*base as u64, bytes);
         }
-        Machine { pc: program.entry(), regs: [0; 16], mem, halted: false }
+        Machine {
+            pc: program.entry(),
+            regs: [0; 16],
+            mem,
+            halted: false,
+        }
     }
 
     /// The program counter.
@@ -86,8 +91,7 @@ impl Machine {
         let pc = self.pc;
         let word = self.mem.read_u32(pc as u64);
         trace.push(MemEvent::fetch(pc as u64).with_value(word));
-        let inst =
-            Inst::decode(word).ok_or(IsaError::IllegalInstruction { pc, word })?;
+        let inst = Inst::decode(word).ok_or(IsaError::IllegalInstruction { pc, word })?;
         let mut next_pc = pc.wrapping_add(4);
         match inst {
             Inst::Halt => {
@@ -139,7 +143,12 @@ impl Machine {
                             Opcode::Lbu => (1, self.mem.read_u8(addr) as u32),
                             _ => unreachable!(),
                         };
-                        trace.push(MemEvent { addr, kind: AccessKind::Read, size, value });
+                        trace.push(MemEvent {
+                            addr,
+                            kind: AccessKind::Read,
+                            size,
+                            value,
+                        });
                         self.set_reg(rd, value);
                     }
                     Opcode::Sw | Opcode::Sh | Opcode::Sb => {
@@ -160,7 +169,12 @@ impl Machine {
                             }
                             _ => unreachable!(),
                         };
-                        trace.push(MemEvent { addr, kind: AccessKind::Write, size, value });
+                        trace.push(MemEvent {
+                            addr,
+                            kind: AccessKind::Write,
+                            size,
+                            value,
+                        });
                     }
                     _ => unreachable!("decoder only produces I-form ops here"),
                 }
@@ -201,7 +215,10 @@ impl Machine {
         let mut trace = Trace::new();
         for steps in 0..max_steps {
             if self.step(&mut trace)? {
-                return Ok(RunResult { trace, steps: steps + 1 });
+                return Ok(RunResult {
+                    trace,
+                    steps: steps + 1,
+                });
             }
         }
         Err(IsaError::StepLimit { steps: max_steps })
@@ -234,8 +251,7 @@ mod tests {
 
     #[test]
     fn loop_counts_down() {
-        let (m, r) = run(
-            r#"
+        let (m, r) = run(r#"
                 li r1, 10
                 li r2, 0
             loop:
@@ -244,8 +260,7 @@ mod tests {
                 bne  r1, r0, loop
                 sw   r2, 0x200(r0)
                 halt
-            "#,
-        );
+            "#);
         assert_eq!(m.mem().read_u32(0x200), 55);
         // 2 li + 10 iterations * 3 + sw + halt = 2 + 30 + 2.
         assert_eq!(r.steps, 34);
@@ -266,8 +281,7 @@ mod tests {
 
     #[test]
     fn signed_loads_sign_extend() {
-        let (m, _) = run(
-            r#"
+        let (m, _) = run(r#"
             .data 0x400
             v: .word 0xffffff80
             .text
@@ -279,8 +293,7 @@ mod tests {
                 lh  r4, (r1)
                 sw  r4, 0x508(r0)
                 halt
-            "#,
-        );
+            "#);
         assert_eq!(m.mem().read_u32(0x500), 0xFFFF_FF80); // lb sign-extends 0x80
         assert_eq!(m.mem().read_u32(0x504), 0x0000_0080); // lbu zero-extends
         assert_eq!(m.mem().read_u32(0x508), 0xFFFF_FF80); // lh sign-extends 0xff80
@@ -288,8 +301,7 @@ mod tests {
 
     #[test]
     fn byte_and_half_stores() {
-        let (m, _) = run(
-            r#"
+        let (m, _) = run(r#"
                 li r1, 0x12345678
                 sw r1, 0x100(r0)
                 li r2, 0xAB
@@ -297,30 +309,26 @@ mod tests {
                 li r3, 0xCDEF
                 sh r3, 0x102(r0)
                 halt
-            "#,
-        );
+            "#);
         assert_eq!(m.mem().read_u32(0x100), 0xCDEF_56AB);
     }
 
     #[test]
     fn jal_and_jalr_link_and_jump() {
-        let (m, _) = run(
-            r#"
+        let (m, _) = run(r#"
                 jal  r15, func
                 sw   r1, 0x100(r0)
                 halt
             func:
                 li   r1, 123
                 jalr r0, r15, 0
-            "#,
-        );
+            "#);
         assert_eq!(m.mem().read_u32(0x100), 123);
     }
 
     #[test]
     fn shifts_and_compares() {
-        let (m, _) = run(
-            r#"
+        let (m, _) = run(r#"
                 li  r1, -8
                 sra r2, r1, r0
                 li  r3, 2
@@ -333,8 +341,7 @@ mod tests {
                 sltu r6, r1, r0    # 0xfffffff8 < 0 unsigned -> 0
                 sw  r6, 0x10c(r0)
                 halt
-            "#,
-        );
+            "#);
         assert_eq!(m.mem().read_u32(0x100) as i32, -2);
         assert_eq!(m.mem().read_u32(0x104), 0xFFFF_FFF8u32 >> 2);
         assert_eq!(m.mem().read_u32(0x108), 1);
@@ -346,7 +353,10 @@ mod tests {
         let p = assemble(".text\n.word 0x78000000\nhalt").unwrap();
         let mut m = Machine::new(&p);
         let e = m.run(10).unwrap_err();
-        assert!(matches!(e, IsaError::IllegalInstruction { pc: 0, .. }), "{e}");
+        assert!(
+            matches!(e, IsaError::IllegalInstruction { pc: 0, .. }),
+            "{e}"
+        );
     }
 
     #[test]

@@ -24,7 +24,9 @@ fn reference_run(insts: &[Inst]) -> ([u32; 16], std::collections::HashMap<u32, u
         mem.get(&a).copied().unwrap_or(0)
     };
     let rd = |mem: &std::collections::HashMap<u32, u8>, a: u32, n: u32| -> u32 {
-        (0..n).fold(0u32, |acc, i| acc | (rd8(mem, a.wrapping_add(i)) as u32) << (8 * i))
+        (0..n).fold(0u32, |acc, i| {
+            acc | (rd8(mem, a.wrapping_add(i)) as u32) << (8 * i)
+        })
     };
     let mut pc = 0usize;
     let mut steps = 0;
@@ -39,7 +41,12 @@ fn reference_run(insts: &[Inst]) -> ([u32; 16], std::collections::HashMap<u32, u
         };
         match inst {
             Inst::Halt => break,
-            Inst::R { op, rd: d, rs1, rs2 } => {
+            Inst::R {
+                op,
+                rd: d,
+                rs1,
+                rs2,
+            } => {
                 let (a, b) = (regs[rs1.index()], regs[rs2.index()]);
                 let v = match op {
                     Opcode::Add => a.wrapping_add(b),
@@ -57,7 +64,12 @@ fn reference_run(insts: &[Inst]) -> ([u32; 16], std::collections::HashMap<u32, u
                 };
                 set(&mut regs, d, v);
             }
-            Inst::I { op, rd: d, rs1, imm } => {
+            Inst::I {
+                op,
+                rd: d,
+                rs1,
+                imm,
+            } => {
                 let a = regs[rs1.index()];
                 let s = imm as u32;
                 match op {
@@ -150,12 +162,20 @@ fn random_inst(rng: &mut Rng, pos: usize, len: usize) -> Inst {
     };
     match pick {
         0..=3 => {
-            let op =
-                *rng.choose(&[Add, Sub, And, Or, Xor, Sll, Srl, Sra, Slt, Sltu, Mul]).unwrap();
-            Inst::R { op, rd: random_reg(rng), rs1: random_reg(rng), rs2: random_reg(rng) }
+            let op = *rng
+                .choose(&[Add, Sub, And, Or, Xor, Sll, Srl, Sra, Slt, Sltu, Mul])
+                .unwrap();
+            Inst::R {
+                op,
+                rd: random_reg(rng),
+                rs1: random_reg(rng),
+                rs2: random_reg(rng),
+            }
         }
         4..=7 => {
-            let op = *rng.choose(&[Addi, Andi, Ori, Xori, Slli, Srli, Slti, Lui]).unwrap();
+            let op = *rng
+                .choose(&[Addi, Andi, Ori, Xori, Slli, Srli, Slti, Lui])
+                .unwrap();
             Inst::I {
                 op,
                 rd: random_reg(rng),
@@ -198,36 +218,45 @@ fn random_program(rng: &mut Rng) -> Vec<Inst> {
 
 #[test]
 fn machine_matches_reference_interpreter() {
-    Props::new("machine matches the reference interpreter").cases(256).run(|rng| {
-        let insts = random_program(rng);
-        // Assemble the raw words into a program (text at 0).
-        let mut src = String::from(".text\n");
-        for inst in &insts {
-            src.push_str(&format!(".word {:#010x}\n", inst.encode()));
-        }
-        src.push_str("halt\n");
-        let program = assemble(&src).expect("word directives always assemble");
-        let mut machine = Machine::new(&program);
-        let mut trace = Trace::new();
-        let mut steps = 0;
-        while steps < 10_000 {
-            steps += 1;
-            if machine.step(&mut trace).expect("all generated words decode") {
-                break;
+    Props::new("machine matches the reference interpreter")
+        .cases(256)
+        .run(|rng| {
+            let insts = random_program(rng);
+            // Assemble the raw words into a program (text at 0).
+            let mut src = String::from(".text\n");
+            for inst in &insts {
+                src.push_str(&format!(".word {:#010x}\n", inst.encode()));
             }
-        }
-        assert!(machine.is_halted(), "program must halt");
+            src.push_str("halt\n");
+            let program = assemble(&src).expect("word directives always assemble");
+            let mut machine = Machine::new(&program);
+            let mut trace = Trace::new();
+            let mut steps = 0;
+            while steps < 10_000 {
+                steps += 1;
+                if machine
+                    .step(&mut trace)
+                    .expect("all generated words decode")
+                {
+                    break;
+                }
+            }
+            assert!(machine.is_halted(), "program must halt");
 
-        let (ref_regs, ref_mem) = reference_run(&insts);
-        for (i, &expect) in ref_regs.iter().enumerate() {
-            assert_eq!(
-                machine.reg(Reg::new(i as u8).expect("in range")),
-                expect,
-                "register r{i} diverged"
-            );
-        }
-        for (&addr, &byte) in &ref_mem {
-            assert_eq!(machine.mem().read_u8(addr as u64), byte, "memory byte {addr:#x} diverged");
-        }
-    });
+            let (ref_regs, ref_mem) = reference_run(&insts);
+            for (i, &expect) in ref_regs.iter().enumerate() {
+                assert_eq!(
+                    machine.reg(Reg::new(i as u8).expect("in range")),
+                    expect,
+                    "register r{i} diverged"
+                );
+            }
+            for (&addr, &byte) in &ref_mem {
+                assert_eq!(
+                    machine.mem().read_u8(addr as u64),
+                    byte,
+                    "memory byte {addr:#x} diverged"
+                );
+            }
+        });
 }

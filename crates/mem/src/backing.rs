@@ -57,7 +57,9 @@ impl FlatMemory {
     }
 
     fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE] {
-        self.pages.entry(addr >> PAGE_SHIFT).or_insert_with(|| Box::new([0; PAGE_SIZE]))
+        self.pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE]))
     }
 
     /// Reads one byte.
@@ -143,7 +145,11 @@ pub struct RecordingBacking<B> {
 impl<B: Backing> RecordingBacking<B> {
     /// Wraps `inner`.
     pub fn new(inner: B) -> Self {
-        RecordingBacking { inner, fills: Vec::new(), write_backs: Vec::new() }
+        RecordingBacking {
+            inner,
+            fills: Vec::new(),
+            write_backs: Vec::new(),
+        }
     }
 
     /// Addresses of every line fill, in order.

@@ -1,6 +1,5 @@
 //! A data-carrying set-associative cache simulator.
 
-
 use crate::{Backing, MemError};
 
 /// Write policy of a [`Cache`].
@@ -49,21 +48,31 @@ impl CacheConfig {
     /// `assoc ≥ 1`, and `size_bytes` is divisible by `line_bytes × assoc`.
     pub fn new(size_bytes: u64, line_bytes: u32, assoc: u32) -> Result<Self, MemError> {
         if size_bytes == 0 || !size_bytes.is_power_of_two() {
-            return Err(MemError::InvalidGeometry("size must be a non-zero power of two"));
+            return Err(MemError::InvalidGeometry(
+                "size must be a non-zero power of two",
+            ));
         }
         if line_bytes < 4 || !line_bytes.is_power_of_two() {
-            return Err(MemError::InvalidGeometry("line must be a power of two of at least 4"));
+            return Err(MemError::InvalidGeometry(
+                "line must be a power of two of at least 4",
+            ));
         }
         if assoc == 0 {
-            return Err(MemError::InvalidGeometry("associativity must be at least 1"));
+            return Err(MemError::InvalidGeometry(
+                "associativity must be at least 1",
+            ));
         }
         let way_bytes = line_bytes as u64 * assoc as u64;
         if size_bytes < way_bytes || !size_bytes.is_multiple_of(way_bytes) {
-            return Err(MemError::InvalidGeometry("size must be a multiple of line × assoc"));
+            return Err(MemError::InvalidGeometry(
+                "size must be a multiple of line × assoc",
+            ));
         }
         let sets = size_bytes / way_bytes;
         if !sets.is_power_of_two() {
-            return Err(MemError::InvalidGeometry("number of sets must be a power of two"));
+            return Err(MemError::InvalidGeometry(
+                "number of sets must be a power of two",
+            ));
         }
         Ok(CacheConfig {
             size_bytes,
@@ -186,8 +195,15 @@ impl Cache {
             stamp: 0,
             data: vec![0; cfg.line_bytes as usize],
         };
-        let sets = (0..cfg.num_sets()).map(|_| vec![line.clone(); cfg.assoc as usize]).collect();
-        Cache { cfg, sets, tick: 0, stats: CacheStats::default() }
+        let sets = (0..cfg.num_sets())
+            .map(|_| vec![line.clone(); cfg.assoc as usize])
+            .collect();
+        Cache {
+            cfg,
+            sets,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
     }
 
     /// The configuration this cache was built with.
@@ -241,8 +257,7 @@ impl Cache {
             let (way, hit) = self.lookup_or_fill(a, &mut backing);
             all_hit &= hit;
             let set = self.set_index(a);
-            buf[done..done + n]
-                .copy_from_slice(&self.sets[set][way].data[line_off..line_off + n]);
+            buf[done..done + n].copy_from_slice(&self.sets[set][way].data[line_off..line_off + n]);
             done += n;
         }
         if all_hit {
@@ -471,8 +486,9 @@ mod tests {
 
     #[test]
     fn fifo_evicts_insertion_order() {
-        let cfg =
-            CacheConfig::new(32, 16, 2).unwrap().replacement(ReplacementPolicy::Fifo);
+        let cfg = CacheConfig::new(32, 16, 2)
+            .unwrap()
+            .replacement(ReplacementPolicy::Fifo);
         let mut c = Cache::new(cfg);
         let mut m = FlatMemory::new();
         c.read_word(0, &mut m); // A inserted first

@@ -39,8 +39,7 @@
 
 pub mod sleep;
 
-
-use lpmem_energy::{Energy, EnergyReport, SramModel, Technology};
+use lpmem_energy::{AreaReport, Energy, EnergyReport, SramModel, Technology};
 use lpmem_trace::BlockProfile;
 
 /// A division of `n` profile blocks into contiguous banks.
@@ -64,7 +63,10 @@ impl Partition {
     pub fn from_cuts(cuts: Vec<usize>) -> Self {
         assert!(cuts.len() >= 2, "a partition needs at least one bank");
         assert_eq!(cuts[0], 0, "first cut must be 0");
-        assert!(cuts.windows(2).all(|w| w[0] < w[1]), "cuts must be strictly ascending");
+        assert!(
+            cuts.windows(2).all(|w| w[0] < w[1]),
+            "cuts must be strictly ascending"
+        );
         Partition { cuts }
     }
 
@@ -184,18 +186,20 @@ impl PartitionCost {
             let e_w = self.sram.write_energy(bytes) * wr as f64;
             read_e += e_r;
             write_e += e_w;
-            banks.push(BankInfo { blocks: range, bytes, accesses, energy: e_r + e_w });
+            banks.push(BankInfo {
+                blocks: range,
+                bytes,
+                accesses,
+                energy: e_r + e_w,
+            });
         }
         report.add("bank.read", read_e);
         report.add("bank.write", write_e);
         report.add(
             "bank.select",
-            Energy::from_pj(
-                self.select_pj * partition.num_banks() as f64 * total_accesses as f64,
-            ),
+            Energy::from_pj(self.select_pj * partition.num_banks() as f64 * total_accesses as f64),
         );
-        let total_kib =
-            (profile.num_blocks() as u64 * profile.block_size()) as f64 / 1024.0;
+        let total_kib = (profile.num_blocks() as u64 * profile.block_size()) as f64 / 1024.0;
         report.add(
             "sram.idle",
             Energy::from_pj(self.idle_per_kib_pj * total_kib * total_accesses as f64),
@@ -217,15 +221,31 @@ impl PartitionCost {
     /// Panics if the partition does not cover exactly
     /// `profile.num_blocks()` blocks.
     pub fn area_mm2(&self, profile: &BlockProfile, partition: &Partition) -> f64 {
+        self.area_report(profile, partition).total_mm2()
+    }
+
+    /// The named area breakdown of the banked memory — the A5 accounting
+    /// promoted to a first-class [`AreaReport`]: `bank.cells` (invariant
+    /// under banking) and `bank.periphery` (paid once per bank, the area
+    /// price of partitioning).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition does not cover exactly
+    /// `profile.num_blocks()` blocks.
+    pub fn area_report(&self, profile: &BlockProfile, partition: &Partition) -> AreaReport {
         assert_eq!(
             partition.num_blocks(),
             profile.num_blocks(),
             "partition must cover the whole profile"
         );
-        partition
-            .banks()
-            .map(|range| self.sram.area_mm2(range.len() as u64 * profile.block_size()))
-            .sum()
+        let mut report = AreaReport::new();
+        for range in partition.banks() {
+            let bytes = range.len() as u64 * profile.block_size();
+            report.add("bank.cells", self.sram.cell_area_mm2(bytes));
+            report.add("bank.periphery", self.sram.periphery_area_mm2(bytes));
+        }
+        report
     }
 }
 
@@ -340,8 +360,10 @@ pub fn greedy_partition(
                 cuts.insert(bi + 1, cut);
                 let cand = Partition::from_cuts(cuts);
                 let eval = cost.evaluate(profile, &cand);
-                let current_best =
-                    improved.as_ref().map(|(_, e)| e.total()).unwrap_or(best_eval.total());
+                let current_best = improved
+                    .as_ref()
+                    .map(|(_, e)| e.total())
+                    .unwrap_or(best_eval.total());
                 if eval.total() < current_best {
                     improved = Some((cand, eval));
                 }
@@ -420,7 +442,10 @@ mod tests {
         let c = cost();
         let (part, eval) = optimal_partition(&p, 1, &c);
         assert_eq!(part, Partition::monolithic(4));
-        assert_eq!(eval.total(), c.evaluate(&p, &Partition::monolithic(4)).total());
+        assert_eq!(
+            eval.total(),
+            c.evaluate(&p, &Partition::monolithic(4)).total()
+        );
     }
 
     #[test]
@@ -485,6 +510,23 @@ mod tests {
         let mono = c.area_mm2(&p, &Partition::monolithic(16));
         let eight = c.area_mm2(&p, &Partition::from_cuts((0..=16).step_by(2).collect()));
         assert!(eight > mono);
+    }
+
+    #[test]
+    fn area_report_breaks_down_the_total() {
+        let p = profile(vec![100; 16]);
+        let c = cost();
+        let mono = Partition::monolithic(16);
+        let eight = Partition::from_cuts((0..=16).step_by(2).collect());
+        for part in [&mono, &eight] {
+            let report = c.area_report(&p, part);
+            assert!((report.total_mm2() - c.area_mm2(&p, part)).abs() < 1e-12);
+        }
+        // Cells are conserved across bankings; periphery is what grows.
+        let rm = c.area_report(&p, &mono);
+        let r8 = c.area_report(&p, &eight);
+        assert!((rm.component("bank.cells") - r8.component("bank.cells")).abs() < 1e-12);
+        assert!(r8.component("bank.periphery") > rm.component("bank.periphery"));
     }
 
     #[test]

@@ -16,7 +16,6 @@
 //! `sleep_frac` of its idle power; the next access pays a wake penalty
 //! proportional to the bank size.
 
-
 use lpmem_energy::{Energy, EnergyReport, SramModel, Technology};
 use lpmem_trace::{BlockProfile, Trace};
 
@@ -255,8 +254,15 @@ mod tests {
         let (p2, part2) = two_bank_setup(&ph);
         let ev_ph = evaluate_with_sleep(&ph, &p2, &part2, &tech(), &policy);
 
-        assert_eq!(ev_pp.sleep_fraction, 0.0, "ping-pong banks never idle long enough");
-        assert!(ev_ph.sleep_fraction > 0.4, "phased banks sleep: {}", ev_ph.sleep_fraction);
+        assert_eq!(
+            ev_pp.sleep_fraction, 0.0,
+            "ping-pong banks never idle long enough"
+        );
+        assert!(
+            ev_ph.sleep_fraction > 0.4,
+            "phased banks sleep: {}",
+            ev_ph.sleep_fraction
+        );
         // Same access counts, same banks: the phased trace must be cheaper.
         assert!(ev_ph.total() < ev_pp.total());
     }

@@ -37,7 +37,6 @@
 
 #![warn(missing_docs)]
 
-
 use lpmem_energy::{Energy, EnergyReport, OffChipModel, SramModel, Technology};
 
 /// Errors from building or evaluating schedules.
@@ -70,7 +69,10 @@ impl std::fmt::Display for SchedError {
                 write!(f, "context {context} references unknown array {array}")
             }
             SchedError::OverCapacity { context, level } => {
-                write!(f, "placements exceed {level:?} capacity in context {context}")
+                write!(
+                    f,
+                    "placements exceed {level:?} capacity in context {context}"
+                )
             }
             SchedError::InvalidSpec(what) => write!(f, "invalid application spec: {what}"),
             SchedError::ShapeMismatch => write!(f, "schedule shape does not match application"),
@@ -106,7 +108,10 @@ pub struct ContextSpec {
 impl ContextSpec {
     /// Creates a context spec.
     pub fn new(config_words: u64, accesses: Vec<(usize, u64, u64)>) -> Self {
-        ContextSpec { config_words, accesses }
+        ContextSpec {
+            config_words,
+            accesses,
+        }
     }
 }
 
@@ -144,7 +149,9 @@ impl AppSpec {
         iterations: u64,
     ) -> Result<Self, SchedError> {
         if contexts.is_empty() {
-            return Err(SchedError::InvalidSpec("application needs at least one context"));
+            return Err(SchedError::InvalidSpec(
+                "application needs at least one context",
+            ));
         }
         if iterations == 0 {
             return Err(SchedError::InvalidSpec("iterations must be at least one"));
@@ -155,7 +162,10 @@ impl AppSpec {
         for (ci, ctx) in contexts.iter().enumerate() {
             for &(ai, _, _) in &ctx.accesses {
                 if ai >= arrays.len() {
-                    return Err(SchedError::UnknownArray { context: ci, array: ai });
+                    return Err(SchedError::UnknownArray {
+                        context: ci,
+                        array: ai,
+                    });
                 }
             }
         }
@@ -198,7 +208,11 @@ impl AppSpec {
 
     /// Arrays live (accessed) in context `ci`, ascending.
     pub fn live_in(&self, ci: usize) -> Vec<usize> {
-        let mut v: Vec<usize> = self.contexts[ci].accesses.iter().map(|&(a, _, _)| a).collect();
+        let mut v: Vec<usize> = self.contexts[ci]
+            .accesses
+            .iter()
+            .map(|&(a, _, _)| a)
+            .collect();
         v.sort_unstable();
         v.dedup();
         v
@@ -331,10 +345,16 @@ impl SchedPlatform {
                 }
             }
             if l0 > self.l0_bytes {
-                return Err(SchedError::OverCapacity { context: ci, level: Level::L0 });
+                return Err(SchedError::OverCapacity {
+                    context: ci,
+                    level: Level::L0,
+                });
             }
             if l1 > self.l1_bytes {
-                return Err(SchedError::OverCapacity { context: ci, level: Level::L1 });
+                return Err(SchedError::OverCapacity {
+                    context: ci,
+                    level: Level::L1,
+                });
             }
         }
 
@@ -373,7 +393,11 @@ impl SchedPlatform {
                 if from != here && here != Level::External {
                     transfer_once += self.transfer_energy(bytes, from, here);
                 }
-                if app.contexts()[ci].accesses.iter().any(|&(a, _, w)| a == ai && w > 0) {
+                if app.contexts()[ci]
+                    .accesses
+                    .iter()
+                    .any(|&(a, _, w)| a == ai && w > 0)
+                {
                     written = true;
                 }
                 prev = Some(here);
@@ -446,19 +470,24 @@ pub fn greedy_schedule(app: &AppSpec, platform: &SchedPlatform) -> Schedule {
     order.sort_by(|&a, &b| {
         let da = benefit(a, Level::L0) / app.array_bytes(a) as f64;
         let db = benefit(b, Level::L0) / app.array_bytes(b) as f64;
-        db.partial_cmp(&da).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        db.partial_cmp(&da)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
     });
     // Capacity is per context: an array occupies a level only while live.
     let live_contexts: Vec<Vec<usize>> = (0..na)
-        .map(|ai| (0..nc).filter(|&ci| app.live_in(ci).contains(&ai)).collect())
+        .map(|ai| {
+            (0..nc)
+                .filter(|&ci| app.live_in(ci).contains(&ai))
+                .collect()
+        })
         .collect();
     let mut l0_used = vec![0u64; nc];
     let mut l1_used = vec![0u64; nc];
     for ai in order {
         let bytes = app.array_bytes(ai);
-        let fits = |used: &[u64], cap: u64| {
-            live_contexts[ai].iter().all(|&ci| used[ci] + bytes <= cap)
-        };
+        let fits =
+            |used: &[u64], cap: u64| live_contexts[ai].iter().all(|&ci| used[ci] + bytes <= cap);
         let level = if fits(&l0_used, platform.l0_bytes) && benefit(ai, Level::L0) > 0.0 {
             for &ci in &live_contexts[ai] {
                 l0_used[ci] += bytes;
@@ -518,7 +547,10 @@ pub fn greedy_schedule(app: &AppSpec, platform: &SchedPlatform) -> Schedule {
             }
         }
     }
-    Schedule { placement, cache_config }
+    Schedule {
+        placement,
+        cache_config,
+    }
 }
 
 /// Naive baseline: every live array goes to L1 in declaration order until
@@ -538,7 +570,10 @@ pub fn naive_schedule(app: &AppSpec, platform: &SchedPlatform) -> Schedule {
             }
         }
     }
-    Schedule { placement, cache_config: vec![false; nc] }
+    Schedule {
+        placement,
+        cache_config: vec![false; nc],
+    }
 }
 
 /// External-only baseline (no on-chip data at all).
@@ -560,7 +595,10 @@ pub fn exhaustive_schedule(app: &AppSpec, platform: &SchedPlatform) -> Schedule 
     let nc = app.num_contexts();
     let na = app.num_arrays();
     let slots = nc * na;
-    assert!(slots <= 16, "exhaustive search limited to 16 placement slots");
+    assert!(
+        slots <= 16,
+        "exhaustive search limited to 16 placement slots"
+    );
     let levels = [Level::L0, Level::L1, Level::External];
     let mut best: Option<(f64, Schedule)> = None;
     let total = 3usize.pow(slots as u32);
@@ -573,7 +611,10 @@ pub fn exhaustive_schedule(app: &AppSpec, platform: &SchedPlatform) -> Schedule 
                 c /= 3;
             }
         }
-        let sched = Schedule { placement, cache_config: vec![false; nc] };
+        let sched = Schedule {
+            placement,
+            cache_config: vec![false; nc],
+        };
         if let Ok(report) = platform.evaluate(app, &sched) {
             let e = report.total().as_pj();
             if best.as_ref().map(|(b, _)| e < *b).unwrap_or(true) {
@@ -612,11 +653,16 @@ mod tests {
         assert!(AppSpec::new(vec![("a", 0)], vec![ContextSpec::new(0, vec![])]).is_err());
         assert!(AppSpec::new(vec![("a", 4)], vec![]).is_err());
         assert!(
-            AppSpec::with_iterations(vec![("a", 4)], vec![ContextSpec::new(0, vec![])], 0)
-                .is_err()
+            AppSpec::with_iterations(vec![("a", 4)], vec![ContextSpec::new(0, vec![])], 0).is_err()
         );
         let bad = AppSpec::new(vec![("a", 4)], vec![ContextSpec::new(0, vec![(1, 1, 0)])]);
-        assert_eq!(bad.unwrap_err(), SchedError::UnknownArray { context: 0, array: 1 });
+        assert_eq!(
+            bad.unwrap_err(),
+            SchedError::UnknownArray {
+                context: 0,
+                array: 1
+            }
+        );
     }
 
     #[test]
@@ -636,7 +682,10 @@ mod tests {
         sched.placement[1][2] = Level::L0;
         assert_eq!(
             p.evaluate(&app, &sched).unwrap_err(),
-            SchedError::OverCapacity { context: 1, level: Level::L0 }
+            SchedError::OverCapacity {
+                context: 1,
+                level: Level::L0
+            }
         );
     }
 
@@ -657,7 +706,10 @@ mod tests {
         };
         assert_eq!(
             p.evaluate(&app, &sched).unwrap_err(),
-            SchedError::OverCapacity { context: 0, level: Level::L1 }
+            SchedError::OverCapacity {
+                context: 0,
+                level: Level::L1
+            }
         );
     }
 
@@ -665,9 +717,14 @@ mod tests {
     fn shape_mismatch_is_rejected() {
         let app = simple_app();
         let p = platform();
-        let sched =
-            Schedule { placement: vec![vec![Level::External; 3]], cache_config: vec![false] };
-        assert_eq!(p.evaluate(&app, &sched).unwrap_err(), SchedError::ShapeMismatch);
+        let sched = Schedule {
+            placement: vec![vec![Level::External; 3]],
+            cache_config: vec![false],
+        };
+        assert_eq!(
+            p.evaluate(&app, &sched).unwrap_err(),
+            SchedError::ShapeMismatch
+        );
     }
 
     #[test]
@@ -719,7 +776,10 @@ mod tests {
         };
         let e_cold = p.evaluate(&app, &cold).unwrap().component("reconfig");
         let e_cached = p.evaluate(&app, &cached).unwrap().component("reconfig");
-        assert!(e_cached < e_cold * 0.2, "cached {e_cached} vs cold {e_cold}");
+        assert!(
+            e_cached < e_cold * 0.2,
+            "cached {e_cached} vs cold {e_cold}"
+        );
         // And greedy should discover it.
         let greedy = greedy_schedule(&app, &p);
         assert!(greedy.cache_config[0]);
@@ -758,15 +818,25 @@ mod tests {
 
     #[test]
     fn dirty_arrays_drain_to_external() {
-        let read_only =
-            AppSpec::new(vec![("buf", 1024)], vec![ContextSpec::new(0, vec![(0, 100, 0)])])
-                .unwrap();
-        let written =
-            AppSpec::new(vec![("buf", 1024)], vec![ContextSpec::new(0, vec![(0, 100, 1)])])
-                .unwrap();
+        let read_only = AppSpec::new(
+            vec![("buf", 1024)],
+            vec![ContextSpec::new(0, vec![(0, 100, 0)])],
+        )
+        .unwrap();
+        let written = AppSpec::new(
+            vec![("buf", 1024)],
+            vec![ContextSpec::new(0, vec![(0, 100, 1)])],
+        )
+        .unwrap();
         let p = platform();
-        let sched = Schedule { placement: vec![vec![Level::L1]], cache_config: vec![false] };
-        let e_ro = p.evaluate(&read_only, &sched).unwrap().component("transfer");
+        let sched = Schedule {
+            placement: vec![vec![Level::L1]],
+            cache_config: vec![false],
+        };
+        let e_ro = p
+            .evaluate(&read_only, &sched)
+            .unwrap()
+            .component("transfer");
         let e_rw = p.evaluate(&written, &sched).unwrap().component("transfer");
         assert!(e_rw > e_ro);
     }
@@ -782,23 +852,39 @@ mod tests {
         )
         .unwrap();
         let p = platform();
-        let greedy = p.evaluate(&app, &greedy_schedule(&app, &p)).unwrap().total();
-        let best = p.evaluate(&app, &exhaustive_schedule(&app, &p)).unwrap().total();
+        let greedy = p
+            .evaluate(&app, &greedy_schedule(&app, &p))
+            .unwrap()
+            .total();
+        let best = p
+            .evaluate(&app, &exhaustive_schedule(&app, &p))
+            .unwrap()
+            .total();
         assert!(best <= greedy);
-        assert!((greedy.as_pj() - best.as_pj()).abs() < 1e-6, "greedy {greedy} best {best}");
+        assert!(
+            (greedy.as_pj() - best.as_pj()).abs() < 1e-6,
+            "greedy {greedy} best {best}"
+        );
     }
 
     #[test]
     fn reconfig_energy_scales_with_config_words() {
         let small =
             AppSpec::new(vec![("a", 4)], vec![ContextSpec::new(10, vec![(0, 1, 0)])]).unwrap();
-        let large =
-            AppSpec::new(vec![("a", 4)], vec![ContextSpec::new(1000, vec![(0, 1, 0)])]).unwrap();
+        let large = AppSpec::new(
+            vec![("a", 4)],
+            vec![ContextSpec::new(1000, vec![(0, 1, 0)])],
+        )
+        .unwrap();
         let p = platform();
-        let e_small =
-            p.evaluate(&small, &external_only_schedule(&small)).unwrap().component("reconfig");
-        let e_large =
-            p.evaluate(&large, &external_only_schedule(&large)).unwrap().component("reconfig");
+        let e_small = p
+            .evaluate(&small, &external_only_schedule(&small))
+            .unwrap()
+            .component("reconfig");
+        let e_large = p
+            .evaluate(&large, &external_only_schedule(&large))
+            .unwrap()
+            .component("reconfig");
         assert!(e_large.as_pj() > 50.0 * e_small.as_pj());
     }
 
@@ -813,7 +899,10 @@ mod tests {
             .unwrap()
         };
         let p = platform();
-        let sched = Schedule { placement: vec![vec![Level::L0]], cache_config: vec![false] };
+        let sched = Schedule {
+            placement: vec![vec![Level::L0]],
+            cache_config: vec![false],
+        };
         let e1 = p.evaluate(&mk(1), &sched).unwrap().component("l0.access");
         let e4 = p.evaluate(&mk(4), &sched).unwrap().component("l0.access");
         assert!((e4.as_pj() - 4.0 * e1.as_pj()).abs() < 1e-9);

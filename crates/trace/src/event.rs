@@ -1,6 +1,5 @@
 //! Trace events and the [`Trace`] container.
 
-
 use crate::TraceError;
 
 /// The kind of memory access an event records.
@@ -49,18 +48,33 @@ pub struct MemEvent {
 impl MemEvent {
     /// Creates a data-read event of word (4-byte) width and zero value.
     pub fn read(addr: u64) -> Self {
-        MemEvent { addr, kind: AccessKind::Read, size: 4, value: 0 }
+        MemEvent {
+            addr,
+            kind: AccessKind::Read,
+            size: 4,
+            value: 0,
+        }
     }
 
     /// Creates a data-write event of word (4-byte) width and zero value.
     pub fn write(addr: u64) -> Self {
-        MemEvent { addr, kind: AccessKind::Write, size: 4, value: 0 }
+        MemEvent {
+            addr,
+            kind: AccessKind::Write,
+            size: 4,
+            value: 0,
+        }
     }
 
     /// Creates an instruction-fetch event of word (4-byte) width and zero
     /// value.
     pub fn fetch(addr: u64) -> Self {
-        MemEvent { addr, kind: AccessKind::InstrFetch, size: 4, value: 0 }
+        MemEvent {
+            addr,
+            kind: AccessKind::InstrFetch,
+            size: 4,
+            value: 0,
+        }
     }
 
     /// Returns this event carrying `value` as its data payload.
@@ -104,7 +118,9 @@ impl Trace {
 
     /// Creates an empty trace with pre-allocated capacity.
     pub fn with_capacity(n: usize) -> Self {
-        Trace { events: Vec::with_capacity(n) }
+        Trace {
+            events: Vec::with_capacity(n),
+        }
     }
 
     /// Appends an event.
@@ -147,7 +163,11 @@ impl Trace {
 
     /// A sub-trace containing only the events whose kind satisfies `keep`.
     pub fn filtered(&self, keep: impl Fn(AccessKind) -> bool) -> Trace {
-        self.events.iter().copied().filter(|e| keep(e.kind)).collect()
+        self.events
+            .iter()
+            .copied()
+            .filter(|e| keep(e.kind))
+            .collect()
     }
 
     /// A sub-trace of data-side accesses (reads and writes).
@@ -187,7 +207,9 @@ impl Trace {
 
 impl FromIterator<MemEvent> for Trace {
     fn from_iter<I: IntoIterator<Item = MemEvent>>(iter: I) -> Self {
-        Trace { events: iter.into_iter().collect() }
+        Trace {
+            events: iter.into_iter().collect(),
+        }
     }
 }
 

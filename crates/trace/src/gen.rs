@@ -19,7 +19,8 @@ use crate::{AccessKind, MemEvent};
 /// a smooth function of the word index plus a small address-derived jitter.
 fn synth_value(addr: u64) -> u32 {
     let word = (addr / 4) as u32;
-    word.wrapping_mul(12).wrapping_add((word.wrapping_mul(0x9E37_79B9)) >> 27)
+    word.wrapping_mul(12)
+        .wrapping_add((word.wrapping_mul(0x9E37_79B9)) >> 27)
 }
 
 fn kind_for(rng: &mut Rng, write_ratio: f64) -> AccessKind {
@@ -61,8 +62,18 @@ impl HotColdGen {
     pub fn new(span: u64, num_hot: usize, hot_prob: f64) -> Self {
         assert!(span > 0, "span must be positive");
         assert!(num_hot > 0, "need at least one hot block");
-        assert!((0.0..=1.0).contains(&hot_prob), "hot_prob must be in [0, 1]");
-        HotColdGen { span, num_hot, hot_prob, write_ratio: 0.3, block_size: 1024, seed: 0 }
+        assert!(
+            (0.0..=1.0).contains(&hot_prob),
+            "hot_prob must be in [0, 1]"
+        );
+        HotColdGen {
+            span,
+            num_hot,
+            hot_prob,
+            write_ratio: 0.3,
+            block_size: 1024,
+            seed: 0,
+        }
     }
 
     /// Sets the RNG seed (default 0).
@@ -98,10 +109,17 @@ impl HotColdGen {
         let blocks = (self.span / self.block_size).max(1);
         // Spread hot blocks evenly (and therefore *scattered*) over the span.
         let num_hot = (self.num_hot as u64).min(blocks) as usize;
-        let hot_blocks: Vec<u64> =
-            (0..num_hot).map(|i| (i as u64 * blocks) / num_hot as u64).collect();
+        let hot_blocks: Vec<u64> = (0..num_hot)
+            .map(|i| (i as u64 * blocks) / num_hot as u64)
+            .collect();
         let rng = Rng::seed_from_u64(self.seed ^ 0x9e37_79b9_7f4a_7c15);
-        HotColdIter { cfg: self, hot_blocks, blocks, rng, remaining: n }
+        HotColdIter {
+            cfg: self,
+            hot_blocks,
+            blocks,
+            rng,
+            remaining: n,
+        }
     }
 }
 
@@ -131,7 +149,12 @@ impl Iterator for HotColdIter {
         let offset = self.rng.gen_range(0..self.cfg.block_size / 4) * 4;
         let addr = block * self.cfg.block_size + offset;
         let kind = kind_for(&mut self.rng, self.cfg.write_ratio);
-        Some(MemEvent { addr, kind, size: 4, value: synth_value(addr) })
+        Some(MemEvent {
+            addr,
+            kind,
+            size: 4,
+            value: synth_value(addr),
+        })
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
@@ -161,8 +184,17 @@ impl StridedGen {
     /// Panics if `stride` is zero or `array_bytes < stride`.
     pub fn new(base: u64, array_bytes: u64, stride: u64, passes: usize) -> Self {
         assert!(stride > 0, "stride must be positive");
-        assert!(array_bytes >= stride, "array must hold at least one element");
-        StridedGen { base, array_bytes, stride, passes, write_every: 0 }
+        assert!(
+            array_bytes >= stride,
+            "array must hold at least one element"
+        );
+        StridedGen {
+            base,
+            array_bytes,
+            stride,
+            passes,
+            write_every: 0,
+        }
     }
 
     /// Makes every `k`-th access a write (0 disables writes; default 0).
@@ -174,16 +206,30 @@ impl StridedGen {
     /// Returns the event iterator (`passes * floor(array/stride)` events).
     pub fn events(self) -> impl Iterator<Item = MemEvent> {
         let per_pass = (self.array_bytes / self.stride) as usize;
-        let StridedGen { base, stride, passes, write_every, .. } = self;
-        (0..passes).flat_map(move |_| 0..per_pass).enumerate().map(move |(i, j)| {
-            let addr = base + j as u64 * stride;
-            let kind = if write_every != 0 && (i + 1) % write_every == 0 {
-                AccessKind::Write
-            } else {
-                AccessKind::Read
-            };
-            MemEvent { addr, kind, size: 4, value: synth_value(addr) }
-        })
+        let StridedGen {
+            base,
+            stride,
+            passes,
+            write_every,
+            ..
+        } = self;
+        (0..passes)
+            .flat_map(move |_| 0..per_pass)
+            .enumerate()
+            .map(move |(i, j)| {
+                let addr = base + j as u64 * stride;
+                let kind = if write_every != 0 && (i + 1) % write_every == 0 {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                MemEvent {
+                    addr,
+                    kind,
+                    size: 4,
+                    value: synth_value(addr),
+                }
+            })
     }
 }
 
@@ -208,9 +254,17 @@ impl MarkovGen {
     /// is outside `0.0..=1.0`.
     pub fn new(regions: Vec<(u64, u64)>, switch_prob: f64) -> Self {
         assert!(!regions.is_empty(), "need at least one region");
-        assert!(regions.iter().all(|&(_, len)| len >= 4), "regions must hold a word");
+        assert!(
+            regions.iter().all(|&(_, len)| len >= 4),
+            "regions must hold a word"
+        );
         assert!((0.0..=1.0).contains(&switch_prob));
-        MarkovGen { regions, switch_prob, write_ratio: 0.25, seed: 0 }
+        MarkovGen {
+            regions,
+            switch_prob,
+            write_ratio: 0.25,
+            seed: 0,
+        }
     }
 
     /// Sets the RNG seed (default 0).
@@ -269,7 +323,12 @@ impl Iterator for MarkovIter {
         let addr = base + (self.cursor % words) * 4;
         self.cursor += 1;
         let kind = kind_for(&mut self.rng, self.cfg.write_ratio);
-        Some(MemEvent { addr, kind, size: 4, value: synth_value(addr) })
+        Some(MemEvent {
+            addr,
+            kind,
+            size: 4,
+            value: synth_value(addr),
+        })
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
@@ -388,8 +447,14 @@ impl PhaseScatterGen {
     /// Returns an iterator producing exactly `n` events.
     pub fn events(self, n: usize) -> impl Iterator<Item = MemEvent> {
         let mut rng = Rng::seed_from_u64(self.seed ^ 0x7f4a_7c15_9e37_79b9);
-        let PhaseScatterGen { phases, blocks_per_phase, block_size, dwell, write_ratio, .. } =
-            self;
+        let PhaseScatterGen {
+            phases,
+            blocks_per_phase,
+            block_size,
+            dwell,
+            write_ratio,
+            ..
+        } = self;
         (0..n).map(move |i| {
             let phase = (i / dwell) % phases;
             // Phase p owns blocks p, p+P, p+2P, ... : maximally interleaved.
@@ -398,7 +463,12 @@ impl PhaseScatterGen {
             let offset = rng.gen_range(0..block_size / 4) * 4;
             let addr = block * block_size + offset;
             let kind = kind_for(&mut rng, write_ratio);
-            MemEvent { addr, kind, size: 4, value: synth_value(addr) }
+            MemEvent {
+                addr,
+                kind,
+                size: 4,
+                value: synth_value(addr),
+            }
         })
     }
 }
@@ -410,16 +480,28 @@ mod tests {
 
     #[test]
     fn hot_cold_is_deterministic_per_seed() {
-        let a: Trace = HotColdGen::new(1 << 16, 4, 0.9).seed(3).events(500).collect();
-        let b: Trace = HotColdGen::new(1 << 16, 4, 0.9).seed(3).events(500).collect();
-        let c: Trace = HotColdGen::new(1 << 16, 4, 0.9).seed(4).events(500).collect();
+        let a: Trace = HotColdGen::new(1 << 16, 4, 0.9)
+            .seed(3)
+            .events(500)
+            .collect();
+        let b: Trace = HotColdGen::new(1 << 16, 4, 0.9)
+            .seed(3)
+            .events(500)
+            .collect();
+        let c: Trace = HotColdGen::new(1 << 16, 4, 0.9)
+            .seed(4)
+            .events(500)
+            .collect();
         assert_eq!(a, b);
         assert_ne!(a, c);
     }
 
     #[test]
     fn hot_cold_concentrates_traffic() {
-        let t: Trace = HotColdGen::new(1 << 16, 4, 0.95).seed(1).events(20_000).collect();
+        let t: Trace = HotColdGen::new(1 << 16, 4, 0.95)
+            .seed(1)
+            .events(20_000)
+            .collect();
         let p = BlockProfile::from_trace(&t, 1024).unwrap();
         // 95% of traffic should land in roughly 4 of ~64 blocks.
         assert!(p.hot_fraction(0.9) < 0.15);
@@ -427,15 +509,21 @@ mod tests {
 
     #[test]
     fn hot_cold_hot_blocks_are_scattered() {
-        let t: Trace = HotColdGen::new(1 << 16, 4, 0.95).seed(1).events(20_000).collect();
+        let t: Trace = HotColdGen::new(1 << 16, 4, 0.95)
+            .seed(1)
+            .events(20_000)
+            .collect();
         let p = BlockProfile::from_trace(&t, 1024).unwrap();
         assert!(p.scatter() > 0.5, "scatter = {}", p.scatter());
     }
 
     #[test]
     fn hot_cold_respects_write_ratio_bounds() {
-        let t: Trace =
-            HotColdGen::new(1 << 12, 2, 0.9).write_ratio(0.0).seed(9).events(100).collect();
+        let t: Trace = HotColdGen::new(1 << 12, 2, 0.9)
+            .write_ratio(0.0)
+            .seed(9)
+            .events(100)
+            .collect();
         let (_, _, w) = t.kind_counts();
         assert_eq!(w, 0);
     }
@@ -444,12 +532,18 @@ mod tests {
     fn strided_emits_expected_addresses() {
         let evs: Vec<_> = StridedGen::new(0x100, 16, 4, 2).events().collect();
         let addrs: Vec<u64> = evs.iter().map(|e| e.addr).collect();
-        assert_eq!(addrs, vec![0x100, 0x104, 0x108, 0x10c, 0x100, 0x104, 0x108, 0x10c]);
+        assert_eq!(
+            addrs,
+            vec![0x100, 0x104, 0x108, 0x10c, 0x100, 0x104, 0x108, 0x10c]
+        );
     }
 
     #[test]
     fn strided_write_every_marks_writes() {
-        let evs: Vec<_> = StridedGen::new(0, 16, 4, 1).write_every(2).events().collect();
+        let evs: Vec<_> = StridedGen::new(0, 16, 4, 1)
+            .write_every(2)
+            .events()
+            .collect();
         assert_eq!(evs[0].kind, AccessKind::Read);
         assert_eq!(evs[1].kind, AccessKind::Write);
         assert_eq!(evs[3].kind, AccessKind::Write);
@@ -458,7 +552,10 @@ mod tests {
     #[test]
     fn markov_stays_within_regions() {
         let regions = vec![(0x0, 0x100), (0x10_000, 0x100)];
-        let t: Trace = MarkovGen::new(regions, 0.05).seed(5).events(1_000).collect();
+        let t: Trace = MarkovGen::new(regions, 0.05)
+            .seed(5)
+            .events(1_000)
+            .collect();
         for ev in &t {
             let in_a = ev.addr < 0x100;
             let in_b = (0x10_000..0x10_100).contains(&ev.addr);
@@ -468,20 +565,30 @@ mod tests {
 
     #[test]
     fn pointer_chase_has_low_spatial_locality() {
-        let t: Trace = PointerChaseGen::new(0, 1 << 20).seed(2).events(5_000).collect();
+        let t: Trace = PointerChaseGen::new(0, 1 << 20)
+            .seed(2)
+            .events(5_000)
+            .collect();
         let r = crate::LocalityReport::from_trace(&t, 64).unwrap();
         assert!(r.spatial_locality < 0.05);
     }
 
     #[test]
     fn phase_scatter_interleaves_working_sets() {
-        let t: Trace = PhaseScatterGen::new(4, 3, 100).seed(1).events(4_000).collect();
+        let t: Trace = PhaseScatterGen::new(4, 3, 100)
+            .seed(1)
+            .events(4_000)
+            .collect();
         let p = BlockProfile::from_trace(&t, 2048).unwrap();
         // 4 phases x 3 blocks = 12 blocks, all with similar heat.
         assert_eq!(p.num_blocks(), 12);
         let max = *p.counts().iter().max().unwrap() as f64;
         let min = *p.counts().iter().min().unwrap() as f64;
-        assert!(min / max > 0.5, "heat should be near-uniform: {:?}", p.counts());
+        assert!(
+            min / max > 0.5,
+            "heat should be near-uniform: {:?}",
+            p.counts()
+        );
     }
 
     #[test]

@@ -96,7 +96,12 @@ fn parse_line(line: &str) -> Result<MemEvent, TraceError> {
     if parts.next().is_some() {
         return Err(bad());
     }
-    Ok(MemEvent { addr, kind, size, value })
+    Ok(MemEvent {
+        addr,
+        kind,
+        size,
+        value,
+    })
 }
 
 #[cfg(test)]
@@ -108,7 +113,12 @@ mod tests {
         vec![
             MemEvent::fetch(0x100).with_value(0xdead_beef),
             MemEvent::read(0x2000).with_value(42),
-            MemEvent { addr: 0x2004, kind: AccessKind::Write, size: 1, value: 0xAB },
+            MemEvent {
+                addr: 0x2004,
+                kind: AccessKind::Write,
+                size: 1,
+                value: 0xAB,
+            },
         ]
         .into()
     }
@@ -128,7 +138,13 @@ mod tests {
 
     #[test]
     fn malformed_lines_are_rejected() {
-        for bad in ["X 100 4 0", "R zz 4 0", "R 100", "R 100 4 0 extra", "R 100 four 0"] {
+        for bad in [
+            "X 100 4 0",
+            "R zz 4 0",
+            "R 100",
+            "R 100 4 0 extra",
+            "R 100 four 0",
+        ] {
             assert!(from_text(bad).is_err(), "{bad} should fail");
         }
     }

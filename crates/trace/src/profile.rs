@@ -5,7 +5,6 @@
 //! fixed-size address blocks, the exact input the DATE 2003 1B.1 flow feeds
 //! to its memory-partitioning engine.
 
-
 use crate::{checked_log2, Trace, TraceError};
 
 /// Access counts over fixed-size, contiguous address blocks.
@@ -60,7 +59,12 @@ impl BlockProfile {
                 writes[idx] += 1;
             }
         }
-        Ok(BlockProfile { base: first << shift, block_size, counts, writes })
+        Ok(BlockProfile {
+            base: first << shift,
+            block_size,
+            counts,
+            writes,
+        })
     }
 
     /// Builds a profile directly from per-block counts (used by generators
@@ -76,7 +80,12 @@ impl BlockProfile {
             return Err(TraceError::EmptyTrace);
         }
         let writes = vec![0; counts.len()];
-        Ok(BlockProfile { base, block_size, counts, writes })
+        Ok(BlockProfile {
+            base,
+            block_size,
+            counts,
+            writes,
+        })
     }
 
     /// First byte address covered by the profile.
@@ -119,7 +128,10 @@ impl BlockProfile {
     ///
     /// Panics if `coverage` is not within `0.0..=1.0`.
     pub fn hot_fraction(&self, coverage: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&coverage), "coverage must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&coverage),
+            "coverage must be in [0, 1]"
+        );
         let total = self.total_accesses();
         if total == 0 {
             return 0.0;

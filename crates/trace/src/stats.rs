@@ -8,7 +8,6 @@
 
 use std::collections::HashMap;
 
-
 use crate::{checked_log2, Trace, TraceError};
 
 /// A Fenwick (binary-indexed) tree over `n` slots used to count live
@@ -20,7 +19,9 @@ struct Fenwick {
 
 impl Fenwick {
     fn new(n: usize) -> Self {
-        Fenwick { tree: vec![0; n + 1] }
+        Fenwick {
+            tree: vec![0; n + 1],
+        }
     }
 
     /// Adds `delta` at index `i` (0-based).
@@ -100,7 +101,11 @@ impl StackDistanceHistogram {
             fen.add(t, 1);
             last_pos.insert(b, t);
         }
-        Ok(StackDistanceHistogram { hist, cold, total: n as u64 })
+        Ok(StackDistanceHistogram {
+            hist,
+            cold,
+            total: n as u64,
+        })
     }
 
     /// Number of first-touch (cold) accesses.
@@ -135,7 +140,12 @@ impl StackDistanceHistogram {
         if reuses == 0 {
             return None;
         }
-        let weighted: u64 = self.hist.iter().enumerate().map(|(d, &c)| d as u64 * c).sum();
+        let weighted: u64 = self
+            .hist
+            .iter()
+            .enumerate()
+            .map(|(d, &c)| d as u64 * c)
+            .sum();
         Some(weighted as f64 / reuses as f64)
     }
 }
@@ -180,7 +190,11 @@ impl LocalityReport {
                 near += 1;
             }
         }
-        let spatial_locality = if events > 1 { near as f64 / (events - 1) as f64 } else { 1.0 };
+        let spatial_locality = if events > 1 {
+            near as f64 / (events - 1) as f64
+        } else {
+            1.0
+        };
         let sdh = StackDistanceHistogram::from_trace(trace, 64)?;
         let footprint_blocks = sdh.cold_accesses() as usize;
         Ok(LocalityReport {

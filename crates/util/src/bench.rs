@@ -32,14 +32,22 @@ pub struct Options {
 
 impl Default for Options {
     fn default() -> Self {
-        Options { warmup_ns: 200_000_000, samples: 15, sample_ns: 50_000_000 }
+        Options {
+            warmup_ns: 200_000_000,
+            samples: 15,
+            sample_ns: 50_000_000,
+        }
     }
 }
 
 impl Options {
     /// A fast configuration for smoke runs and tests (~a few ms total).
     pub fn quick() -> Self {
-        Options { warmup_ns: 1_000_000, samples: 5, sample_ns: 1_000_000 }
+        Options {
+            warmup_ns: 1_000_000,
+            samples: 5,
+            sample_ns: 1_000_000,
+        }
     }
 }
 

@@ -2,7 +2,7 @@
 //! build, test, and benchmark **hermetically** — with zero external
 //! dependencies and no registry access.
 //!
-//! Three pillars:
+//! Five pillars:
 //!
 //! * [`rng`] — deterministic PRNG: a [`SplitMix64`](rng::SplitMix64) core
 //!   used for seeding and a [`Rng`](rng::Rng) (xoshiro256++) stream with
@@ -12,6 +12,11 @@
 //!   reporting on panic so any violation is reproducible.
 //! * [`bench`] — a std-only timing harness replacing `criterion`:
 //!   warmup + median-of-N sampling, runnable as a normal binary.
+//! * [`pool`] — a work-stealing thread pool whose
+//!   [`parallel_map`](pool::parallel_map) preserves input order at any
+//!   worker count (the substrate of every byte-identical parallel report).
+//! * [`json`] — a deterministic JSON-object serializer for the
+//!   machine-readable JSONL reports.
 //!
 //! ```
 //! use lpmem_util::rng::Rng;
@@ -24,8 +29,12 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod json;
+pub mod pool;
 pub mod prop;
 pub mod rng;
 
+pub use json::JsonObject;
+pub use pool::{parallel_map, parallel_map_workers};
 pub use prop::Props;
 pub use rng::{Rng, SplitMix64};

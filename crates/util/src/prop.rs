@@ -51,7 +51,11 @@ impl Props {
         let seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
             (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
         });
-        Props { name, cases: DEFAULT_CASES, seed }
+        Props {
+            name,
+            cases: DEFAULT_CASES,
+            seed,
+        }
     }
 
     /// Sets the number of generated cases (default [`DEFAULT_CASES`]).
@@ -166,18 +170,26 @@ mod tests {
     #[test]
     fn case_streams_are_deterministic() {
         let mut first = Vec::new();
-        Props::new("stream").cases(8).run(|rng| first.push(rng.next_u64()));
+        Props::new("stream")
+            .cases(8)
+            .run(|rng| first.push(rng.next_u64()));
         let mut second = Vec::new();
-        Props::new("stream").cases(8).run(|rng| second.push(rng.next_u64()));
+        Props::new("stream")
+            .cases(8)
+            .run(|rng| second.push(rng.next_u64()));
         assert_eq!(first, second);
     }
 
     #[test]
     fn distinct_names_explore_distinct_streams() {
         let mut a = Vec::new();
-        Props::new("alpha").cases(4).run(|rng| a.push(rng.next_u64()));
+        Props::new("alpha")
+            .cases(4)
+            .run(|rng| a.push(rng.next_u64()));
         let mut b = Vec::new();
-        Props::new("beta").cases(4).run(|rng| b.push(rng.next_u64()));
+        Props::new("beta")
+            .cases(4)
+            .run(|rng| b.push(rng.next_u64()));
         assert_ne!(a, b);
     }
 
@@ -192,9 +204,18 @@ mod tests {
         let payload = result.expect_err("the property must fail");
         let message = payload_message(&*payload);
         assert!(message.contains("seed 0x"), "no seed in: {message}");
-        assert!(message.contains("LPMEM_PROP_SEED="), "no replay hint in: {message}");
-        assert!(message.contains("always fails"), "no property name in: {message}");
-        assert!(message.contains("case 1/16"), "first case must fail: {message}");
+        assert!(
+            message.contains("LPMEM_PROP_SEED="),
+            "no replay hint in: {message}"
+        );
+        assert!(
+            message.contains("always fails"),
+            "no property name in: {message}"
+        );
+        assert!(
+            message.contains("case 1/16"),
+            "first case must fail: {message}"
+        );
     }
 
     #[test]

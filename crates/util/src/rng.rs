@@ -73,12 +73,17 @@ impl Rng {
     /// [`SplitMix64`].
     pub fn seed_from_u64(seed: u64) -> Self {
         let mut sm = SplitMix64::new(seed);
-        Rng { s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()] }
+        Rng {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
     }
 
     /// Returns the next 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -249,11 +254,23 @@ mod tests {
     #[test]
     fn derive_is_deterministic_and_path_sensitive() {
         // Same (base, path) -> same seed, forever.
-        assert_eq!(SplitMix64::derive(7, &[1, 2, 3]), SplitMix64::derive(7, &[1, 2, 3]));
+        assert_eq!(
+            SplitMix64::derive(7, &[1, 2, 3]),
+            SplitMix64::derive(7, &[1, 2, 3])
+        );
         // Any coordinate change, base change, or reordering changes the seed.
-        assert_ne!(SplitMix64::derive(7, &[1, 2, 3]), SplitMix64::derive(8, &[1, 2, 3]));
-        assert_ne!(SplitMix64::derive(7, &[1, 2, 3]), SplitMix64::derive(7, &[1, 2, 4]));
-        assert_ne!(SplitMix64::derive(7, &[1, 2]), SplitMix64::derive(7, &[2, 1]));
+        assert_ne!(
+            SplitMix64::derive(7, &[1, 2, 3]),
+            SplitMix64::derive(8, &[1, 2, 3])
+        );
+        assert_ne!(
+            SplitMix64::derive(7, &[1, 2, 3]),
+            SplitMix64::derive(7, &[1, 2, 4])
+        );
+        assert_ne!(
+            SplitMix64::derive(7, &[1, 2]),
+            SplitMix64::derive(7, &[2, 1])
+        );
         // The empty path still decorrelates from the raw base.
         assert_ne!(SplitMix64::derive(7, &[]), 7);
     }
@@ -270,8 +287,7 @@ mod tests {
         }
         let unique: std::collections::HashSet<u64> = seeds.iter().copied().collect();
         assert_eq!(unique.len(), seeds.len());
-        let low: std::collections::HashSet<u32> =
-            seeds.iter().map(|&s| s as u32).collect();
+        let low: std::collections::HashSet<u32> = seeds.iter().map(|&s| s as u32).collect();
         assert_eq!(low.len(), seeds.len(), "low halves must not collide");
     }
 
@@ -361,7 +377,11 @@ mod tests {
         assert_eq!(a, b, "same seed, same shuffle");
         let mut sorted = a.clone();
         sorted.sort_unstable();
-        assert_eq!(sorted, (0..50).collect::<Vec<u32>>(), "must stay a permutation");
+        assert_eq!(
+            sorted,
+            (0..50).collect::<Vec<u32>>(),
+            "must stay a permutation"
+        );
         assert_ne!(a, sorted, "50 elements virtually never shuffle to identity");
     }
 
@@ -392,8 +412,9 @@ mod tests {
 
         // A dominant weight must dominate the draw.
         let items = [("rare", 1.0), ("common", 99.0)];
-        let common =
-            (0..5_000).filter(|_| *rng.choose_weighted(&items).unwrap() == "common").count();
+        let common = (0..5_000)
+            .filter(|_| *rng.choose_weighted(&items).unwrap() == "common")
+            .count();
         assert!(common > 4_700, "common drawn {common}/5000");
 
         assert_eq!(rng.weighted_index(&[]), None);
@@ -408,7 +429,10 @@ mod tests {
         let mut rng = Rng::seed_from_u64(31);
         let mut buf = [0u8; 13];
         rng.fill_bytes(&mut buf);
-        assert!(buf.iter().any(|&b| b != 0), "13 random bytes are never all zero");
+        assert!(
+            buf.iter().any(|&b| b != 0),
+            "13 random bytes are never all zero"
+        );
     }
 
     #[test]

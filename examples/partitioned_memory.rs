@@ -6,15 +6,19 @@
 //! cargo run --example partitioned_memory
 //! ```
 
-use lpmem::prelude::*;
 use lpmem::core::workloads::composite_app;
+use lpmem::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A three-phase application (filter -> transform -> entropy-code) whose
     // data objects are laid out in linker order — hot tables scattered
     // between cold buffers.
     let trace = composite_app(
-        &[(Kernel::Fir, 96), (Kernel::Dct8, 24), (Kernel::RleEncode, 96)],
+        &[
+            (Kernel::Fir, 96),
+            (Kernel::Dct8, 24),
+            (Kernel::RleEncode, 96),
+        ],
         7,
     )?;
     let data = trace.data_only();

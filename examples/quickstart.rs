@@ -46,7 +46,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "clustered    : {}  ({} vs partitioned, clustering {})",
         outcome.clustered,
         format_pct(outcome.reduction_vs_partitioned()),
-        if outcome.clustering_adopted { "adopted" } else { "not needed" }
+        if outcome.clustering_adopted {
+            "adopted"
+        } else {
+            "not needed"
+        }
     );
     Ok(())
 }

@@ -63,7 +63,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .filter(|(_, l)| **l != Level::External)
             .map(|(ai, l)| format!("{}@{:?}", app.array_name(ai), l))
             .collect();
-        let cached = if greedy.cache_config[ci] { "  [config resident in L1]" } else { "" };
+        let cached = if greedy.cache_config[ci] {
+            "  [config resident in L1]"
+        } else {
+            ""
+        };
         println!("  context {ci}: {}{}", placed.join(", "), cached);
     }
     Ok(())

@@ -17,6 +17,18 @@ LPMEM_BENCH_QUICK=1 LPMEM_SWEEP_THREADS=4 \
     cargo run --release --locked --offline -p lpmem-bench --bin sweep -- \
     --quick --jsonl /dev/null
 
+echo "==> explore smoke (small space, exhaustive, fixed seed)"
+cargo run --release --locked --offline -p lpmem-bench --bin explore -- \
+    --axes small --strategy exhaustive --budget 32 --seed 2003 \
+    --threads 2 --jsonl /dev/null
+
+if cargo fmt --version >/dev/null 2>&1; then
+    echo "==> cargo fmt --check"
+    cargo fmt --all --check
+else
+    echo "==> cargo fmt not installed; skipping format gate"
+fi
+
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy --all-targets --locked --offline -- -D warnings"
     cargo clippy --workspace --all-targets --locked --offline -- -D warnings

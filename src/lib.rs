@@ -15,7 +15,10 @@
 //! * substrates: trace analysis ([`trace`]), a TinyRISC ISA simulator with
 //!   a verified benchmark-kernel suite ([`isa`]), a data-carrying cache
 //!   simulator ([`mem`]), and analytic energy models ([`energy`]);
-//! * ready-made evaluation flows tying it all together ([`core`]).
+//! * ready-made evaluation flows tying it all together ([`core`]);
+//! * multi-objective design-space exploration over the cross-flow
+//!   configuration space, with a deterministic Pareto engine
+//!   ([`explore`]).
 //!
 //! This crate re-exports the whole workspace; depend on it for everything,
 //! or on the individual `lpmem-*` crates for narrower footprints. See
@@ -49,6 +52,7 @@ pub use lpmem_cluster as cluster;
 pub use lpmem_compress as compress;
 pub use lpmem_core as core;
 pub use lpmem_energy as energy;
+pub use lpmem_explore as explore;
 pub use lpmem_isa as isa;
 pub use lpmem_mem as mem;
 pub use lpmem_partition as partition;
@@ -70,21 +74,21 @@ pub mod prelude {
     pub use lpmem_core::flows::partitioning::{
         run_partitioning, PartitioningConfig, PartitioningOutcome,
     };
-    pub use lpmem_core::flows::scheduling::{
-        dsp_pipeline_app, run_scheduling, SchedulingOutcome,
-    };
+    pub use lpmem_core::flows::scheduling::{dsp_pipeline_app, run_scheduling, SchedulingOutcome};
     pub use lpmem_core::flows::system::{run_system, run_system_with_tech, SystemOutcome};
     pub use lpmem_core::flows::{FlowSpec, FlowSummary, TechNode, VariantSpec};
     pub use lpmem_core::{workloads, FlowError};
-    pub use lpmem_energy::{BusModel, Energy, EnergyReport, OffChipModel, SramModel, Technology};
+    pub use lpmem_energy::{
+        AreaReport, BusModel, Energy, EnergyReport, OffChipModel, SramModel, Technology,
+    };
+    pub use lpmem_explore::{
+        DesignPoint, DesignSpace, Evaluator, Evolutionary, Exhaustive, Frontier, Objectives,
+        SearchConfig, SearchStrategy, Workload,
+    };
     pub use lpmem_isa::{assemble, Kernel, KernelRun, Machine, Program};
     pub use lpmem_mem::{Cache, CacheConfig, FlatMemory, RecordingBacking};
-    pub use lpmem_partition::{
-        greedy_partition, optimal_partition, Partition, PartitionCost,
-    };
-    pub use lpmem_sched::{
-        greedy_schedule, naive_schedule, AppSpec, ContextSpec, SchedPlatform,
-    };
+    pub use lpmem_partition::{greedy_partition, optimal_partition, Partition, PartitionCost};
+    pub use lpmem_sched::{greedy_schedule, naive_schedule, AppSpec, ContextSpec, SchedPlatform};
     pub use lpmem_trace::{AccessKind, BlockProfile, LocalityReport, MemEvent, Trace};
 }
 

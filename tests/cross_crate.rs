@@ -20,8 +20,13 @@ fn trace_remap_agrees_with_profile_permutation() {
 
     let remapped_profile = map.apply(&profile).unwrap();
 
-    let remapped_trace: Trace =
-        trace.iter().map(|ev| MemEvent { addr: map.remap_addr(ev.addr), ..*ev }).collect();
+    let remapped_trace: Trace = trace
+        .iter()
+        .map(|ev| MemEvent {
+            addr: map.remap_addr(ev.addr),
+            ..*ev
+        })
+        .collect();
     let profile_of_remapped = BlockProfile::from_trace(&remapped_trace, 1024).unwrap();
 
     // The trace-derived profile may omit cold leading/trailing blocks; align
@@ -34,7 +39,10 @@ fn trace_remap_agrees_with_profile_permutation() {
             "block {i} disagrees"
         );
     }
-    assert_eq!(profile_of_remapped.total_accesses(), remapped_profile.total_accesses());
+    assert_eq!(
+        profile_of_remapped.total_accesses(),
+        remapped_profile.total_accesses()
+    );
 }
 
 /// A kernel's final memory image must be identical whether accesses go
@@ -85,7 +93,10 @@ fn cache_replay_preserves_kernel_memory_image() {
 /// fully-associative LRU cache.
 #[test]
 fn stack_distance_predicts_fully_associative_lru() {
-    let trace: Trace = HotColdGen::new(1 << 13, 4, 0.7).seed(3).events(20_000).collect();
+    let trace: Trace = HotColdGen::new(1 << 13, 4, 0.7)
+        .seed(3)
+        .events(20_000)
+        .collect();
     let line = 64u64;
     let capacity_lines = 16u32;
 
@@ -93,8 +104,12 @@ fn stack_distance_predicts_fully_associative_lru() {
     let predicted = sdh.lru_hit_ratio(capacity_lines as usize);
 
     // Fully associative: one set, `capacity_lines` ways.
-    let cfg = CacheConfig::new(u64::from(capacity_lines) * line, line as u32, capacity_lines)
-        .unwrap();
+    let cfg = CacheConfig::new(
+        u64::from(capacity_lines) * line,
+        line as u32,
+        capacity_lines,
+    )
+    .unwrap();
     let mut cache = Cache::new(cfg);
     let mut mem = FlatMemory::new();
     let mut buf = [0u8; 4];

@@ -24,8 +24,14 @@ fn assert_t1_shape(suite: &str, workloads: Vec<(String, Trace)>) {
     }
     let avg = reductions.iter().sum::<f64>() / reductions.len() as f64;
     let max = reductions.iter().cloned().fold(0.0, f64::max);
-    assert!(avg > 0.10, "{suite}: average clustering reduction too small: {avg}");
-    assert!(max > 0.35, "{suite}: maximum clustering reduction too small: {max}");
+    assert!(
+        avg > 0.10,
+        "{suite}: average clustering reduction too small: {avg}"
+    );
+    assert!(
+        max > 0.35,
+        "{suite}: maximum clustering reduction too small: {max}"
+    );
 }
 
 #[test]
@@ -45,14 +51,20 @@ fn t2_shape_compression_saves_energy_and_vliw_beats_risc() {
     let mut vliw_avg = 0.0;
     let mut risc_avg = 0.0;
     for (kernel, scale) in kernels {
-        let vliw =
-            run_compression_kernel(kernel, scale, SEED, PlatformKind::VliwLike, &codec)
-                .expect("flow");
-        let risc =
-            run_compression_kernel(kernel, scale, SEED, PlatformKind::RiscLike, &codec)
-                .expect("flow");
-        assert!(vliw.energy_saving() > 0.05, "{}: vliw saving too small", kernel);
-        assert!(risc.energy_saving() > 0.02, "{}: risc saving too small", kernel);
+        let vliw = run_compression_kernel(kernel, scale, SEED, PlatformKind::VliwLike, &codec)
+            .expect("flow");
+        let risc = run_compression_kernel(kernel, scale, SEED, PlatformKind::RiscLike, &codec)
+            .expect("flow");
+        assert!(
+            vliw.energy_saving() > 0.05,
+            "{}: vliw saving too small",
+            kernel
+        );
+        assert!(
+            risc.energy_saving() > 0.02,
+            "{}: risc saving too small",
+            kernel
+        );
         vliw_avg += vliw.energy_saving();
         risc_avg += risc.energy_saving();
     }
@@ -67,7 +79,12 @@ fn t3_shape_functional_encoding_halves_transitions_and_beats_businvert() {
         let run = kernel.run(kernel.default_scale(), SEED).expect("kernel");
         let out = run_buscoding(kernel.name(), &run.trace, 4, &tech).expect("flow");
         // Paper: "up to half of the original transitions".
-        assert!(out.reduction() > 0.40, "{}: reduction {}", kernel, out.reduction());
+        assert!(
+            out.reduction() > 0.40,
+            "{}: reduction {}",
+            kernel,
+            out.reduction()
+        );
         assert!(
             out.encoded_transitions < out.businvert_transitions,
             "{}: xor must beat bus-invert",
@@ -101,16 +118,15 @@ fn t4_shape_scheduler_beats_naive_and_cuts_reconfig_energy() {
 #[test]
 fn sys_shape_optimizations_compose() {
     let codec = DiffCodec::new();
-    let combined = run_system(Kernel::Dct8, 96, SEED, PlatformKind::VliwLike, &codec, 4)
-        .expect("flow");
+    let combined =
+        run_system(Kernel::Dct8, 96, SEED, PlatformKind::VliwLike, &codec, 4).expect("flow");
     let compression_only =
         run_compression_kernel(Kernel::Dct8, 96, SEED, PlatformKind::VliwLike, &codec)
             .expect("flow");
     // The combined study must save at least as much absolute energy as
     // compression alone (the ibus component only adds savings).
     let combined_saved = combined.baseline.total() - combined.optimized.total();
-    let compression_saved =
-        compression_only.baseline.total() - compression_only.compressed.total();
+    let compression_saved = compression_only.baseline.total() - compression_only.compressed.total();
     assert!(combined_saved > compression_saved);
     assert!(combined.saving() > 0.0);
 }

@@ -1,0 +1,77 @@
+//! Golden-value regression suite for the design-space explorer: the
+//! DSE-1 frontier on a fixed workload, space, and seed must reproduce the
+//! exact JSONL stored in-tree.
+//!
+//! The explorer's contract is *byte* determinism — same `(axes, strategy,
+//! budget, seed)` gives the same frontier dump at any worker count — so
+//! this suite pins the bytes themselves. Any drift means an evaluator or
+//! search change, which must be a conscious decision, recorded by
+//! updating the constants below.
+//!
+//! To regenerate after an intentional change, run with
+//! `LPMEM_GOLDEN_PRINT=1` (e.g. `LPMEM_GOLDEN_PRINT=1 cargo test --test
+//! explore_golden -- --nocapture`) and paste the printed rows over
+//! `GOLDEN`.
+
+use lpmem::core::flows::VariantSpec;
+use lpmem::prelude::*;
+
+/// The pinned frontier: the small agreement space exhausted at the
+/// harness seed on the scaled-down FIR workload, seeded with the sweep
+/// grid's variant embeddings exactly as the `explore` binary does.
+const GOLDEN: &[&str] = &[
+    "{\"key\":\"b4-k2048-c4096x64x2-diff-xor4-l0512\",\"banks\":4,\"block\":2048,\"cache_bytes\":4096,\"cache_line\":64,\"cache_ways\":2,\"codec\":\"diff\",\"bus\":\"xor4\",\"l0\":512,\"energy_pj\":195689211.7070731,\"area_mm2\":3.3100706369278705,\"cycles\":4206}",
+    "{\"key\":\"b4-k2048-c2048x16x2-diff-xor4-l0512\",\"banks\":4,\"block\":2048,\"cache_bytes\":2048,\"cache_line\":16,\"cache_ways\":2,\"codec\":\"diff\",\"bus\":\"xor4\",\"l0\":512,\"energy_pj\":195691224.4774187,\"area_mm2\":3.2352822502081953,\"cycles\":4226}",
+    "{\"key\":\"b4-k2048-c2048x16x2-off-xor4-l0512\",\"banks\":4,\"block\":2048,\"cache_bytes\":2048,\"cache_line\":16,\"cache_ways\":2,\"codec\":\"off\",\"bus\":\"xor4\",\"l0\":512,\"energy_pj\":195701206.8774187,\"area_mm2\":3.221782250208195,\"cycles\":4266}",
+    "{\"key\":\"b4-k2048-c4096x64x2-diff-raw-l0512\",\"banks\":4,\"block\":2048,\"cache_bytes\":4096,\"cache_line\":64,\"cache_ways\":2,\"codec\":\"diff\",\"bus\":\"raw\",\"l0\":512,\"energy_pj\":195709269.4169611,\"area_mm2\":3.3057506369278706,\"cycles\":4206}",
+    "{\"key\":\"b4-k2048-c2048x16x2-diff-raw-l0512\",\"banks\":4,\"block\":2048,\"cache_bytes\":2048,\"cache_line\":16,\"cache_ways\":2,\"codec\":\"diff\",\"bus\":\"raw\",\"l0\":512,\"energy_pj\":195711282.18730667,\"area_mm2\":3.2309622502081954,\"cycles\":4226}",
+    "{\"key\":\"b4-k2048-c2048x16x2-off-raw-l0512\",\"banks\":4,\"block\":2048,\"cache_bytes\":2048,\"cache_line\":16,\"cache_ways\":2,\"codec\":\"off\",\"bus\":\"raw\",\"l0\":512,\"energy_pj\":195721264.58730668,\"area_mm2\":3.2174622502081953,\"cycles\":4266}",
+];
+
+fn golden_frontier() -> Frontier {
+    let space = DesignSpace::small();
+    let workload = Workload {
+        scale: 16,
+        iterations: 8,
+        ..Workload::default()
+    };
+    let evaluator = Evaluator::new(workload).expect("workload runs");
+    let seeds: Vec<DesignPoint> = [VariantSpec::default(), VariantSpec::tight()]
+        .iter()
+        .map(DesignPoint::from_variant)
+        .filter(|p| space.contains(p))
+        .collect();
+    let cfg = SearchConfig {
+        budget: space.len(),
+        workers: 2,
+        seeds,
+        ..Default::default()
+    };
+    Exhaustive
+        .search(&space, &evaluator, &cfg)
+        .expect("search runs")
+        .frontier
+}
+
+#[test]
+fn dse1_frontier_is_reproduced_byte_exactly() {
+    let frontier = golden_frontier();
+    if std::env::var_os("LPMEM_GOLDEN_PRINT").is_some() {
+        for line in frontier.to_jsonl().lines() {
+            println!("    {:?},", line);
+        }
+        return;
+    }
+    let jsonl = frontier.to_jsonl();
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert_eq!(
+        lines.len(),
+        GOLDEN.len(),
+        "frontier size drifted: {} pinned, {} produced",
+        GOLDEN.len(),
+        lines.len()
+    );
+    for (i, (got, want)) in lines.iter().zip(GOLDEN).enumerate() {
+        assert_eq!(got, want, "frontier row {i} drifted");
+    }
+}

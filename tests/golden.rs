@@ -32,16 +32,116 @@ struct Golden {
 /// Every flow at the harness seed on the default variant, plus a second
 /// technology/variant corner for the two cache-platform flows.
 const GOLDEN: &[Golden] = &[
-    Golden { flow: FlowSpec::Partitioning, kernel: Kernel::Fir, scale: 48, seed: SEED, tech: TechNode::T180, variant: "default", events: 1584, baseline_pj: 128236.77697562754, optimized_pj: 26694.919036778538 },
-    Golden { flow: FlowSpec::Compression, kernel: Kernel::Fir, scale: 48, seed: SEED, tech: TechNode::T180, variant: "default", events: 3, baseline_pj: 473784.32, optimized_pj: 428837.12 },
-    Golden { flow: FlowSpec::BusCoding, kernel: Kernel::Fir, scale: 48, seed: SEED, tech: TechNode::T180, variant: "default", events: 8794, baseline_pj: 110171.66400000002, optimized_pj: 49421.66400000001 },
-    Golden { flow: FlowSpec::Scheduling, kernel: Kernel::Fir, scale: 48, seed: SEED, tech: TechNode::T180, variant: "default", events: 128, baseline_pj: 998306091.5199997, optimized_pj: 773675918.0800002 },
-    Golden { flow: FlowSpec::System, kernel: Kernel::Fir, scale: 48, seed: SEED, tech: TechNode::T180, variant: "default", events: 8794, baseline_pj: 583955.984, optimized_pj: 478897.157312 },
-    Golden { flow: FlowSpec::Partitioning, kernel: Kernel::MatMul, scale: 12, seed: SEED, tech: TechNode::T130, variant: "tight", events: 3600, baseline_pj: 155440.043095172, optimized_pj: 26387.136000000002 },
-    Golden { flow: FlowSpec::Compression, kernel: Kernel::Dct8, scale: 16, seed: 42, tech: TechNode::T130, variant: "tight", events: 38, baseline_pj: 991163.0468040735, optimized_pj: 885666.2468040735 },
-    Golden { flow: FlowSpec::BusCoding, kernel: Kernel::Crc32, scale: 32, seed: SEED, tech: TechNode::T90, variant: "default", events: 5644, baseline_pj: 15385.75, optimized_pj: 6408.5 },
-    Golden { flow: FlowSpec::Scheduling, kernel: Kernel::Fir, scale: 48, seed: 7, tech: TechNode::T90, variant: "tight", events: 128, baseline_pj: 560781900.8, optimized_pj: 455388505.8746985 },
-    Golden { flow: FlowSpec::System, kernel: Kernel::Histogram, scale: 24, seed: 7, tech: TechNode::T90, variant: "tight", events: 3463, baseline_pj: 613470.324001421, optimized_pj: 485399.926001421 },
+    Golden {
+        flow: FlowSpec::Partitioning,
+        kernel: Kernel::Fir,
+        scale: 48,
+        seed: SEED,
+        tech: TechNode::T180,
+        variant: "default",
+        events: 1584,
+        baseline_pj: 128236.77697562754,
+        optimized_pj: 26694.919036778538,
+    },
+    Golden {
+        flow: FlowSpec::Compression,
+        kernel: Kernel::Fir,
+        scale: 48,
+        seed: SEED,
+        tech: TechNode::T180,
+        variant: "default",
+        events: 3,
+        baseline_pj: 473784.32,
+        optimized_pj: 428837.12,
+    },
+    Golden {
+        flow: FlowSpec::BusCoding,
+        kernel: Kernel::Fir,
+        scale: 48,
+        seed: SEED,
+        tech: TechNode::T180,
+        variant: "default",
+        events: 8794,
+        baseline_pj: 110171.66400000002,
+        optimized_pj: 49421.66400000001,
+    },
+    Golden {
+        flow: FlowSpec::Scheduling,
+        kernel: Kernel::Fir,
+        scale: 48,
+        seed: SEED,
+        tech: TechNode::T180,
+        variant: "default",
+        events: 128,
+        baseline_pj: 998306091.5199997,
+        optimized_pj: 773675918.0800002,
+    },
+    Golden {
+        flow: FlowSpec::System,
+        kernel: Kernel::Fir,
+        scale: 48,
+        seed: SEED,
+        tech: TechNode::T180,
+        variant: "default",
+        events: 8794,
+        baseline_pj: 583955.984,
+        optimized_pj: 478897.157312,
+    },
+    Golden {
+        flow: FlowSpec::Partitioning,
+        kernel: Kernel::MatMul,
+        scale: 12,
+        seed: SEED,
+        tech: TechNode::T130,
+        variant: "tight",
+        events: 3600,
+        baseline_pj: 155440.043095172,
+        optimized_pj: 26387.136000000002,
+    },
+    Golden {
+        flow: FlowSpec::Compression,
+        kernel: Kernel::Dct8,
+        scale: 16,
+        seed: 42,
+        tech: TechNode::T130,
+        variant: "tight",
+        events: 38,
+        baseline_pj: 991163.0468040735,
+        optimized_pj: 885666.2468040735,
+    },
+    Golden {
+        flow: FlowSpec::BusCoding,
+        kernel: Kernel::Crc32,
+        scale: 32,
+        seed: SEED,
+        tech: TechNode::T90,
+        variant: "default",
+        events: 5644,
+        baseline_pj: 15385.75,
+        optimized_pj: 6408.5,
+    },
+    Golden {
+        flow: FlowSpec::Scheduling,
+        kernel: Kernel::Fir,
+        scale: 48,
+        seed: 7,
+        tech: TechNode::T90,
+        variant: "tight",
+        events: 128,
+        baseline_pj: 560781900.8,
+        optimized_pj: 455388505.8746985,
+    },
+    Golden {
+        flow: FlowSpec::System,
+        kernel: Kernel::Histogram,
+        scale: 24,
+        seed: 7,
+        tech: TechNode::T90,
+        variant: "tight",
+        events: 3463,
+        baseline_pj: 613470.324001421,
+        optimized_pj: 485399.926001421,
+    },
 ];
 
 fn run_point(g: &Golden) -> FlowSummary {
@@ -75,9 +175,23 @@ fn golden_values_are_reproduced_exactly() {
     }
     for g in GOLDEN {
         let s = run_point(g);
-        let label = format!("{}/{}/{}/{}", g.flow, g.kernel.name(), g.tech.name(), g.variant);
+        let label = format!(
+            "{}/{}/{}/{}",
+            g.flow,
+            g.kernel.name(),
+            g.tech.name(),
+            g.variant
+        );
         assert_eq!(s.events, g.events, "{label}: events drifted");
-        assert_eq!(s.baseline.as_pj(), g.baseline_pj, "{label}: baseline energy drifted");
-        assert_eq!(s.optimized.as_pj(), g.optimized_pj, "{label}: optimized energy drifted");
+        assert_eq!(
+            s.baseline.as_pj(),
+            g.baseline_pj,
+            "{label}: baseline energy drifted"
+        );
+        assert_eq!(
+            s.optimized.as_pj(),
+            g.optimized_pj,
+            "{label}: optimized energy drifted"
+        );
     }
 }

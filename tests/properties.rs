@@ -19,116 +19,192 @@ fn arb_profile(rng: &mut Rng) -> BlockProfile {
 /// profile.
 #[test]
 fn optimal_partition_dominates() {
-    Props::new("DP partition dominates monolith and greedy").cases(64).run(|rng| {
-        let profile = arb_profile(rng);
-        let cost = PartitionCost::new(&Technology::tech180());
-        let (_, opt) = optimal_partition(&profile, 6, &cost);
-        let mono = cost.evaluate(&profile, &Partition::monolithic(profile.num_blocks()));
-        let (_, greedy) = greedy_partition(&profile, 6, &cost);
-        assert!(opt.total().as_pj() <= mono.total().as_pj() + 1e-9);
-        assert!(opt.total().as_pj() <= greedy.total().as_pj() + 1e-9);
-    });
+    Props::new("DP partition dominates monolith and greedy")
+        .cases(64)
+        .run(|rng| {
+            let profile = arb_profile(rng);
+            let cost = PartitionCost::new(&Technology::tech180());
+            let (_, opt) = optimal_partition(&profile, 6, &cost);
+            let mono = cost.evaluate(&profile, &Partition::monolithic(profile.num_blocks()));
+            let (_, greedy) = greedy_partition(&profile, 6, &cost);
+            assert!(opt.total().as_pj() <= mono.total().as_pj() + 1e-9);
+            assert!(opt.total().as_pj() <= greedy.total().as_pj() + 1e-9);
+        });
 }
 
 /// Clustering always yields a valid permutation that preserves total
 /// traffic, for both objectives.
 #[test]
 fn clustering_is_a_traffic_preserving_permutation() {
-    Props::new("clustering is a traffic-preserving permutation").cases(64).run(|rng| {
-        let profile = arb_profile(rng);
-        let objective = if rng.gen_bool(0.5) {
-            Objective::FrequencyAffinity
-        } else {
-            Objective::FrequencyOnly
-        };
-        let cfg = ClusterConfig { objective, ..Default::default() };
-        let map = cluster_blocks(&profile, None, &cfg);
-        let remapped = map.apply(&profile).unwrap();
-        assert_eq!(remapped.total_accesses(), profile.total_accesses());
-        // Bijectivity: applying the inverse ordering restores the counts.
-        let back = remapped.permuted(map.forward()).unwrap();
-        assert_eq!(back.counts(), profile.counts());
-    });
+    Props::new("clustering is a traffic-preserving permutation")
+        .cases(64)
+        .run(|rng| {
+            let profile = arb_profile(rng);
+            let objective = if rng.gen_bool(0.5) {
+                Objective::FrequencyAffinity
+            } else {
+                Objective::FrequencyOnly
+            };
+            let cfg = ClusterConfig {
+                objective,
+                ..Default::default()
+            };
+            let map = cluster_blocks(&profile, None, &cfg);
+            let remapped = map.apply(&profile).unwrap();
+            assert_eq!(remapped.total_accesses(), profile.total_accesses());
+            // Bijectivity: applying the inverse ordering restores the counts.
+            let back = remapped.permuted(map.forward()).unwrap();
+            assert_eq!(back.counts(), profile.counts());
+        });
 }
 
 /// Clustering a frequency-sorted profile can never make the DP
 /// partitioner worse than the identity map does.
 #[test]
 fn clustering_never_hurts_dp_energy() {
-    Props::new("clustering never hurts DP energy").cases(64).run(|rng| {
-        let profile = arb_profile(rng);
-        let cost = PartitionCost::new(&Technology::tech180());
-        let (_, plain) = optimal_partition(&profile, 6, &cost);
-        let cfg = ClusterConfig { objective: Objective::FrequencyOnly, ..Default::default() };
-        let map = cluster_blocks(&profile, None, &cfg);
-        let remapped = map.apply(&profile).unwrap();
-        let (_, clustered) = optimal_partition(&remapped, 6, &cost);
-        // Ignoring the relocation overhead, the sorted profile is always at
-        // least as partitionable as the original.
-        assert!(clustered.total().as_pj() <= plain.total().as_pj() + 1e-9);
-    });
+    Props::new("clustering never hurts DP energy")
+        .cases(64)
+        .run(|rng| {
+            let profile = arb_profile(rng);
+            let cost = PartitionCost::new(&Technology::tech180());
+            let (_, plain) = optimal_partition(&profile, 6, &cost);
+            let cfg = ClusterConfig {
+                objective: Objective::FrequencyOnly,
+                ..Default::default()
+            };
+            let map = cluster_blocks(&profile, None, &cfg);
+            let remapped = map.apply(&profile).unwrap();
+            let (_, clustered) = optimal_partition(&remapped, 6, &cost);
+            // Ignoring the relocation overhead, the sorted profile is always at
+            // least as partitionable as the original.
+            assert!(clustered.total().as_pj() <= plain.total().as_pj() + 1e-9);
+        });
 }
 
 /// remap_addr is a bijection on the mapped range.
 #[test]
 fn remap_addr_is_bijective() {
-    Props::new("remap_addr is a bijection").cases(64).run(|rng| {
-        let n = 16usize;
-        // Derive a random permutation of the block indices.
-        let mut forward: Vec<usize> = (0..n).collect();
-        rng.shuffle(&mut forward);
-        let map = AddressMap::new(forward, 0, 1024).unwrap();
-        let mut seen = std::collections::HashSet::new();
-        for block in 0..n as u64 {
-            for off in [0u64, 4, 1020] {
-                let out = map.remap_addr(block * 1024 + off);
-                assert!(out < (n as u64) * 1024);
-                assert!(seen.insert(out));
+    Props::new("remap_addr is a bijection")
+        .cases(64)
+        .run(|rng| {
+            let n = 16usize;
+            // Derive a random permutation of the block indices.
+            let mut forward: Vec<usize> = (0..n).collect();
+            rng.shuffle(&mut forward);
+            let map = AddressMap::new(forward, 0, 1024).unwrap();
+            let mut seen = std::collections::HashSet::new();
+            for block in 0..n as u64 {
+                for off in [0u64, 4, 1020] {
+                    let out = map.remap_addr(block * 1024 + off);
+                    assert!(out < (n as u64) * 1024);
+                    assert!(seen.insert(out));
+                }
             }
-        }
-    });
+        });
 }
 
 /// Any word sequence written through any cache geometry and flushed is
 /// durable in the backing.
 #[test]
 fn cache_writes_are_durable() {
-    Props::new("cache writes are durable after flush").cases(64).run(|rng| {
-        let writes: Vec<(u64, u32)> = (0..rng.gen_range(1..64usize))
-            .map(|_| (rng.gen_range(0..4096u64), rng.next_u32()))
-            .collect();
-        let size_kib = rng.gen_range(0..3u32);
-        let line = *rng.choose(&[16u32, 32, 64]).expect("non-empty");
-        let cfg = CacheConfig::new(1 << (9 + size_kib), line, 2).unwrap();
-        let mut cache = Cache::new(cfg);
-        let mut mem = FlatMemory::new();
-        let mut expect = std::collections::HashMap::new();
-        for &(addr, value) in &writes {
-            let addr = addr & !3; // word aligned
-            cache.write_word(addr, value, &mut mem);
-            expect.insert(addr, value);
-        }
-        cache.flush(&mut mem);
-        for (&addr, &value) in &expect {
-            assert_eq!(mem.read_u32(addr), value, "addr {addr:#x}");
-        }
-    });
+    Props::new("cache writes are durable after flush")
+        .cases(64)
+        .run(|rng| {
+            let writes: Vec<(u64, u32)> = (0..rng.gen_range(1..64usize))
+                .map(|_| (rng.gen_range(0..4096u64), rng.next_u32()))
+                .collect();
+            let size_kib = rng.gen_range(0..3u32);
+            let line = *rng.choose(&[16u32, 32, 64]).expect("non-empty");
+            let cfg = CacheConfig::new(1 << (9 + size_kib), line, 2).unwrap();
+            let mut cache = Cache::new(cfg);
+            let mut mem = FlatMemory::new();
+            let mut expect = std::collections::HashMap::new();
+            for &(addr, value) in &writes {
+                let addr = addr & !3; // word aligned
+                cache.write_word(addr, value, &mut mem);
+                expect.insert(addr, value);
+            }
+            cache.flush(&mut mem);
+            for (&addr, &value) in &expect {
+                assert_eq!(mem.read_u32(addr), value, "addr {addr:#x}");
+            }
+        });
 }
 
 /// The trained bus transform is always decodable and never increases
 /// transitions, whatever the fetch stream.
 #[test]
 fn region_encoder_sound_on_random_streams() {
-    Props::new("region encoder is sound on random streams").cases(64).run(|rng| {
-        let words: Vec<u32> = (0..rng.gen_range(2..256usize)).map(|_| rng.next_u32()).collect();
-        let regions = rng.gen_range(1..8usize);
-        let stream: Vec<(u64, u32)> =
-            words.iter().enumerate().map(|(i, &w)| (4 * i as u64, w)).collect();
-        let enc = RegionEncoder::train(&stream, regions);
-        let report = enc.evaluate(&stream);
-        assert!(report.encoded_transitions <= report.raw_transitions);
-        let encoded = enc.encode_stream(&stream);
-        let addrs: Vec<u64> = stream.iter().map(|&(a, _)| a).collect();
-        assert_eq!(enc.decode_stream(&addrs, &encoded), words);
+    Props::new("region encoder is sound on random streams")
+        .cases(64)
+        .run(|rng| {
+            let words: Vec<u32> = (0..rng.gen_range(2..256usize))
+                .map(|_| rng.next_u32())
+                .collect();
+            let regions = rng.gen_range(1..8usize);
+            let stream: Vec<(u64, u32)> = words
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| (4 * i as u64, w))
+                .collect();
+            let enc = RegionEncoder::train(&stream, regions);
+            let report = enc.evaluate(&stream);
+            assert!(report.encoded_transitions <= report.raw_transitions);
+            let encoded = enc.encode_stream(&stream);
+            let addrs: Vec<u64> = stream.iter().map(|&(a, _)| a).collect();
+            assert_eq!(enc.decode_stream(&addrs, &encoded), words);
+        });
+}
+
+/// The Pareto archive is sound for any insertion set and order: members
+/// never dominate one another, and every rejected or evicted point is
+/// covered (dominated-or-equalled) by some surviving member.
+#[test]
+fn frontier_members_are_mutually_non_dominated() {
+    use lpmem::explore::{Evaluation, Objectives};
+
+    Props::new("Pareto archive is sound").cases(64).run(|rng| {
+        let space = DesignSpace::full();
+        let n = rng.gen_range(4..64usize);
+        // Distinct space indices give distinct keys; coarse objective
+        // grids make duplicate and dominated vectors likely.
+        let mut indices: Vec<usize> = (0..space.len()).collect();
+        rng.shuffle(&mut indices);
+        let evals: Vec<Evaluation> = indices[..n]
+            .iter()
+            .map(|&i| Evaluation {
+                point: space.point_at(i),
+                objectives: Objectives {
+                    energy_pj: rng.gen_range(0..8u32) as f64,
+                    area_mm2: rng.gen_range(0..8u32) as f64,
+                    cycles: rng.gen_range(0..8u32) as u64,
+                },
+                area: AreaReport::new(),
+            })
+            .collect();
+        let mut frontier = Frontier::new();
+        for e in &evals {
+            frontier.insert(e.clone());
+        }
+        assert!(!frontier.is_empty());
+        for a in frontier.points() {
+            for b in frontier.points() {
+                assert!(
+                    !a.objectives.dominates(&b.objectives),
+                    "frontier member dominated"
+                );
+            }
+        }
+        for e in &evals {
+            let covered = frontier
+                .points()
+                .iter()
+                .any(|p| p.objectives.dominates(&e.objectives) || p.objectives == e.objectives);
+            assert!(
+                covered,
+                "inserted point escaped the archive: {:?}",
+                e.objectives
+            );
+        }
     });
 }
