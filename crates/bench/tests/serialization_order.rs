@@ -1,0 +1,127 @@
+//! Insertion-order byte-identity: the serialized artifacts the engines
+//! promise to be deterministic must not depend on the order their inputs
+//! arrive in. This is the regression net behind lint rule D01 — any path
+//! that iterated an unordered map into a report would fail here before it
+//! could ship a byte-drifting JSONL.
+
+use lpmem_bench::metrics::Metrics;
+use lpmem_core::flows::{FlowSpec, FlowSummary};
+use lpmem_energy::{AreaReport, Energy};
+use lpmem_explore::{DesignSpace, Evaluation, Frontier, Objectives};
+use lpmem_util::Rng;
+
+/// The explore archive's JSONL dump is byte-identical under any insertion
+/// order of the same evaluation set. Objective values are *copied* into
+/// the archive (never folded), so this holds exactly, not to rounding.
+#[test]
+fn frontier_jsonl_is_insertion_order_invariant() {
+    let space = DesignSpace::full();
+    // A spread of distinct points with coarse objective grids so the set
+    // contains dominated, duplicate-objective, and trade-off members.
+    let mut evals: Vec<Evaluation> = (0..48)
+        .map(|i| Evaluation {
+            point: space.point_at((i * 97) % space.len()),
+            objectives: Objectives {
+                energy_pj: ((i * 7) % 13) as f64,
+                area_mm2: ((i * 5) % 11) as f64,
+                cycles: ((i * 3) % 17) as u64,
+            },
+            area: AreaReport::new(),
+        })
+        .collect();
+
+    let mut reference = Frontier::new();
+    for e in &evals {
+        reference.insert(e.clone());
+    }
+    let golden = reference.to_jsonl();
+    assert!(!golden.is_empty());
+
+    let mut rng = Rng::seed_from_u64(0x1b_2003);
+    for round in 0..16 {
+        rng.shuffle(&mut evals);
+        let mut frontier = Frontier::new();
+        for e in &evals {
+            frontier.insert(e.clone());
+        }
+        assert_eq!(
+            frontier.to_jsonl(),
+            golden,
+            "frontier JSONL diverged on permutation {round}"
+        );
+    }
+}
+
+fn summary(baseline_pj: f64, optimized_pj: f64) -> FlowSummary {
+    FlowSummary {
+        flow: FlowSpec::Partitioning,
+        workload: "w".into(),
+        baseline: Energy::from_pj(baseline_pj),
+        optimized: Energy::from_pj(optimized_pj),
+        events: 1,
+    }
+}
+
+/// The sweep's per-flow table is byte-identical whatever order tasks are
+/// recorded in and however they are grouped across workers before the
+/// merge. Energies here are integer-valued pJ, where f64 addition is
+/// exact, so the rendered bytes must match exactly — a `HashMap` behind
+/// `per_flow` (D01) or order-sensitive accumulation would break this.
+#[test]
+fn metrics_tables_are_record_and_merge_order_invariant() {
+    const FLOWS: [&str; 4] = ["partitioning", "compression", "buscoding", "system"];
+    let events: Vec<(usize, u64, bool, f64, f64)> = (0..64)
+        .map(|i| {
+            (
+                (i * 13) % FLOWS.len(),
+                ((i * 29) % 40) as u64 * 1_000_000,
+                i % 7 != 0,
+                ((i * 37) % 500) as f64,
+                ((i * 17) % 400) as f64,
+            )
+        })
+        .collect();
+
+    let mut reference = Metrics::new();
+    for &(f, ns, ok, base, opt) in &events {
+        let s = summary(base, opt);
+        reference.record(FLOWS[f], ns, if ok { Some(&s) } else { None });
+    }
+    let flow_golden = reference.flow_table(1_000_000_000, 4).to_string();
+    let latency_golden = reference.latency_table().to_string();
+
+    let mut rng = Rng::seed_from_u64(0x1b_2003);
+    let mut order: Vec<usize> = (0..events.len()).collect();
+    for round in 0..16 {
+        rng.shuffle(&mut order);
+        let workers = rng.gen_range(1..9usize);
+        // Record the permuted stream through worker-local metrics, then
+        // merge the workers in a rotated order.
+        let mut locals = vec![Metrics::new(); workers];
+        for (slot, &i) in order.iter().enumerate() {
+            let (f, ns, ok, base, opt) = events[i];
+            let s = summary(base, opt);
+            locals[slot % workers].record(FLOWS[f], ns, if ok { Some(&s) } else { None });
+        }
+        let first = rng.gen_range(0..workers);
+        let mut merged = Metrics::new();
+        for w in 0..workers {
+            merged.merge(&locals[(first + w) % workers]);
+        }
+        assert_eq!(
+            merged.flow_table(1_000_000_000, 4).to_string(),
+            flow_golden,
+            "flow table diverged on permutation {round} ({workers} workers)"
+        );
+        assert_eq!(
+            merged.latency_table().to_string(),
+            latency_golden,
+            "latency table diverged on permutation {round}"
+        );
+        // The per-flow key order itself is pinned (BTreeMap semantics).
+        assert_eq!(
+            merged.per_flow.keys().collect::<Vec<_>>(),
+            reference.per_flow.keys().collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! The `lint` binary: the workspace linter's command-line front end.
+//!
+//! ```text
+//! lint [--root DIR] [--paths P1,P2] [--rules R1,R2] [--json] [--deny] [--list]
+//! ```
+//!
+//! * `--root DIR`   workspace root (default: walk up from the current
+//!   directory to the first `Cargo.toml` containing `[workspace]`).
+//! * `--paths a,b`  restrict to files whose relative path starts with one
+//!   of the given prefixes.
+//! * `--rules a,b`  run only the listed rules (disables the L-series
+//!   meta-rules unless listed).
+//! * `--json`       emit the stable-sorted JSON array instead of text.
+//! * `--deny`       exit non-zero when any diagnostic survives — the CI
+//!   gate mode used by `scripts/verify.sh`.
+//! * `--list`       print the rule catalog and exit.
+//!
+//! Output is byte-stable for a given tree: files are walked in sorted
+//! order and diagnostics sort by (path, line, rule).
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lpmem_lint::{lint_root, render_json, render_text, Options, CATALOG};
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut opts = Options::default();
+    let mut json = false;
+    let mut deny = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage("--root needs a directory"),
+            },
+            "--paths" => match args.next() {
+                Some(v) => opts.paths.extend(
+                    v.split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(String::from),
+                ),
+                None => return usage("--paths needs a comma-separated list"),
+            },
+            "--rules" => match args.next() {
+                Some(v) => {
+                    let set: BTreeSet<String> = v
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(String::from)
+                        .collect();
+                    for r in &set {
+                        if !CATALOG.iter().any(|c| c.id == r) {
+                            return usage(&format!("unknown rule `{r}` (see --list)"));
+                        }
+                    }
+                    opts.rules = Some(set);
+                }
+                None => return usage("--rules needs a comma-separated list"),
+            },
+            "--json" => json = true,
+            "--deny" => deny = true,
+            "--list" => {
+                for r in CATALOG {
+                    println!("{}  {}", r.id, r.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => match find_workspace_root() {
+            Some(r) => r,
+            None => {
+                eprintln!("lint: no workspace root found; pass --root");
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    let report = match lint_root(&root, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Diagnostics go to stdout (byte-stable, diff-able in CI); the summary
+    // goes to stderr in both modes so redirected output stays pure.
+    if json {
+        print!("{}", render_json(&report.diags));
+    } else {
+        print!("{}", render_text(&report.diags));
+    }
+    eprintln!(
+        "lint: {} diagnostics ({} suppressed) in {} files",
+        report.diags.len(),
+        report.suppressed.len(),
+        report.files
+    );
+
+    if deny && !report.diags.is_empty() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Walks up from the current directory to the first `Cargo.toml` that
+/// declares a `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("lint: {err}");
+    }
+    eprintln!(
+        "usage: lint [--root DIR] [--paths P1,P2] [--rules R1,R2] [--json] [--deny] [--list]"
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

@@ -1,0 +1,166 @@
+//! Diagnostics: the linter's one output type, with byte-stable renderers.
+//!
+//! Every run of the linter over the same tree must produce the same bytes
+//! — the golden fixture suite and the CI `--json` diffing both depend on
+//! it — so diagnostics carry a total order (path, line, rule, message) and
+//! both renderers emit nothing non-deterministic (no timestamps, no
+//! absolute paths, no map iteration).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// One finding: a rule violated at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diag {
+    /// Workspace-relative path with forward slashes (`crates/x/src/y.rs`).
+    pub path: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Rule identifier (`D01` … `A01`, `L00`/`L01` for the meta-rules).
+    pub rule: &'static str,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl Diag {
+    /// The total order every emission path sorts by.
+    pub fn sort_key(&self) -> (&str, u32, &str, &str) {
+        (&self.path, self.line, self.rule, &self.message)
+    }
+}
+
+impl PartialOrd for Diag {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Diag {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.sort_key().cmp(&other.sort_key())
+    }
+}
+
+impl fmt::Display for Diag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Renders diagnostics as text, one per line, in sorted order.
+pub fn render_text(diags: &[Diag]) -> String {
+    let mut sorted: Vec<&Diag> = diags.iter().collect();
+    sorted.sort();
+    let mut out = String::new();
+    for d in sorted {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders diagnostics as a JSON array, stable-sorted by
+/// (path, line, rule) so CI can diff two runs byte-for-byte.
+pub fn render_json(diags: &[Diag]) -> String {
+    let mut sorted: Vec<&Diag> = diags.iter().collect();
+    sorted.sort();
+    let mut out = String::from("[");
+    for (i, d) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {\"path\":");
+        json_string(&mut out, &d.path);
+        out.push_str(",\"line\":");
+        out.push_str(&d.line.to_string());
+        out.push_str(",\"rule\":");
+        json_string(&mut out, d.rule);
+        out.push_str(",\"message\":");
+        json_string(&mut out, &d.message);
+        out.push('}');
+    }
+    if !diags.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Appends `s` to `out` as a JSON string literal (minimal escaping).
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(path: &str, line: u32, rule: &'static str) -> Diag {
+        Diag {
+            path: path.to_string(),
+            line,
+            rule,
+            message: format!("m-{rule}"),
+        }
+    }
+
+    #[test]
+    fn ordering_is_path_line_rule() {
+        let mut v = [
+            d("b.rs", 1, "D01"),
+            d("a.rs", 9, "D05"),
+            d("a.rs", 9, "D02"),
+        ];
+        v.sort();
+        let order: Vec<(&str, u32, &str)> = v
+            .iter()
+            .map(|x| (x.path.as_str(), x.line, x.rule))
+            .collect();
+        assert_eq!(
+            order,
+            vec![("a.rs", 9, "D02"), ("a.rs", 9, "D05"), ("b.rs", 1, "D01")]
+        );
+    }
+
+    #[test]
+    fn text_rendering_is_stable_under_input_order() {
+        let a = vec![d("b.rs", 1, "D01"), d("a.rs", 2, "D02")];
+        let b = vec![d("a.rs", 2, "D02"), d("b.rs", 1, "D01")];
+        assert_eq!(render_text(&a), render_text(&b));
+        assert_eq!(render_text(&a), "a.rs:2: D02: m-D02\nb.rs:1: D01: m-D01\n");
+    }
+
+    #[test]
+    fn json_escapes_and_sorts() {
+        let diags = vec![Diag {
+            path: "x.rs".to_string(),
+            line: 3,
+            rule: "D04",
+            message: "say \"hi\"\\\n".to_string(),
+        }];
+        let js = render_json(&diags);
+        assert_eq!(
+            js,
+            "[\n  {\"path\":\"x.rs\",\"line\":3,\"rule\":\"D04\",\"message\":\"say \\\"hi\\\"\\\\\\n\"}\n]\n"
+        );
+        assert_eq!(render_json(&[]), "[]\n");
+    }
+}

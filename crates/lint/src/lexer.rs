@@ -1,0 +1,516 @@
+//! A lightweight Rust lexer: a token stream with comment, string, and
+//! attribute awareness — deliberately *not* a parser.
+//!
+//! The rule engine only needs to answer questions like "is this `unwrap`
+//! identifier real code or part of a doc comment?", "which line does this
+//! suppression comment sit on?", and "what tokens follow `.iter()` inside
+//! the same statement?". A full grammar would buy precision the rules do
+//! not need at a hermeticity cost the workspace cannot pay (no `syn`, no
+//! registry — DESIGN.md §5), so the lexer handles exactly the lexical
+//! structure that matters:
+//!
+//! * line (`//`) and nested block (`/* /* */ */`) comments, kept separately
+//!   so suppressions can be parsed out of them;
+//! * string-family literals: `"…"` with escapes, raw strings `r#"…"#`,
+//!   byte/C prefixes (`b""`, `br#""#`, `c""`, `cr#""#`), and char literals
+//!   (`'a'`, `'\n'`) disambiguated from lifetimes (`'a`);
+//! * attributes `#[…]` / `#![…]`, captured as single tokens (strings inside
+//!   them are honoured) so `#[cfg(test)]` regions are cheap to find;
+//! * identifiers, numbers, and single-character punctuation.
+//!
+//! Every token carries its 1-based source line, which is all the
+//! diagnostics need.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`foo`, `let`, `as`).
+    Ident,
+    /// Numeric literal (`42`, `0xFF`, `1.5e3`, `2003u64`).
+    Number,
+    /// String-family literal, quotes and prefix included (`"x"`, `r#"y"#`).
+    Str,
+    /// Char or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`), including the quote.
+    Lifetime,
+    /// Single punctuation character (`.`, `^`, `{`).
+    Punct,
+    /// A whole attribute, brackets included (`#[cfg(test)]`).
+    Attr,
+}
+
+/// One code token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The lexeme class.
+    pub kind: TokenKind,
+    /// The exact source text of the token.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// `true` when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// `true` when this token is exactly the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+}
+
+/// One comment (line or block), with the comment markers stripped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment body without `//`, `/*`, or `*/` markers.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+/// The lexer's output: code tokens and comments, in source order.
+#[derive(Debug, Clone, Default)]
+pub struct LexOutput {
+    /// Code tokens (comments excluded).
+    pub tokens: Vec<Token>,
+    /// All comments, doc comments included.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes Rust source into tokens and comments.
+///
+/// The lexer never fails: malformed input (an unterminated string, a stray
+/// byte) degrades into punctuation tokens rather than an error, because a
+/// linter must keep scanning whatever it is given.
+pub fn lex(src: &str) -> LexOutput {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    src: std::marker::PhantomData<&'a str>,
+    out: LexOutput,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            src: std::marker::PhantomData,
+            out: LexOutput::default(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(ch) = c {
+            self.pos += 1;
+            if ch == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> LexOutput {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => {
+                    let text = self.string_literal(String::new());
+                    self.push(TokenKind::Str, text, line);
+                }
+                '\'' => self.quote(line),
+                '#' => self.attr_or_punct(line),
+                _ if c == '_' || c.is_alphabetic() => self.ident_or_prefixed_string(line),
+                _ if c.is_ascii_digit() => self.number(line),
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment { text, line });
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+                text.push_str("/*");
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment { text, line });
+    }
+
+    /// Consumes a `"…"` literal (opening quote at the cursor) and returns
+    /// `prefix` + the full literal text.
+    fn string_literal(&mut self, mut prefix: String) -> String {
+        prefix.push('"');
+        self.bump();
+        while let Some(c) = self.bump() {
+            prefix.push(c);
+            if c == '\\' {
+                if let Some(esc) = self.bump() {
+                    prefix.push(esc);
+                }
+            } else if c == '"' {
+                break;
+            }
+        }
+        prefix
+    }
+
+    /// Consumes a raw string `#…#"…"#…#` (cursor on the first `#` or `"`)
+    /// and returns `prefix` + the full literal text.
+    fn raw_string_literal(&mut self, mut prefix: String) -> String {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            prefix.push('#');
+            self.bump();
+        }
+        if self.peek(0) != Some('"') {
+            return prefix; // `r#foo` raw identifier — handled by caller.
+        }
+        prefix.push('"');
+        self.bump();
+        'outer: while let Some(c) = self.bump() {
+            prefix.push(c);
+            if c == '"' {
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    prefix.push('#');
+                    self.bump();
+                }
+                break;
+            }
+        }
+        prefix
+    }
+
+    /// `'` — either a lifetime (`'a`) or a char literal (`'a'`, `'\n'`).
+    fn quote(&mut self, line: u32) {
+        let next = self.peek(1);
+        let is_lifetime = match next {
+            Some(c) if c == '_' || c.is_alphabetic() => self.peek(2) != Some('\''),
+            _ => false,
+        };
+        if is_lifetime {
+            self.bump();
+            let mut text = String::from("'");
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokenKind::Lifetime, text, line);
+        } else {
+            self.bump();
+            let mut text = String::from("'");
+            while let Some(c) = self.bump() {
+                text.push(c);
+                if c == '\\' {
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                } else if c == '\'' {
+                    break;
+                }
+            }
+            self.push(TokenKind::Char, text, line);
+        }
+    }
+
+    /// `#` — an attribute `#[…]` / `#![…]`, or plain punctuation.
+    fn attr_or_punct(&mut self, line: u32) {
+        let bracket_at = if self.peek(1) == Some('[') {
+            1
+        } else if self.peek(1) == Some('!') && self.peek(2) == Some('[') {
+            2
+        } else {
+            self.bump();
+            self.push(TokenKind::Punct, "#".to_string(), line);
+            return;
+        };
+        let mut text = String::from("#");
+        if bracket_at == 2 {
+            text.push('!');
+        }
+        for _ in 0..=bracket_at {
+            self.bump();
+        }
+        text.push('[');
+        let mut depth = 1usize;
+        while let Some(c) = self.peek(0) {
+            match c {
+                '"' => {
+                    let s = self.string_literal(String::new());
+                    text.push_str(&s);
+                }
+                '[' => {
+                    depth += 1;
+                    text.push(c);
+                    self.bump();
+                }
+                ']' => {
+                    depth -= 1;
+                    text.push(c);
+                    self.bump();
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {
+                    text.push(c);
+                    self.bump();
+                }
+            }
+        }
+        self.push(TokenKind::Attr, text, line);
+    }
+
+    /// Identifier, keyword, or a string literal with an `r`/`b`/`c` prefix.
+    fn ident_or_prefixed_string(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let next = self.peek(0);
+        let raw = matches!(text.as_str(), "r" | "br" | "cr");
+        let plain = matches!(text.as_str(), "b" | "c");
+        if raw && (next == Some('"') || next == Some('#')) {
+            let lit = self.raw_string_literal(text);
+            // `r#ident` raw identifiers come back without a quote: the
+            // consumed `#` stays part of the text; treat them as idents.
+            if lit.contains('"') {
+                self.push(TokenKind::Str, lit, line);
+            } else {
+                let trimmed = lit.trim_end_matches('#').to_string();
+                let mut rest = String::new();
+                while let Some(c) = self.peek(0) {
+                    if c == '_' || c.is_alphanumeric() {
+                        rest.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokenKind::Ident, trimmed + &rest, line);
+            }
+        } else if plain && next == Some('"') {
+            let lit = self.string_literal(text);
+            self.push(TokenKind::Str, lit, line);
+        } else if text == "b" && next == Some('\'') {
+            self.quote(line);
+            // Merge the prefix into the produced char token.
+            if let Some(last) = self.out.tokens.last_mut() {
+                last.text.insert(0, 'b');
+                last.line = line;
+            }
+        } else {
+            self.push(TokenKind::Ident, text, line);
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else if c == '.' {
+                // `1.5` continues the number; `1..n` and `1.method()` do not.
+                match self.peek(1) {
+                    Some(d) if d.is_ascii_digit() => {
+                        text.push(c);
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Number, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_not_code() {
+        let out = lex("// unwrap() here\nlet x = 1; /* unwrap() */\n");
+        assert!(!out.tokens.iter().any(|t| t.text.contains("unwrap")));
+        assert_eq!(out.comments.len(), 2);
+        assert_eq!(out.comments[0].line, 1);
+        assert_eq!(out.comments[0].text, " unwrap() here");
+        assert_eq!(out.comments[1].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let out = lex("/* a /* b */ c */ real");
+        assert_eq!(out.comments.len(), 1);
+        assert_eq!(idents("/* a /* b */ c */ real"), vec!["real"]);
+        assert_eq!(out.comments[0].text, " a /* b */ c ");
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let src = r#"let s = "unwrap() \" HashMap"; t"#;
+        assert_eq!(idents(src), vec!["let", "s", "t"]);
+    }
+
+    #[test]
+    fn raw_and_prefixed_strings_lex_as_one_token() {
+        let out = lex(r##"let s = r#"a " b"#; let t = b"x"; let u = r"y";"##);
+        let strs: Vec<&str> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, vec![r##"r#"a " b"#"##, r#"b"x""#, r#"r"y""#]);
+    }
+
+    #[test]
+    fn lifetimes_and_chars_disambiguate() {
+        let out = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<&str> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        let chars: Vec<&str> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(chars, vec!["'x'", "'\\n'"]);
+    }
+
+    #[test]
+    fn attributes_are_single_tokens() {
+        let out = lex("#[cfg(test)]\n#[doc = \"has ] bracket\"]\nmod tests {}");
+        let attrs: Vec<&Token> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Attr)
+            .collect();
+        assert_eq!(attrs.len(), 2);
+        assert_eq!(attrs[0].text, "#[cfg(test)]");
+        assert_eq!(attrs[0].line, 1);
+        assert_eq!(attrs[1].text, "#[doc = \"has ] bracket\"]");
+    }
+
+    #[test]
+    fn inner_attributes_lex_too() {
+        let out = lex("#![allow(dead_code)] fn x() {}");
+        assert_eq!(out.tokens[0].kind, TokenKind::Attr);
+        assert_eq!(out.tokens[0].text, "#![allow(dead_code)]");
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_methods() {
+        let out = lex("for i in 0..10 { let f = 1.5; let g = 2.max(3); }");
+        let nums: Vec<&str> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0", "10", "1.5", "2", "3"]);
+    }
+
+    #[test]
+    fn lines_are_tracked_across_multiline_tokens() {
+        let out = lex("let a = \"x\ny\";\nlet b = 1;");
+        let b = out.tokens.iter().find(|t| t.is_ident("b")).map(|t| t.line);
+        assert_eq!(b, Some(3));
+    }
+
+    #[test]
+    fn unterminated_string_does_not_hang() {
+        let out = lex("let s = \"never closed");
+        assert_eq!(out.tokens.last().map(|t| t.kind), Some(TokenKind::Str));
+    }
+}

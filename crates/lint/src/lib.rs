@@ -1,0 +1,34 @@
+//! `lpmem-lint`: the workspace's hermetic determinism-and-accounting
+//! linter.
+//!
+//! The sweep and explore engines promise byte-identical JSONL at any
+//! worker count, and the energy flows make exact-pJ claims — invariants
+//! the golden suites only catch *after* they break. This crate enforces
+//! them statically: a hand-rolled lexer ([`lexer`]) feeds a rule engine
+//! ([`rules`], [`engine`]) that walks every workspace source file and
+//! emits deterministic diagnostics ([`diag`]). Because the build is
+//! hermetic (DESIGN.md §5) there is no `syn`, no `clippy-utils`, and no
+//! registry: the linter is built in-tree, from nothing but `std`, and is
+//! itself subject to every rule it enforces.
+//!
+//! See `docs/lint-rules.md` for the rule catalog and DESIGN.md §9 for the
+//! architecture. The `lint` binary (`cargo run -p lpmem-lint --bin lint --
+//! --deny`) is the fourth tier-1 gate in `scripts/verify.sh`.
+//!
+//! ```
+//! use lpmem_lint::{lint_source, Options};
+//!
+//! let src = "fn f(v: Option<u32>) -> u32 { v.unwrap() }\n";
+//! let (diags, _suppressed) = lint_source("crates/x/src/lib.rs", src, &Options::default());
+//! assert_eq!(diags.len(), 1);
+//! assert_eq!(diags[0].rule, "D04");
+//! ```
+
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use diag::{render_json, render_text, Diag};
+pub use engine::{lint_root, lint_source, workspace_files, Options, Report};
+pub use rules::{FileContext, RuleInfo, CATALOG};

@@ -1,0 +1,62 @@
+//! Fixture-corpus golden test: linting the deliberately-bad snippets under
+//! `tests/fixtures/` must reproduce the byte-exact diagnostics stored in
+//! `tests/fixtures_golden.txt`.
+//!
+//! To regenerate after an intentional rule change, run with
+//! `LPMEM_GOLDEN_PRINT=1` (e.g. `LPMEM_GOLDEN_PRINT=1 cargo test -p
+//! lpmem-lint --test fixtures -- --nocapture`) and paste the printed
+//! diagnostics over `fixtures_golden.txt`.
+
+use std::path::Path;
+
+use lpmem_lint::{lint_root, render_json, render_text, Options};
+
+const GOLDEN: &str = include_str!("fixtures_golden.txt");
+
+fn fixtures_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+#[test]
+fn fixture_diagnostics_match_the_golden_file() {
+    let report = lint_root(&fixtures_dir(), &Options::default()).expect("fixtures lint");
+    let text = render_text(&report.diags);
+    if std::env::var("LPMEM_GOLDEN_PRINT").is_ok() {
+        println!("--- fixtures_golden.txt ---");
+        print!("{text}");
+        println!("---------------------------");
+    }
+    assert_eq!(
+        text, GOLDEN,
+        "fixture diagnostics drifted from the golden file; if the rule \
+         change is intentional, regenerate with LPMEM_GOLDEN_PRINT=1"
+    );
+    // The corpus carries exactly one well-formed, matching suppression
+    // (suppressed_ok.rs), proving suppressions actually suppress.
+    assert_eq!(report.suppressed.len(), 1);
+    assert_eq!(report.suppressed[0].rule, "D03");
+    assert_eq!(report.suppressed[0].path, "suppressed_ok.rs");
+}
+
+#[test]
+fn every_rule_fires_at_least_once_on_the_corpus() {
+    let report = lint_root(&fixtures_dir(), &Options::default()).expect("fixtures lint");
+    for rule in lpmem_lint::CATALOG {
+        assert!(
+            report.diags.iter().any(|d| d.rule == rule.id)
+                || report.suppressed.iter().any(|d| d.rule == rule.id),
+            "rule {} never fired on the fixture corpus",
+            rule.id
+        );
+    }
+}
+
+#[test]
+fn fixture_output_is_byte_stable_across_runs() {
+    let a = lint_root(&fixtures_dir(), &Options::default()).expect("first run");
+    let b = lint_root(&fixtures_dir(), &Options::default()).expect("second run");
+    assert_eq!(render_text(&a.diags), render_text(&b.diags));
+    assert_eq!(render_json(&a.diags), render_json(&b.diags));
+    assert_eq!(a.suppressed, b.suppressed);
+    assert_eq!(a.files, b.files);
+}

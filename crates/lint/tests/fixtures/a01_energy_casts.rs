@@ -1,0 +1,15 @@
+//! A01 fixture: raw narrowing casts in energy accounting (the file name
+//! places it inside the energy crate for the path classifier).
+
+pub fn picojoules(total: f64) -> u32 {
+    total as u32
+}
+
+pub fn bank_index(raw: u64) -> u16 {
+    raw as u16
+}
+
+// Negative case: widening casts carry no precision risk.
+pub fn widen(raw: u32) -> u64 {
+    u64::from(raw)
+}

@@ -1,0 +1,31 @@
+//! D01 fixture: unordered hash iteration leaking into emission.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn dump(counts: &HashMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (name, hits) in counts.iter() {
+        out.push_str(&format!("{name}={hits}\n"));
+    }
+    out
+}
+
+pub fn scaled(weights: &HashMap<u64, f64>) -> Vec<f64> {
+    let mut out = Vec::new();
+    for w in weights {
+        out.push(w.1 * 2.0);
+    }
+    out
+}
+
+// Negative case: collect-then-sort re-establishes order, so no diagnostic.
+pub fn sorted_names(set: &HashSet<String>) -> Vec<String> {
+    let mut names: Vec<String> = set.iter().cloned().collect();
+    names.sort();
+    names
+}
+
+// Negative case: an order-free integer fold is fine.
+pub fn total(counts: &HashMap<String, u64>) -> u64 {
+    counts.values().sum()
+}

@@ -1,0 +1,7 @@
+//! D02 fixture: wall-clock reads outside the sanctioned bench timer.
+
+pub fn stamp() -> u128 {
+    let t0 = std::time::Instant::now();
+    let _wall = std::time::SystemTime::now();
+    t0.elapsed().as_nanos()
+}

@@ -1,0 +1,10 @@
+//! D03 fixture: ad-hoc arithmetic on raw seeds instead of
+//! `SplitMix64::derive`.
+
+pub fn child_seed(seed: u64, index: u64) -> u64 {
+    seed ^ (index << 32)
+}
+
+pub fn stream_seed(base_seed: u64) -> u64 {
+    base_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}

@@ -1,0 +1,23 @@
+//! D04 fixture: panicking escape hatches in library code.
+
+pub fn first_line(text: &str) -> &str {
+    text.lines().next().unwrap()
+}
+
+pub fn parse(text: &str) -> u64 {
+    text.parse().expect("")
+}
+
+// Negative case: a documented invariant message is allowed.
+pub fn head(items: &[u64]) -> u64 {
+    *items.first().expect("caller guarantees a non-empty slice")
+}
+
+// Negative case: test code may unwrap freely.
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn inside_tests_is_fine() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}

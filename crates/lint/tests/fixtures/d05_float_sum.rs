@@ -1,0 +1,7 @@
+//! D05 fixture: float accumulation over unordered iteration.
+
+use std::collections::HashMap;
+
+pub fn total_energy(pj: &HashMap<String, f64>) -> f64 {
+    pj.values().sum::<f64>()
+}

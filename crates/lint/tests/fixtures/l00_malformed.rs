@@ -1,0 +1,10 @@
+//! L00 fixture: suppressions that don't parse or lack a reason.
+
+// lpmem-lint: allow(D01)
+pub fn missing_reason() {}
+
+// lpmem-lint: allow(D02, reason = "")
+pub fn empty_reason() {}
+
+// lpmem-lint: allow(D9X, reason = "unknown rule id")
+pub fn unknown_rule() {}

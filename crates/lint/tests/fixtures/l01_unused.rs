@@ -1,0 +1,6 @@
+//! L01 fixture: a well-formed suppression with nothing to suppress.
+
+// lpmem-lint: allow(D04, reason = "defensive: nothing here can panic")
+pub fn tidy() -> u64 {
+    42
+}

@@ -1,0 +1,7 @@
+//! Suppression fixture: a reasoned allow silences its diagnostic (and is
+//! counted as used, so no L01 either).
+
+pub fn child_seed(seed: u64) -> u64 {
+    // lpmem-lint: allow(D03, reason = "fixture: demonstrates a valid suppression")
+    seed ^ 0x9e37_79b9
+}

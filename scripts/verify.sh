@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # Tier-1 verification: the whole workspace must build and test fully
 # offline against the committed Cargo.lock (the build is hermetic — see
-# DESIGN.md §5). Clippy runs as a strict third gate when it is installed.
+# DESIGN.md §5). The in-tree lpmem-lint gate always runs (it needs nothing
+# beyond cargo itself); fmt and clippy run strictly when installed.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -21,6 +22,9 @@ echo "==> explore smoke (small space, exhaustive, fixed seed)"
 cargo run --release --locked --offline -p lpmem-bench --bin explore -- \
     --axes small --strategy exhaustive --budget 32 --seed 2003 \
     --threads 2 --jsonl /dev/null
+
+echo "==> lpmem-lint --deny (determinism/accounting invariants, DESIGN.md §9)"
+cargo run --release --locked --offline -p lpmem-lint --bin lint -- --deny
 
 if cargo fmt --version >/dev/null 2>&1; then
     echo "==> cargo fmt --check"
