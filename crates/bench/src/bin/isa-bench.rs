@@ -1,0 +1,255 @@
+//! Differential smoke test and per-kernel throughput bench for the two
+//! TinyRISC execution backends (DESIGN.md §10).
+//!
+//! ```text
+//! isa-bench                               # smoke + bench, writes BENCH_isa.json
+//! isa-bench --quick                       # quick sampling (CI smoke)
+//! isa-bench --json path.json              # report path (default BENCH_isa.json)
+//! isa-bench --check-speedup 5             # fail unless geomean speedup >= 5
+//! isa-bench --seed 7 --kernels fir,dct8   # input seed / kernel filter
+//! ```
+//!
+//! Every invocation first runs the **differential smoke**: each kernel
+//! executes on both backends and the run is rejected unless the traces
+//! are byte-identical (and steps/registers agree) — only then is anything
+//! timed. `LPMEM_BENCH_QUICK=1` implies `--quick`. The `--check-speedup`
+//! gate is skipped on single-CPU machines (or when
+//! `LPMEM_SKIP_TIMING_GATE=1`), where wall-clock ratios are unreliable.
+
+use std::io::Write as _;
+
+use lpmem_isa::{Backend, Kernel, Machine, Reg};
+use lpmem_util::bench::{benchmark_paired, format_ns, Measurement, Options, PairedMeasurement};
+use lpmem_util::json::JsonObject;
+
+/// The kernel library's step budget (`lpmem_isa::kernels::MAX_STEPS`).
+const MAX_STEPS: u64 = 50_000_000;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("isa-bench: {msg}");
+    std::process::exit(2);
+}
+
+fn parse_kernel(s: &str) -> Option<Kernel> {
+    let key = s.trim().to_ascii_lowercase();
+    Kernel::ALL.into_iter().find(|k| k.name() == key)
+}
+
+/// One kernel's smoke + timing result.
+struct KernelReport {
+    kernel: Kernel,
+    scale: u32,
+    instret: u64,
+    interp: Measurement,
+    compiled: Measurement,
+    /// Median of per-sample interp/compiled time ratios (drift-immune;
+    /// see [`PairedMeasurement`]).
+    speedup: f64,
+}
+
+impl KernelReport {
+    fn mips(&self, m: &Measurement) -> f64 {
+        self.instret as f64 / m.median_ns * 1e3
+    }
+
+    fn to_json(&self) -> String {
+        JsonObject::new()
+            .str("kernel", self.kernel.name())
+            .u64("scale", u64::from(self.scale))
+            .u64("instret", self.instret)
+            .f64("interp_ns", self.interp.median_ns)
+            .f64("interp_mips", self.mips(&self.interp))
+            .f64("compiled_ns", self.compiled.median_ns)
+            .f64("compiled_mips", self.mips(&self.compiled))
+            .f64("speedup", self.speedup)
+            .finish()
+    }
+}
+
+/// Runs the kernel on both backends, asserts byte-identical behaviour,
+/// and returns the instruction count.
+fn differential_smoke(kernel: Kernel, scale: u32, seed: u64) -> u64 {
+    let program = kernel.program(scale, seed);
+    let mut interp = Machine::new(&program);
+    let interp_run = interp
+        .run(MAX_STEPS)
+        .unwrap_or_else(|e| fail(&format!("{}: interpreter failed: {e}", kernel.name())));
+    let mut compiled = Machine::new(&program);
+    let compiled_run = compiled
+        .run_with(Backend::Compiled, MAX_STEPS)
+        .unwrap_or_else(|e| fail(&format!("{}: compiled backend failed: {e}", kernel.name())));
+    if compiled_run.steps != interp_run.steps {
+        fail(&format!(
+            "{}: step divergence: interp {} vs compiled {}",
+            kernel.name(),
+            interp_run.steps,
+            compiled_run.steps
+        ));
+    }
+    if compiled_run.trace != interp_run.trace {
+        fail(&format!(
+            "{}: trace divergence over {} events",
+            kernel.name(),
+            interp_run.trace.len()
+        ));
+    }
+    for i in 0..16u8 {
+        let r = Reg::new(i).unwrap_or_else(|| fail("register index"));
+        if compiled.reg(r) != interp.reg(r) {
+            fail(&format!("{}: register r{i} diverged", kernel.name()));
+        }
+    }
+    // The kernel library's own verification (machine vs Rust reference).
+    kernel
+        .run_with(Backend::Compiled, scale, seed)
+        .unwrap_or_else(|e| fail(&format!("{}: verified run failed: {e}", kernel.name())));
+    interp_run.steps
+}
+
+/// Times both backends with paired samples so machine-load drift cancels
+/// out of the speedup ratio.
+fn time_backends(kernel: Kernel, scale: u32, seed: u64, opts: &Options) -> PairedMeasurement {
+    let program = kernel.program(scale, seed);
+    let run = |backend: Backend| {
+        let program = program.clone();
+        move || {
+            let mut m = Machine::new(&program);
+            m.run_with(backend, MAX_STEPS)
+                .unwrap_or_else(|e| fail(&format!("{}: {e}", kernel.name())))
+                .steps
+        }
+    };
+    benchmark_paired(
+        &format!("{}/{}", kernel.name(), Backend::Interpret.name()),
+        &format!("{}/{}", kernel.name(), Backend::Compiled.name()),
+        opts,
+        run(Backend::Interpret),
+        run(Backend::Compiled),
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = std::env::var_os("LPMEM_BENCH_QUICK").is_some();
+    let mut json_path = String::from("BENCH_isa.json");
+    let mut min_speedup: Option<f64> = None;
+    let mut seed: u64 = 2003;
+    let mut kernels: Vec<Kernel> = Kernel::ALL.to_vec();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| fail(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--quick" | "-q" => quick = true,
+            "--json" => json_path = value("--json"),
+            "--check-speedup" => match value("--check-speedup").parse::<f64>() {
+                Ok(x) if x > 0.0 => min_speedup = Some(x),
+                _ => fail("--check-speedup needs a positive number"),
+            },
+            "--seed" => match value("--seed").parse::<u64>() {
+                Ok(s) => seed = s,
+                Err(_) => fail("--seed needs an unsigned integer"),
+            },
+            "--kernels" => {
+                kernels = value("--kernels")
+                    .split(',')
+                    .filter(|s| !s.trim().is_empty())
+                    .map(|s| {
+                        parse_kernel(s).unwrap_or_else(|| fail(&format!("unknown kernel {s:?}")))
+                    })
+                    .collect();
+            }
+            _ => fail(&format!("unknown argument {arg:?} (see the module docs)")),
+        }
+    }
+
+    let opts = if quick {
+        Options::quick()
+    } else {
+        // Kernel runs are milliseconds each; moderate sampling keeps the
+        // full suite under a minute while staying stable.
+        Options {
+            warmup_ns: 50_000_000,
+            samples: 9,
+            sample_ns: 25_000_000,
+        }
+    };
+
+    println!("== differential smoke: compiled vs interpreter ==");
+    let mut reports: Vec<KernelReport> = Vec::new();
+    for &kernel in &kernels {
+        let scale = kernel.default_scale();
+        let instret = differential_smoke(kernel, scale, seed);
+        println!(
+            "  {:<10} scale {:<4} instret {:>9}  traces byte-identical",
+            kernel.name(),
+            scale,
+            instret
+        );
+        let paired = time_backends(kernel, scale, seed, &opts);
+        reports.push(KernelReport {
+            kernel,
+            scale,
+            instret,
+            interp: paired.a,
+            compiled: paired.b,
+            speedup: paired.ratio,
+        });
+    }
+
+    println!("\n== throughput (median of {} samples) ==", opts.samples);
+    println!(
+        "  {:<10} {:>10} {:>12} {:>12} {:>12} {:>12} {:>8}",
+        "kernel", "instret", "interp", "interp MIPS", "compiled", "comp MIPS", "speedup"
+    );
+    for r in &reports {
+        println!(
+            "  {:<10} {:>10} {:>12} {:>12.1} {:>12} {:>12.1} {:>7.2}x",
+            r.kernel.name(),
+            r.instret,
+            format_ns(r.interp.median_ns),
+            r.mips(&r.interp),
+            format_ns(r.compiled.median_ns),
+            r.mips(&r.compiled),
+            r.speedup
+        );
+    }
+    let geomean =
+        (reports.iter().map(|r| r.speedup.ln()).sum::<f64>() / reports.len() as f64).exp();
+    println!("  geomean speedup: {geomean:.2}x");
+
+    let body: Vec<String> = reports.iter().map(KernelReport::to_json).collect();
+    let summary = JsonObject::new()
+        .str("schema", "lpmem-isa-bench-v1")
+        .u64("seed", seed)
+        .u64("kernels", reports.len() as u64)
+        .f64("geomean_speedup", geomean)
+        .finish();
+    let report = format!(
+        "{{\"summary\":{summary},\"kernels\":[{}]}}\n",
+        body.join(",")
+    );
+    match std::fs::File::create(&json_path).and_then(|mut f| f.write_all(report.as_bytes())) {
+        Ok(()) => println!("  report written to {json_path}"),
+        Err(e) => fail(&format!("cannot write {json_path}: {e}")),
+    }
+
+    if let Some(min) = min_speedup {
+        let single_cpu = std::thread::available_parallelism()
+            .map(|n| n.get() <= 1)
+            .unwrap_or(true);
+        if single_cpu || std::env::var_os("LPMEM_SKIP_TIMING_GATE").is_some() {
+            println!("  timing gate skipped (single CPU or LPMEM_SKIP_TIMING_GATE)");
+        } else if geomean < min {
+            fail(&format!(
+                "geomean speedup {geomean:.2}x is below the required {min:.2}x"
+            ));
+        } else {
+            println!("  timing gate passed: {geomean:.2}x >= {min:.2}x");
+        }
+    }
+}

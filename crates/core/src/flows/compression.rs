@@ -2,7 +2,7 @@
 
 use lpmem_compress::{CompressedMemoryModel, LineCodec};
 use lpmem_energy::{Energy, EnergyReport, OffChipModel, SramModel, Technology};
-use lpmem_isa::{Kernel, Machine};
+use lpmem_isa::{Backend, Kernel, Machine};
 use lpmem_mem::{Backing, Cache, CacheConfig, FlatMemory};
 use lpmem_trace::{AccessKind, Trace};
 
@@ -315,7 +315,7 @@ pub fn run_compression_kernel(
 ) -> Result<CompressionOutcome, FlowError> {
     let program = kernel.program(scale, seed);
     let mut machine = Machine::new(&program);
-    let result = machine.run(50_000_000)?;
+    let result = machine.run_with(Backend::Compiled, 50_000_000)?;
     // Replay against the program's initial memory image so loads observe
     // the same data the kernel did.
     let mut initial = FlatMemory::new();

@@ -1,6 +1,6 @@
 //! Named workload suites used by the experiment harness and examples.
 
-use lpmem_isa::{Kernel, KernelRun, Machine};
+use lpmem_isa::{Backend, Kernel, KernelRun, Machine};
 use lpmem_mem::FlatMemory;
 use lpmem_trace::gen::{HotColdGen, MarkovGen};
 use lpmem_trace::Trace;
@@ -33,7 +33,7 @@ pub fn kernel_trace_and_image(
 ) -> Result<(Trace, FlatMemory), FlowError> {
     let program = kernel.program(scale, seed);
     let mut machine = Machine::new(&program);
-    let result = machine.run(200_000_000)?;
+    let result = machine.run_with(Backend::Compiled, 200_000_000)?;
     let mut image = FlatMemory::new();
     for (base, bytes) in program.segments() {
         image.load(*base as u64, bytes);

@@ -1,0 +1,464 @@
+//! Basic-block translation and the translation cache.
+//!
+//! [`translate`] decodes a straight-line region starting at an entry PC
+//! into a [`UopBlock`]: it reads words from memory, decodes each one once,
+//! and keeps going past *conditional* branches (their fall-through path
+//! stays in the block) until it hits an unconditional control transfer
+//! (`jal`, `jalr`, `halt`), an undecodable word, or the block-size cap.
+//! A second pass resolves every branch/`jal` target that lands inside the
+//! decoded range to a stream index, turning loops into intra-block jumps
+//! the dispatcher never leaves.
+//!
+//! [`BlockCache`] keys translated blocks by entry PC in a `BTreeMap`
+//! (deterministic iteration; lint rule D01) behind `Rc` so a block can be
+//! executed while the cache is mutated. Stores are checked against a
+//! conservative `[lo, hi)` summary of all translated text; a store that
+//! intersects it evicts every overlapping block, which is what keeps
+//! self-modifying code correct: the dispatcher re-translates from current
+//! memory on the next block entry.
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use lpmem_mem::FlatMemory;
+use lpmem_trace::MemEvent;
+
+use crate::inst::{Inst, Opcode};
+use crate::uop::{AluOp, Cond, LoadKind, StoreKind, UopBlock, UopKind};
+
+/// Translation stops after this many instructions even without a
+/// terminator; the dispatcher chains into a follow-on block.
+const MAX_BLOCK: usize = 256;
+
+/// Upper bound on a block's byte footprint, used to bound the eviction
+/// range scan.
+const MAX_BLOCK_BYTES: u64 = 4 * MAX_BLOCK as u64;
+
+fn alu_r(op: Opcode) -> AluOp {
+    match op {
+        Opcode::Add => AluOp::Add,
+        Opcode::Sub => AluOp::Sub,
+        Opcode::And => AluOp::And,
+        Opcode::Or => AluOp::Or,
+        Opcode::Xor => AluOp::Xor,
+        Opcode::Sll => AluOp::Sll,
+        Opcode::Srl => AluOp::Srl,
+        Opcode::Sra => AluOp::Sra,
+        Opcode::Slt => AluOp::Slt,
+        Opcode::Sltu => AluOp::Sltu,
+        Opcode::Mul => AluOp::Mul,
+        _ => unreachable!("decoder only produces ALU ops in R-form"),
+    }
+}
+
+fn cond_of(op: Opcode) -> Cond {
+    match op {
+        Opcode::Beq => Cond::Eq,
+        Opcode::Bne => Cond::Ne,
+        Opcode::Blt => Cond::Lt,
+        Opcode::Bge => Cond::Ge,
+        Opcode::Bltu => Cond::Ltu,
+        Opcode::Bgeu => Cond::Geu,
+        _ => unreachable!("decoder only produces branches in B-form"),
+    }
+}
+
+/// `true` when decoding cannot continue past this instruction.
+fn is_terminator(inst: &Option<Inst>) -> bool {
+    match inst {
+        None | Some(Inst::Halt) | Some(Inst::J { .. }) => true,
+        Some(Inst::I { op, .. }) => *op == Opcode::Jalr,
+        _ => false,
+    }
+}
+
+/// The PC-relative target of a branch/`jal` at `pc`, the interpreter's
+/// exact formula.
+fn rel_target(pc: u32, imm: i32) -> u32 {
+    pc.wrapping_add(4).wrapping_add((imm as u32) << 2)
+}
+
+/// Decodes and translates the basic block entered at `entry`.
+pub(crate) fn translate(entry: u32, mem: &FlatMemory) -> UopBlock {
+    // Pass 1: linear decode until a terminator or the cap. Stop early if
+    // the PC would wrap past the top of the address space so stream
+    // indices stay monotonic.
+    let mut decoded: Vec<(u32, Option<Inst>)> = Vec::new();
+    let mut pc = entry;
+    loop {
+        let word = mem.read_u32(pc as u64);
+        let inst = Inst::decode(word);
+        let stop = is_terminator(&inst);
+        decoded.push((word, inst));
+        match pc.checked_add(4) {
+            Some(next) if !stop && decoded.len() < MAX_BLOCK => pc = next,
+            _ => break,
+        }
+    }
+    let len = decoded.len() as u32;
+
+    // Pass 2: lower to micro-ops, resolving in-range control-flow targets
+    // to stream indices. `wrapping_sub` keeps the containment test exact
+    // even for entries near the top of the address space.
+    let in_block = |target: u32| -> Option<u32> {
+        let rel = target.wrapping_sub(entry);
+        (rel.is_multiple_of(4) && rel / 4 < len).then_some(rel / 4)
+    };
+    let mut kinds = Vec::with_capacity(decoded.len());
+    let mut fetches = Vec::with_capacity(decoded.len());
+    for (i, &(word, inst)) in decoded.iter().enumerate() {
+        let pc = entry.wrapping_add(4 * i as u32);
+        let kind = match inst {
+            None => UopKind::Illegal,
+            Some(Inst::Halt) => UopKind::Halt,
+            Some(Inst::R { op, rd, rs1, rs2 }) => {
+                let (rd, rs1, rs2) = (rd.index() as u8, rs1.index() as u8, rs2.index() as u8);
+                if rd == 0 {
+                    UopKind::Nop
+                } else if op == Opcode::Add {
+                    UopKind::Add { rd, rs1, rs2 }
+                } else {
+                    UopKind::Alu {
+                        op: alu_r(op),
+                        rd,
+                        rs1,
+                        rs2,
+                    }
+                }
+            }
+            Some(Inst::I { op, rd, rs1, imm }) => {
+                lower_i(op, rd.index() as u8, rs1.index() as u8, imm, pc)
+            }
+            Some(Inst::B { op, rs1, rs2, imm }) => {
+                let target = rel_target(pc, imm);
+                let (cond, rs1, rs2) = (cond_of(op), rs1.index() as u8, rs2.index() as u8);
+                match in_block(target) {
+                    Some(idx) => UopKind::Branch {
+                        cond,
+                        rs1,
+                        rs2,
+                        idx,
+                    },
+                    None => UopKind::BranchExit {
+                        cond,
+                        rs1,
+                        rs2,
+                        target,
+                    },
+                }
+            }
+            Some(Inst::J { rd, imm, .. }) => {
+                let target = rel_target(pc, imm);
+                let (rd, link) = (rd.index() as u8, pc.wrapping_add(4));
+                match in_block(target) {
+                    Some(idx) => UopKind::JumpIdx { rd, link, idx },
+                    None => UopKind::JumpOut { rd, link, target },
+                }
+            }
+        };
+        kinds.push(kind);
+        fetches.push(MemEvent::fetch(pc as u64).with_value(word));
+    }
+
+    // Pass 3: mark plain spans. Computed right-to-left so each index sees
+    // the end of the maximal straight-line ALU run starting there; a
+    // non-plain uop is its own (empty) run.
+    let mut run_end = vec![0u32; kinds.len()];
+    for i in (0..kinds.len()).rev() {
+        // A non-plain successor is its own run head (`run_end[i+1] ==
+        // i+1`), so chaining through it still yields this run's end.
+        run_end[i] = if !kinds[i].is_plain() {
+            i as u32
+        } else if i + 1 == kinds.len() {
+            kinds.len() as u32
+        } else {
+            run_end[i + 1]
+        };
+    }
+
+    UopBlock {
+        entry,
+        kinds,
+        fetches,
+        run_end,
+    }
+}
+
+/// Lowers an I-format instruction (ALU-immediate, load, store, `jalr`).
+fn lower_i(op: Opcode, rd: u8, rs1: u8, imm: i32, pc: u32) -> UopKind {
+    let simm = imm as u32;
+    let alu = |aop: AluOp, imm: u32| {
+        if rd == 0 {
+            UopKind::Nop
+        } else if aop == AluOp::Add && rs1 == 0 {
+            // `addi rd, r0, imm` is a constant materialization.
+            UopKind::LoadImm { rd, value: imm }
+        } else if aop == AluOp::Add {
+            UopKind::AddImm { rd, rs1, imm }
+        } else if aop == AluOp::Sll {
+            UopKind::ShlImm { rd, rs1, sh: imm }
+        } else {
+            UopKind::AluImm {
+                op: aop,
+                rd,
+                rs1,
+                imm,
+            }
+        }
+    };
+    match op {
+        Opcode::Addi => alu(AluOp::Add, simm),
+        Opcode::Andi => alu(AluOp::And, simm),
+        Opcode::Ori => alu(AluOp::Or, simm),
+        Opcode::Xori => alu(AluOp::Xor, simm),
+        // The interpreter masks shift amounts to 5 bits; pre-mask here.
+        Opcode::Slli => alu(AluOp::Sll, simm & 31),
+        Opcode::Srli => alu(AluOp::Srl, simm & 31),
+        Opcode::Slti => alu(AluOp::Slt, simm),
+        Opcode::Lui => {
+            if rd == 0 {
+                UopKind::Nop
+            } else {
+                UopKind::LoadImm {
+                    rd,
+                    value: simm << 14,
+                }
+            }
+        }
+        Opcode::Lw => load(LoadKind::W, rd, rs1, simm),
+        Opcode::Lh => load(LoadKind::H, rd, rs1, simm),
+        Opcode::Lhu => load(LoadKind::Hu, rd, rs1, simm),
+        Opcode::Lb => load(LoadKind::B, rd, rs1, simm),
+        Opcode::Lbu => load(LoadKind::Bu, rd, rs1, simm),
+        Opcode::Sw => store(StoreKind::W, rd, rs1, simm),
+        Opcode::Sh => store(StoreKind::H, rd, rs1, simm),
+        Opcode::Sb => store(StoreKind::B, rd, rs1, simm),
+        Opcode::Jalr => UopKind::Jalr { rd, rs1, imm: simm },
+        _ => unreachable!("decoder only produces I-form ops here: {op:?} at {pc:#x}"),
+    }
+}
+
+fn load(kind: LoadKind, rd: u8, rs1: u8, off: u32) -> UopKind {
+    // Loads to r0 keep the load path: the data read event must still be
+    // emitted even though the register write is dead.
+    UopKind::Load { kind, rd, rs1, off }
+}
+
+fn store(kind: StoreKind, rs: u8, rs1: u8, off: u32) -> UopKind {
+    UopKind::Store { kind, rs, rs1, off }
+}
+
+/// Slots in the direct-mapped front cache: large enough that a kernel's
+/// working set of block entries rarely collides, small enough to clear
+/// cheaply on eviction.
+const FRONT_SLOTS: usize = 64;
+
+/// The per-run translation cache, keyed by block entry PC.
+#[derive(Debug, Default)]
+pub(crate) struct BlockCache {
+    blocks: BTreeMap<u32, Rc<UopBlock>>,
+    /// Direct-mapped front line over `blocks`, indexed by
+    /// `(pc >> 2) % FRONT_SLOTS`. Block transitions happen every handful
+    /// of instructions in loop-heavy code, so the common repeat lookup
+    /// must be an array probe, not a tree walk. Cleared wholesale on any
+    /// eviction (rare: only self-modifying code pays).
+    front: Vec<Option<Rc<UopBlock>>>,
+    /// Conservative summary of all translated text: no cached block's
+    /// bytes lie outside `[lo, hi)`. Grows monotonically (eviction keeps
+    /// it conservative), so the common store-misses-text case is one
+    /// range test.
+    lo: u64,
+    hi: u64,
+}
+
+impl BlockCache {
+    pub(crate) fn new() -> Self {
+        BlockCache {
+            blocks: BTreeMap::new(),
+            front: vec![None; FRONT_SLOTS],
+            lo: u64::MAX,
+            hi: 0,
+        }
+    }
+
+    #[inline(always)]
+    fn slot(pc: u32) -> usize {
+        (pc >> 2) as usize % FRONT_SLOTS
+    }
+
+    /// Returns the cached block entered at `pc`, if any. Separate from
+    /// [`get_or_translate`](Self::get_or_translate) so the dispatcher can
+    /// sync lazily-mirrored memory back into the [`FlatMemory`] before a
+    /// translation reads it — but only on a miss.
+    #[inline]
+    pub(crate) fn lookup(&mut self, pc: u32) -> Option<Rc<UopBlock>> {
+        if let Some(block) = &self.front[Self::slot(pc)] {
+            if block.entry == pc {
+                return Some(Rc::clone(block));
+            }
+        }
+        let block = self.blocks.get(&pc).map(Rc::clone)?;
+        self.front[Self::slot(pc)] = Some(Rc::clone(&block));
+        Some(block)
+    }
+
+    /// Returns the block entered at `pc`, translating it on first use.
+    pub(crate) fn get_or_translate(&mut self, pc: u32, mem: &FlatMemory) -> Rc<UopBlock> {
+        if let Some(block) = self.lookup(pc) {
+            return block;
+        }
+        let block = Rc::new(translate(pc, mem));
+        self.lo = self.lo.min(block.entry as u64);
+        self.hi = self.hi.max(block.end());
+        self.blocks.insert(pc, Rc::clone(&block));
+        self.front[Self::slot(pc)] = Some(Rc::clone(&block));
+        block
+    }
+
+    /// Handles a store of `size` bytes at `addr`: evicts every cached
+    /// block whose text overlaps the written bytes. Returns `true` when
+    /// the store touched the translated-text summary range, in which case
+    /// the dispatcher must leave its current block (it may be stale).
+    pub(crate) fn invalidate(&mut self, addr: u64, size: u64) -> bool {
+        let (w_lo, w_hi) = (addr, addr + size);
+        if w_hi <= self.lo || w_lo >= self.hi {
+            return false;
+        }
+        // Only blocks whose entry lies in (w_lo - MAX_BLOCK_BYTES, w_hi)
+        // can reach the written range.
+        let scan_from = w_lo.saturating_sub(MAX_BLOCK_BYTES) as u32;
+        let scan_to = w_hi.min(u32::MAX as u64 + 1);
+        let stale: Vec<u32> = self
+            .blocks
+            .range(scan_from..)
+            .take_while(|(&entry, _)| (entry as u64) < scan_to)
+            .filter(|(&entry, block)| (entry as u64) < w_hi && block.end() > w_lo)
+            .map(|(&entry, _)| entry)
+            .collect();
+        if !stale.is_empty() {
+            // The front line may alias evicted blocks; drop it wholesale
+            // rather than tracking which slots are affected.
+            self.front.iter_mut().for_each(|s| *s = None);
+        }
+        for entry in stale {
+            self.blocks.remove(&entry);
+        }
+        true
+    }
+
+    /// Number of cached blocks (test hook).
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assemble;
+
+    fn mem_of(src: &str) -> FlatMemory {
+        let p = assemble(src).expect("test program assembles");
+        let mut mem = FlatMemory::new();
+        for (base, bytes) in p.segments() {
+            mem.load(*base as u64, bytes);
+        }
+        mem
+    }
+
+    #[test]
+    fn straight_line_block_ends_at_halt() {
+        let mem = mem_of("addi r1, r0, 5\nadd r2, r1, r1\nhalt");
+        let b = translate(0, &mem);
+        assert_eq!(b.kinds.len(), 3);
+        assert!(matches!(b.kinds[0], UopKind::LoadImm { rd: 1, value: 5 }));
+        assert!(matches!(b.kinds[2], UopKind::Halt));
+    }
+
+    #[test]
+    fn backward_branch_resolves_to_stream_index() {
+        let mem = mem_of("addi r1, r0, 3\nloop: addi r1, r1, -1\nbne r1, r0, loop\nhalt");
+        let b = translate(0, &mem);
+        assert!(
+            matches!(b.kinds[2], UopKind::Branch { idx: 1, .. }),
+            "{:?}",
+            b.kinds[2]
+        );
+    }
+
+    #[test]
+    fn backward_jal_resolves_to_stream_index_and_terminates_block() {
+        let mem = mem_of("add r1, r1, r2\njal r15, 0\nhalt");
+        let b = translate(0, &mem);
+        // jal is an unconditional transfer: decoding stops after it.
+        assert_eq!(b.kinds.len(), 2);
+        assert!(matches!(
+            b.kinds[1],
+            UopKind::JumpIdx {
+                rd: 15,
+                link: 8,
+                idx: 0
+            }
+        ));
+    }
+
+    #[test]
+    fn forward_branch_out_of_block_exits() {
+        // jal terminates the block at index 1, so the branch target (the
+        // halt at 0xc) is outside the decoded range.
+        let mem = mem_of("beq r0, r0, 0xc\njal r0, 0x8\nhalt");
+        let b = translate(0, &mem);
+        assert_eq!(b.kinds.len(), 2);
+        assert!(matches!(
+            b.kinds[0],
+            UopKind::BranchExit { target: 0xc, .. }
+        ));
+    }
+
+    #[test]
+    fn illegal_word_terminates_block() {
+        let mem = mem_of(".text\nadd r1, r1, r1\n.word 0x78000000\nhalt");
+        let b = translate(0, &mem);
+        assert_eq!(b.kinds.len(), 2);
+        assert!(matches!(b.kinds[1], UopKind::Illegal));
+    }
+
+    #[test]
+    fn unmapped_memory_translates_as_nops_up_to_the_cap() {
+        // Word 0 decodes as `add r0, r0, r0`; an untouched region is an
+        // endless run of them, cut off by the block cap.
+        let mem = FlatMemory::new();
+        let b = translate(0x1000, &mem);
+        assert_eq!(b.kinds.len(), MAX_BLOCK);
+        assert!(b.kinds.iter().all(|&k| k == UopKind::Nop));
+    }
+
+    #[test]
+    fn cache_hits_reuse_and_invalidation_evicts() {
+        let mem = mem_of("addi r1, r0, 5\nhalt");
+        let mut cache = BlockCache::new();
+        let a = cache.get_or_translate(0, &mem);
+        let b = cache.get_or_translate(0, &mem);
+        assert!(Rc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+        // A store far from text is a cheap miss.
+        assert!(!cache.invalidate(0x8000, 4));
+        assert_eq!(cache.len(), 1);
+        // A store into the block's text evicts it.
+        assert!(cache.invalidate(4, 4));
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn invalidation_only_evicts_overlapping_blocks() {
+        let mem = mem_of("addi r1, r0, 5\nhalt");
+        let mut cache = BlockCache::new();
+        cache.get_or_translate(0, &mem); // words [0x0, 0x8)
+        cache.get_or_translate(0x100, &mem); // unrelated region
+        assert_eq!(cache.len(), 2);
+        // Hits the summary range but only overlaps the block at 0.
+        assert!(cache.invalidate(0, 1));
+        assert_eq!(cache.len(), 1);
+    }
+}

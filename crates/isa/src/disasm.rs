@@ -214,6 +214,88 @@ mod tests {
         assert_eq!(reassembled.text_words(), words);
     }
 
+    /// The shrunk counterexamples from the retired proptest regression
+    /// corpus (`proptest-regressions/disasm.txt`), replayed explicitly:
+    /// proptest was removed in PR 1, which silently stopped these words
+    /// from ever being re-checked.
+    ///
+    /// * `1` — `add r0, r0, r0` with a set don't-care bit: the roundtrip
+    ///   must land on the canonical encoding `0`, not the raw word.
+    /// * `0xc86c0000` — a `blt` whose raw immediate field is zero.
+    /// * `0x5c040000` — a `lui`, whose immediate prints as raw bits.
+    #[test]
+    fn regression_corpus_words_roundtrip_canonically() {
+        for word in [1u32, 0xc86c_0000, 0x5c04_0000] {
+            let inst = Inst::decode(word).expect("historical words decode");
+            let text = disassemble_word(0, word).expect("decodable");
+            let program = assemble(&text).expect("disassembly must parse");
+            assert_eq!(
+                program.text_words(),
+                vec![inst.encode()],
+                "word {word:#010x} ({text}) did not roundtrip"
+            );
+        }
+    }
+
+    /// Negative branch/jump offsets: the disassembler's printed target and
+    /// the machine's taken-branch target both come from
+    /// `pc.wrapping_add(4).wrapping_add((imm as u32) << 2)`; pin the
+    /// agreement with asm → disasm → asm roundtrips over backward control
+    /// flow, plus an execution check that the printed target is where the
+    /// machine actually lands.
+    #[test]
+    fn negative_offsets_roundtrip_and_match_execution() {
+        // A backward branch and a backward jal, written with labels.
+        let src = r#"
+                addi r1, r0, 2
+            loop:
+                addi r2, r2, 1
+                addi r1, r1, -1
+                bne  r1, r0, loop
+                jal  r3, fwd
+            back:
+                addi r4, r4, 7
+                halt
+            fwd:
+                jal  r5, back
+        "#;
+        let program = assemble(src).expect("assembles");
+        let words = program.text_words();
+
+        // The branch at 0xc must print its backward target 0x4, and the
+        // jal at 0x1c its backward target 0x14.
+        let bne = disassemble_word(0xc, words[3]).expect("decodable");
+        assert_eq!(bne, "bne r1, r0, 0x4");
+        assert!(
+            matches!(Inst::decode(words[3]), Some(Inst::B { imm: -3, .. })),
+            "backward branch encodes a negative immediate"
+        );
+        let jal_back = disassemble_word(0x1c, words[7]).expect("decodable");
+        assert_eq!(jal_back, "jal r5, 0x14");
+        assert!(
+            matches!(Inst::decode(words[7]), Some(Inst::J { imm: -3, .. })),
+            "backward jal encodes a negative immediate"
+        );
+
+        // Full-text roundtrip: disassembly (absolute targets) reassembles
+        // to the identical words.
+        let source: String = disassemble(0, &words)
+            .into_iter()
+            .map(|l| format!("    {l}\n"))
+            .collect();
+        let reassembled = assemble(&source).expect("disassembly must reassemble");
+        assert_eq!(reassembled.text_words(), words);
+
+        // Execution agrees with the printed targets: the loop runs twice
+        // and the jal pair executes the `back` block.
+        let mut m = crate::Machine::new(&program);
+        m.run(1_000).expect("halts");
+        assert_eq!(m.reg(r(2)), 2, "backward branch looped exactly twice");
+        assert_eq!(m.reg(r(4)), 7, "backward jal reached the back block");
+        assert_eq!(m.reg(r(3)), 0x14, "forward jal linked past the branch");
+        assert_eq!(m.reg(r(5)), 0x20, "backward jal linked its successor");
+    }
+
     /// Any decodable word disassembles to text that reassembles to its
     /// *canonical* encoding (the decoder ignores don't-care bits, so
     /// the roundtrip is exact modulo re-encoding the decoded form).

@@ -1,0 +1,628 @@
+//! The compiled execution backend: a threaded dispatch loop over cached
+//! [`UopBlock`](crate::uop::UopBlock)s.
+//!
+//! [`run_compiled`] is behaviourally equivalent to looping
+//! [`Machine::step`] — same trace events (byte for byte), same register
+//! file, same memory image, same step accounting, same errors — but it
+//! pays the fetch and decode cost once per block translation instead of
+//! once per executed instruction. The hot state (register file and PC)
+//! lives in locals for the whole run and is written back to the
+//! [`Machine`] on every exit path, so a `StepLimit` or
+//! `IllegalInstruction` leaves the machine exactly where the interpreter
+//! would.
+//!
+//! Data accesses go through a [`DataArena`]: a dense 1 MiB mirror of the
+//! low address range (where TinyRISC programs keep text and data), seeded
+//! from the machine's sparse [`FlatMemory`] at run start. Loads and
+//! stores inside the arena are direct array indexing; a per-page dirty
+//! bitmap records which 4 KiB pages stores touched, and exactly those
+//! pages are written back to the `FlatMemory` on every exit path — and
+//! before any block translation, which always reads the `FlatMemory`, so
+//! self-modifying code never sees a stale mirror. Accesses above the
+//! arena fall through to the sparse memory unchanged, and the
+//! page-granular dirty write-back materializes exactly the pages the
+//! interpreter's stores would, keeping `resident_pages` comparable.
+
+use lpmem_mem::{FlatMemory, PAGE_SIZE};
+use lpmem_trace::{AccessKind, MemEvent, Trace};
+
+use crate::compile::BlockCache;
+use crate::machine::{Machine, RunResult};
+use crate::uop::{LoadKind, StoreKind, UopKind};
+use crate::IsaError;
+
+/// Bytes of low memory mirrored densely. Covers every address the kernel
+/// library touches; anything above falls back to the sparse memory.
+const ARENA_BYTES: usize = 1 << 20;
+const ARENA_PAGES: usize = ARENA_BYTES / PAGE_SIZE;
+
+std::thread_local! {
+    /// Retired arena buffers, reused across runs. Allocating and then
+    /// page-faulting a fresh zeroed MiB costs tens of microseconds per
+    /// run — a measurable fraction of a whole kernel execution — so
+    /// retiring runs scrub exactly the pages they touched and park the
+    /// buffer here instead of freeing it. Invariant: a parked buffer is
+    /// all-zero.
+    static ARENA_POOL: std::cell::Cell<Option<Box<[u8; ARENA_BYTES]>>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// Dense mirror of `[0, ARENA_BYTES)` with a dirty-page bitmap.
+struct DataArena {
+    /// Fixed-size so the arena length is a compile-time constant: the
+    /// `addr <= ARENA_BYTES - n` range test then subsumes every slice
+    /// bounds check on the hot load/store path.
+    bytes: Box<[u8; ARENA_BYTES]>,
+    /// Pages stored to since the last [`flush`](Self::flush).
+    dirty: [u64; ARENA_PAGES / 64],
+    /// Every page that may be nonzero: seeded at mirror time or ever
+    /// dirtied. [`retire`](Self::retire) zeros exactly these.
+    touched: [u64; ARENA_PAGES / 64],
+}
+
+impl DataArena {
+    /// Seeds the mirror from every resident page below the arena top.
+    fn mirror(mem: &FlatMemory) -> DataArena {
+        let mut bytes: Box<[u8; ARENA_BYTES]> = match ARENA_POOL.take() {
+            Some(pooled) => pooled,
+            None => match vec![0u8; ARENA_BYTES].into_boxed_slice().try_into() {
+                Ok(bytes) => bytes,
+                Err(_) => unreachable!("boxed slice has length ARENA_BYTES"),
+            },
+        };
+        let mut touched = [0u64; ARENA_PAGES / 64];
+        for (base, page) in mem.pages_sorted() {
+            // Pages are aligned, so `base < ARENA_BYTES` bounds the copy.
+            if (base as usize) < ARENA_BYTES {
+                bytes[base as usize..base as usize + PAGE_SIZE].copy_from_slice(&page[..]);
+                let pg = base as usize / PAGE_SIZE;
+                touched[pg >> 6] |= 1 << (pg & 63);
+            }
+        }
+        DataArena {
+            bytes,
+            dirty: [0; ARENA_PAGES / 64],
+            touched,
+        }
+    }
+
+    #[inline(always)]
+    fn mark(&mut self, offset: usize) {
+        let page = offset / PAGE_SIZE;
+        self.dirty[page >> 6] |= 1 << (page & 63);
+    }
+
+    /// Writes every dirty page back to `mem` and clears the bitmap.
+    fn flush(&mut self, mem: &mut FlatMemory) {
+        for (w, word) in self.dirty.iter_mut().enumerate() {
+            let mut bits = *word;
+            self.touched[w] |= bits;
+            while bits != 0 {
+                let page = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let base = page * PAGE_SIZE;
+                mem.load(base as u64, &self.bytes[base..base + PAGE_SIZE]);
+            }
+            *word = 0;
+        }
+    }
+
+    /// Scrubs every touched page back to zero and parks the buffer for
+    /// the next run. Call after the final [`flush`](Self::flush).
+    fn retire(mut self) {
+        for (w, word) in self.touched.iter().enumerate() {
+            let mut bits = *word | self.dirty[w];
+            while bits != 0 {
+                let page = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let base = page * PAGE_SIZE;
+                self.bytes[base..base + PAGE_SIZE].fill(0);
+            }
+        }
+        ARENA_POOL.set(Some(self.bytes));
+    }
+}
+
+/// One byte, from whichever side of the arena boundary owns it. Only the
+/// (rare) boundary-straddling access path uses this.
+#[inline]
+fn byte_at(arena: &DataArena, mem: &FlatMemory, addr: u64) -> u8 {
+    match arena.bytes.get(addr as usize) {
+        Some(&b) => b,
+        None => mem.read_u8(addr),
+    }
+}
+
+#[inline]
+fn byte_to(arena: &mut DataArena, mem: &mut FlatMemory, addr: u64, value: u8) {
+    let a = addr as usize;
+    if a < ARENA_BYTES {
+        arena.bytes[a] = value;
+        arena.mark(a);
+    } else {
+        mem.write_u8(addr, value);
+    }
+}
+
+#[inline(always)]
+fn load_u32(arena: &DataArena, mem: &FlatMemory, addr: u64) -> u32 {
+    let a = addr as usize;
+    if addr <= (ARENA_BYTES - 4) as u64 {
+        let b = &arena.bytes;
+        u32::from_le_bytes([b[a], b[a + 1], b[a + 2], b[a + 3]])
+    } else if addr >= ARENA_BYTES as u64 {
+        mem.read_u32(addr)
+    } else {
+        u32::from_le_bytes([
+            byte_at(arena, mem, addr),
+            byte_at(arena, mem, addr + 1),
+            byte_at(arena, mem, addr + 2),
+            byte_at(arena, mem, addr + 3),
+        ])
+    }
+}
+
+#[inline(always)]
+fn load_u16(arena: &DataArena, mem: &FlatMemory, addr: u64) -> u16 {
+    let a = addr as usize;
+    if addr <= (ARENA_BYTES - 2) as u64 {
+        let b = &arena.bytes;
+        u16::from_le_bytes([b[a], b[a + 1]])
+    } else if addr >= ARENA_BYTES as u64 {
+        mem.read_u16(addr)
+    } else {
+        u16::from_le_bytes([byte_at(arena, mem, addr), byte_at(arena, mem, addr + 1)])
+    }
+}
+
+#[inline(always)]
+fn load_u8(arena: &DataArena, mem: &FlatMemory, addr: u64) -> u8 {
+    byte_at(arena, mem, addr)
+}
+
+#[inline(always)]
+fn store_u32(arena: &mut DataArena, mem: &mut FlatMemory, addr: u64, value: u32) {
+    let a = addr as usize;
+    if addr <= (ARENA_BYTES - 4) as u64 {
+        arena.bytes[a..a + 4].copy_from_slice(&value.to_le_bytes());
+        arena.mark(a);
+        arena.mark(a + 3);
+    } else if addr >= ARENA_BYTES as u64 {
+        mem.write_u32(addr, value);
+    } else {
+        for (i, b) in value.to_le_bytes().iter().enumerate() {
+            byte_to(arena, mem, addr + i as u64, *b);
+        }
+    }
+}
+
+#[inline(always)]
+fn store_u16(arena: &mut DataArena, mem: &mut FlatMemory, addr: u64, value: u16) {
+    let a = addr as usize;
+    if addr <= (ARENA_BYTES - 2) as u64 {
+        arena.bytes[a..a + 2].copy_from_slice(&value.to_le_bytes());
+        arena.mark(a);
+        arena.mark(a + 1);
+    } else if addr >= ARENA_BYTES as u64 {
+        mem.write_u16(addr, value);
+    } else {
+        for (i, b) in value.to_le_bytes().iter().enumerate() {
+            byte_to(arena, mem, addr + i as u64, *b);
+        }
+    }
+}
+
+#[inline(always)]
+fn store_u8(arena: &mut DataArena, mem: &mut FlatMemory, addr: u64, value: u8) {
+    byte_to(arena, mem, addr, value);
+}
+
+/// Runs `m` to completion on the compiled backend; the mirror of
+/// [`Machine::run`].
+pub(crate) fn run_compiled(m: &mut Machine, max_steps: u64) -> Result<RunResult, IsaError> {
+    if max_steps == 0 {
+        // The interpreter's loop body never runs with a zero budget.
+        return Err(IsaError::StepLimit { steps: 0 });
+    }
+    if m.halted {
+        // A step on a halted machine reports the halt without events; the
+        // interpreter's run therefore returns after one step.
+        return Ok(RunResult {
+            trace: Trace::new(),
+            steps: 1,
+        });
+    }
+    // Every step pushes at least a fetch event; sizing the trace up front
+    // keeps reallocation out of the dispatch loop (capped so tiny runs do
+    // not over-allocate).
+    let mut trace = Trace::with_capacity(max_steps.min(1 << 17) as usize);
+
+    let mut cache = BlockCache::new();
+    let mut arena = DataArena::mirror(&m.mem);
+    let mut regs = m.regs;
+    let mut pc = m.pc;
+    let mut steps: u64 = 0;
+
+    'dispatch: loop {
+        let block = match cache.lookup(pc) {
+            Some(block) => block,
+            None => {
+                // Translation reads the sparse memory; sync the mirror
+                // first so freshly-stored text (self-modifying code, or a
+                // jump into data written this run) is what gets decoded.
+                arena.flush(&mut m.mem);
+                cache.get_or_translate(pc, &m.mem)
+            }
+        };
+        let entry = block.entry;
+        let kinds = &block.kinds[..];
+        let fetches = &block.fetches[..];
+        let run_end = &block.run_end[..];
+        // `i` is the stream index of the next micro-op; the corresponding
+        // architectural PC is `entry + 4*i` throughout.
+        let mut i: usize = 0;
+        loop {
+            // Span fast path: `[i, e)` is a straight-line run of plain
+            // (register-only) micro-ops. Its fetch events go out as one
+            // bulk copy and the step budget is debited once; the execute
+            // loop then touches nothing but the register file. Runs that
+            // would cross the step limit fall through to the per-uop path,
+            // which stops at exactly the right instruction.
+            if let Some(&e) = run_end.get(i) {
+                let e = e as usize;
+                if e > i && steps + (e - i) as u64 <= max_steps {
+                    trace.extend_from_slice(&fetches[i..e]);
+                    steps += (e - i) as u64;
+                    for &k in &kinds[i..e] {
+                        match k {
+                            UopKind::Nop => {}
+                            UopKind::Add { rd, rs1, rs2 } => {
+                                regs[rd as usize] =
+                                    regs[rs1 as usize].wrapping_add(regs[rs2 as usize]);
+                            }
+                            UopKind::AddImm { rd, rs1, imm } => {
+                                regs[rd as usize] = regs[rs1 as usize].wrapping_add(imm);
+                            }
+                            UopKind::ShlImm { rd, rs1, sh } => {
+                                regs[rd as usize] = regs[rs1 as usize].wrapping_shl(sh);
+                            }
+                            UopKind::Alu { op, rd, rs1, rs2 } => {
+                                // Translation turns `rd == r0` ALU ops into
+                                // `Nop`, so the write is always live here.
+                                regs[rd as usize] =
+                                    op.apply(regs[rs1 as usize], regs[rs2 as usize]);
+                            }
+                            UopKind::AluImm { op, rd, rs1, imm } => {
+                                regs[rd as usize] = op.apply(regs[rs1 as usize], imm);
+                            }
+                            UopKind::LoadImm { rd, value } => {
+                                regs[rd as usize] = value;
+                            }
+                            _ => unreachable!("plain runs hold register-only micro-ops"),
+                        }
+                    }
+                    i = e;
+                    continue;
+                }
+            }
+            let k = match kinds.get(i) {
+                Some(&k) => k,
+                None => {
+                    // A cap-truncated block falls through to its successor.
+                    pc = entry.wrapping_add(4 * kinds.len() as u32);
+                    continue 'dispatch;
+                }
+            };
+            if steps == max_steps {
+                arena.flush(&mut m.mem);
+                arena.retire();
+                m.regs = regs;
+                m.pc = entry.wrapping_add(4 * i as u32);
+                return Err(IsaError::StepLimit { steps: max_steps });
+            }
+            let cur_pc = entry.wrapping_add(4 * i as u32);
+            trace.push(fetches[i]);
+            steps += 1;
+            match k {
+                UopKind::Nop => i += 1,
+                UopKind::Add { rd, rs1, rs2 } => {
+                    regs[rd as usize] = regs[rs1 as usize].wrapping_add(regs[rs2 as usize]);
+                    i += 1;
+                }
+                UopKind::AddImm { rd, rs1, imm } => {
+                    regs[rd as usize] = regs[rs1 as usize].wrapping_add(imm);
+                    i += 1;
+                }
+                UopKind::ShlImm { rd, rs1, sh } => {
+                    regs[rd as usize] = regs[rs1 as usize].wrapping_shl(sh);
+                    i += 1;
+                }
+                UopKind::Alu { op, rd, rs1, rs2 } => {
+                    // Translation turns `rd == r0` ALU ops into `Nop`, so
+                    // the write is always live here.
+                    regs[rd as usize] = op.apply(regs[rs1 as usize], regs[rs2 as usize]);
+                    i += 1;
+                }
+                UopKind::AluImm { op, rd, rs1, imm } => {
+                    regs[rd as usize] = op.apply(regs[rs1 as usize], imm);
+                    i += 1;
+                }
+                UopKind::LoadImm { rd, value } => {
+                    regs[rd as usize] = value;
+                    i += 1;
+                }
+                UopKind::Load { kind, rd, rs1, off } => {
+                    let addr = regs[rs1 as usize].wrapping_add(off) as u64;
+                    let (size, value) = match kind {
+                        LoadKind::W => (4u8, load_u32(&arena, &m.mem, addr)),
+                        LoadKind::H => (2, load_u16(&arena, &m.mem, addr) as i16 as i32 as u32),
+                        LoadKind::Hu => (2, load_u16(&arena, &m.mem, addr) as u32),
+                        LoadKind::B => (1, load_u8(&arena, &m.mem, addr) as i8 as i32 as u32),
+                        LoadKind::Bu => (1, load_u8(&arena, &m.mem, addr) as u32),
+                    };
+                    trace.push(MemEvent {
+                        addr,
+                        kind: AccessKind::Read,
+                        size,
+                        value,
+                    });
+                    if rd != 0 {
+                        regs[rd as usize] = value;
+                    }
+                    i += 1;
+                }
+                UopKind::Store { kind, rs, rs1, off } => {
+                    let addr = regs[rs1 as usize].wrapping_add(off) as u64;
+                    let value = regs[rs as usize];
+                    let size = match kind {
+                        StoreKind::W => {
+                            store_u32(&mut arena, &mut m.mem, addr, value);
+                            4u8
+                        }
+                        StoreKind::H => {
+                            store_u16(&mut arena, &mut m.mem, addr, value as u16);
+                            2
+                        }
+                        StoreKind::B => {
+                            store_u8(&mut arena, &mut m.mem, addr, value as u8);
+                            1
+                        }
+                    };
+                    trace.push(MemEvent {
+                        addr,
+                        kind: AccessKind::Write,
+                        size,
+                        value,
+                    });
+                    if cache.invalidate(addr, size as u64) {
+                        // The store may have rewritten translated text
+                        // (possibly this very block); leave for the
+                        // dispatcher, which re-translates from current
+                        // memory.
+                        pc = cur_pc.wrapping_add(4);
+                        continue 'dispatch;
+                    }
+                    i += 1;
+                }
+                UopKind::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    idx,
+                } => {
+                    i = if cond.holds(regs[rs1 as usize], regs[rs2 as usize]) {
+                        idx as usize
+                    } else {
+                        i + 1
+                    };
+                }
+                UopKind::BranchExit {
+                    cond,
+                    rs1,
+                    rs2,
+                    target,
+                } => {
+                    if cond.holds(regs[rs1 as usize], regs[rs2 as usize]) {
+                        pc = target;
+                        continue 'dispatch;
+                    }
+                    i += 1;
+                }
+                UopKind::JumpIdx { rd, link, idx } => {
+                    if rd != 0 {
+                        regs[rd as usize] = link;
+                    }
+                    i = idx as usize;
+                }
+                UopKind::JumpOut { rd, link, target } => {
+                    if rd != 0 {
+                        regs[rd as usize] = link;
+                    }
+                    pc = target;
+                    continue 'dispatch;
+                }
+                UopKind::Jalr { rd, rs1, imm } => {
+                    // Read rs1 before linking: `jalr rd, rd, imm` jumps
+                    // through the *old* rd, exactly as the interpreter.
+                    let a = regs[rs1 as usize];
+                    if rd != 0 {
+                        regs[rd as usize] = cur_pc.wrapping_add(4);
+                    }
+                    pc = a.wrapping_add(imm) & !3;
+                    continue 'dispatch;
+                }
+                UopKind::Halt => {
+                    // The interpreter returns before advancing the PC, so
+                    // a halted machine's PC points at the halt itself.
+                    arena.flush(&mut m.mem);
+                    arena.retire();
+                    m.regs = regs;
+                    m.pc = cur_pc;
+                    m.halted = true;
+                    return Ok(RunResult { trace, steps });
+                }
+                UopKind::Illegal => {
+                    // The fetch event is emitted (as in the interpreter)
+                    // but the PC does not advance.
+                    arena.flush(&mut m.mem);
+                    arena.retire();
+                    m.regs = regs;
+                    m.pc = cur_pc;
+                    return Err(IsaError::IllegalInstruction {
+                        pc: cur_pc,
+                        word: fetches[i].value,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Backend;
+    use crate::{assemble, Machine};
+
+    fn both(src: &str, max_steps: u64) -> (Machine, Machine, Result<RunResult, IsaError>) {
+        let p = assemble(src).expect("test program assembles");
+        let mut oracle = Machine::new(&p);
+        let mut compiled = Machine::new(&p);
+        let expect = oracle.run(max_steps);
+        let got = compiled.run_with(Backend::Compiled, max_steps);
+        assert_eq!(got, expect, "run results diverged");
+        (oracle, compiled, got)
+    }
+
+    fn assert_state_matches(oracle: &Machine, compiled: &Machine) {
+        assert_eq!(compiled.pc(), oracle.pc(), "pc diverged");
+        assert_eq!(compiled.is_halted(), oracle.is_halted(), "halt diverged");
+        for i in 0..16u8 {
+            let r = crate::Reg::new(i).expect("in range");
+            assert_eq!(compiled.reg(r), oracle.reg(r), "r{i} diverged");
+        }
+    }
+
+    #[test]
+    fn loop_kernel_matches_interpreter_exactly() {
+        let (oracle, compiled, result) = both(
+            r#"
+                li r1, 10
+                li r2, 0
+            loop:
+                add  r2, r2, r1
+                addi r1, r1, -1
+                bne  r1, r0, loop
+                sw   r2, 0x200(r0)
+                halt
+            "#,
+            1_000,
+        );
+        assert_state_matches(&oracle, &compiled);
+        assert_eq!(compiled.mem().read_u32(0x200), 55);
+        assert_eq!(result.expect("halts").steps, 34);
+    }
+
+    #[test]
+    fn step_limit_leaves_identical_state() {
+        let src = "li r1, 1\nloop: addi r1, r1, 1\nj loop";
+        let p = assemble(src).expect("assembles");
+        for budget in [0u64, 1, 2, 3, 7, 100] {
+            let mut oracle = Machine::new(&p);
+            let mut compiled = Machine::new(&p);
+            let e1 = oracle.run(budget);
+            let e2 = compiled.run_with(Backend::Compiled, budget);
+            assert_eq!(e2, e1, "budget {budget}");
+            assert_state_matches(&oracle, &compiled);
+        }
+    }
+
+    #[test]
+    fn illegal_instruction_leaves_identical_state() {
+        let src = ".text\nli r1, 7\n.word 0x78000000\nhalt";
+        let p = assemble(src).expect("assembles");
+        let mut oracle = Machine::new(&p);
+        let mut compiled = Machine::new(&p);
+        let e1 = oracle.run(100);
+        let e2 = compiled.run_with(Backend::Compiled, 100);
+        assert_eq!(e2, e1);
+        assert!(matches!(
+            e1,
+            Err(IsaError::IllegalInstruction { pc: 4, .. })
+        ));
+        assert_state_matches(&oracle, &compiled);
+    }
+
+    #[test]
+    fn halted_machine_reruns_identically() {
+        let p = assemble("halt").expect("assembles");
+        let mut m = Machine::new(&p);
+        m.run_with(Backend::Compiled, 10).expect("halts");
+        let again = m.run_with(Backend::Compiled, 10).expect("still halted");
+        assert_eq!(again.steps, 1);
+        assert!(again.trace.is_empty());
+    }
+
+    #[test]
+    fn traces_are_byte_identical_on_a_memory_heavy_program() {
+        let (oracle_run, compiled_run) = {
+            let src = r#"
+                li r1, 0x12345678
+                sw r1, 0x100(r0)
+                sb r1, 0x104(r0)
+                sh r1, 0x106(r0)
+                lw r2, 0x100(r0)
+                lb r3, 0x104(r0)
+                lbu r4, 0x104(r0)
+                lh r5, 0x106(r0)
+                lhu r6, 0x106(r0)
+                halt
+            "#;
+            let p = assemble(src).expect("assembles");
+            let mut oracle = Machine::new(&p);
+            let mut compiled = Machine::new(&p);
+            (
+                oracle.run(1_000).expect("halts"),
+                compiled.run_with(Backend::Compiled, 1_000).expect("halts"),
+            )
+        };
+        assert_eq!(compiled_run.trace, oracle_run.trace);
+        assert_eq!(compiled_run.steps, oracle_run.steps);
+    }
+
+    #[test]
+    fn store_into_own_block_reexecutes_new_text() {
+        // The store patches the later `addi r2, r0, 1` (still inside the
+        // same translated block) into `addi r2, r0, 99`; both backends
+        // must execute the patched instruction.
+        // Text layout: lw at 0x0, sw at 0x4, addi at 0x8, halt at 0xc;
+        // the patched word is seeded at 0x400 before the run.
+        let src = r#"
+                lw r3, 0x400(r0)
+                sw r3, 8(r0)
+                addi r2, r0, 1
+                halt
+        "#;
+        let p = assemble(src).expect("assembles");
+        let patched = crate::Inst::I {
+            op: crate::Opcode::Addi,
+            rd: crate::Reg::new(2).expect("in range"),
+            rs1: crate::Reg::ZERO,
+            imm: 99,
+        }
+        .encode();
+        let run_one = |backend: Backend| {
+            let mut m = Machine::new(&p);
+            m.mem_mut().write_u32(0x400, patched);
+            let r = m.run_with(backend, 1_000).expect("halts");
+            (r, m)
+        };
+        let (r1, m1) = run_one(Backend::Interpret);
+        let (r2, m2) = run_one(Backend::Compiled);
+        assert_eq!(m1.reg(crate::Reg::new(2).expect("in range")), 99);
+        assert_eq!(m2.reg(crate::Reg::new(2).expect("in range")), 99);
+        assert_eq!(r2.trace, r1.trace);
+        assert_eq!(r2.steps, r1.steps);
+        assert_state_matches(&m1, &m2);
+    }
+}

@@ -22,7 +22,7 @@ use lpmem_util::Rng;
 use lpmem_trace::Trace;
 
 use crate::asm::{assemble, Program};
-use crate::machine::Machine;
+use crate::machine::{Backend, Machine};
 use crate::IsaError;
 
 /// Base address of kernel input data.
@@ -125,9 +125,23 @@ impl Kernel {
     /// Panics if the machine's output disagrees with the Rust reference
     /// implementation — that would be a bug in the kernel or the simulator.
     pub fn run(self, scale: u32, seed: u64) -> Result<KernelRun, IsaError> {
+        self.run_with(Backend::Compiled, scale, seed)
+    }
+
+    /// [`Kernel::run`] on an explicit [`Backend`] (both produce identical
+    /// traces; the interpreter is the differential-testing oracle).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Kernel::run`].
+    ///
+    /// # Panics
+    ///
+    /// As for [`Kernel::run`].
+    pub fn run_with(self, backend: Backend, scale: u32, seed: u64) -> Result<KernelRun, IsaError> {
         let program = self.program(scale, seed);
         let mut machine = Machine::new(&program);
-        let result = machine.run(MAX_STEPS)?;
+        let result = machine.run_with(backend, MAX_STEPS)?;
         self.verify(scale, seed, &machine);
         Ok(KernelRun {
             kernel: self,

@@ -42,16 +42,19 @@
 #![warn(missing_docs)]
 
 pub mod asm;
+mod compile;
 pub mod disasm;
+mod exec;
 pub mod inst;
 pub mod kernels;
 pub mod machine;
+mod uop;
 
 pub use asm::{assemble, Program};
 pub use disasm::{disassemble, disassemble_word};
 pub use inst::{Inst, Opcode, Reg};
 pub use kernels::{Kernel, KernelRun};
-pub use machine::{Machine, RunResult};
+pub use machine::{Backend, Machine, RunResult};
 
 /// Errors from assembling or executing TinyRISC programs.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -7,6 +7,34 @@ use crate::asm::Program;
 use crate::inst::{Inst, Opcode, Reg};
 use crate::IsaError;
 
+/// Which execution engine drives a [`Machine`] run.
+///
+/// Both backends execute identical semantics and emit byte-identical
+/// traces; the interpreter is the oracle the compiled backend is
+/// differentially tested against (DESIGN.md §10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// Fetch/decode/execute interpreter ([`Machine::step`] in a loop).
+    Interpret,
+    /// Basic-block translator: each block is decoded once into a cached
+    /// micro-op stream executed by a tight dispatch loop.
+    #[default]
+    Compiled,
+}
+
+impl Backend {
+    /// Both backends, interpreter first.
+    pub const ALL: [Backend; 2] = [Backend::Interpret, Backend::Compiled];
+
+    /// Short lowercase name, e.g. `"compiled"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Interpret => "interp",
+            Backend::Compiled => "compiled",
+        }
+    }
+}
+
 /// Outcome of a [`Machine::run`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunResult {
@@ -24,10 +52,10 @@ pub struct RunResult {
 /// input of the energy-optimization flows.
 #[derive(Debug, Clone)]
 pub struct Machine {
-    pc: u32,
-    regs: [u32; 16],
-    mem: FlatMemory,
-    halted: bool,
+    pub(crate) pc: u32,
+    pub(crate) regs: [u32; 16],
+    pub(crate) mem: FlatMemory,
+    pub(crate) halted: bool,
 }
 
 impl Machine {
@@ -222,6 +250,23 @@ impl Machine {
             }
         }
         Err(IsaError::StepLimit { steps: max_steps })
+    }
+
+    /// Runs until `halt` on the chosen [`Backend`].
+    ///
+    /// `run_with(Backend::Interpret, n)` is exactly [`Machine::run`];
+    /// `Backend::Compiled` executes through the block translator with
+    /// identical architectural results, trace bytes, step accounting, and
+    /// errors.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Machine::run`].
+    pub fn run_with(&mut self, backend: Backend, max_steps: u64) -> Result<RunResult, IsaError> {
+        match backend {
+            Backend::Interpret => self.run(max_steps),
+            Backend::Compiled => crate::exec::run_compiled(self, max_steps),
+        }
     }
 }
 

@@ -1,0 +1,222 @@
+//! Micro-op IR for the compiled execution backend.
+//!
+//! A [`UopBlock`] is one basic block's worth of instructions decoded
+//! **once** into a flat stream of micro-ops: immediates are pre-sign-
+//! extended to `u32`, register indices are resolved to plain `u8`s, shift
+//! amounts are pre-masked, `lui` immediates are pre-shifted, and control
+//! transfers whose target lands inside the same block are rewritten to
+//! *stream offsets* so the dispatch loop never recomputes a PC-relative
+//! target. Micro-ops map 1:1 onto instruction words (the uop at index `i`
+//! executes the word at `entry + 4*i`), which is what keeps the fetch
+//! events of the compiled backend byte-identical to the interpreter's.
+
+use lpmem_trace::MemEvent;
+
+/// An ALU operation shared by the register and immediate micro-op forms.
+///
+/// The immediate forms reuse the register table: `addi` evaluates as
+/// [`AluOp::Add`] with the pre-extended immediate as its second operand,
+/// and so on. The evaluation in [`apply`](AluOp::apply) is written to be
+/// bit-for-bit the interpreter's `Machine::step` arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AluOp {
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Sll,
+    Srl,
+    Sra,
+    Slt,
+    Sltu,
+    Mul,
+}
+
+impl AluOp {
+    /// Evaluates `op(a, b)` with the interpreter's exact semantics.
+    #[inline(always)]
+    pub(crate) fn apply(self, a: u32, b: u32) -> u32 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Sll => a.wrapping_shl(b & 31),
+            AluOp::Srl => a.wrapping_shr(b & 31),
+            AluOp::Sra => (a as i32).wrapping_shr(b & 31) as u32,
+            AluOp::Slt => ((a as i32) < (b as i32)) as u32,
+            AluOp::Sltu => (a < b) as u32,
+            AluOp::Mul => a.wrapping_mul(b),
+        }
+    }
+}
+
+/// Branch condition, pre-decoded from the B-type opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Cond {
+    Eq,
+    Ne,
+    Lt,
+    Ge,
+    Ltu,
+    Geu,
+}
+
+impl Cond {
+    /// Evaluates the condition with the interpreter's exact semantics.
+    #[inline(always)]
+    pub(crate) fn holds(self, a: u32, b: u32) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => (a as i32) < (b as i32),
+            Cond::Ge => (a as i32) >= (b as i32),
+            Cond::Ltu => a < b,
+            Cond::Geu => a >= b,
+        }
+    }
+}
+
+/// Load width + extension, pre-decoded from the load opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LoadKind {
+    W,
+    H,
+    Hu,
+    B,
+    Bu,
+}
+
+/// Store width, pre-decoded from the store opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StoreKind {
+    W,
+    H,
+    B,
+}
+
+/// The operation a micro-op performs.
+///
+/// Intra-block control flow (`Branch`, `JumpIdx`) carries a resolved
+/// stream index; control flow that leaves the block (`BranchExit`,
+/// `JumpOut`, `Jalr`) carries or computes an architectural PC and returns
+/// to the dispatcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum UopKind {
+    /// Fetch-only: an ALU op whose destination is `r0` (the write is
+    /// architecturally dead, but the fetch event still happens).
+    Nop,
+    /// `add rd, rs1, rs2` — the kernel library's hottest R-type op gets
+    /// its own arm so the dispatch loop takes one indirect branch, not a
+    /// second data-dependent `AluOp` match.
+    Add { rd: u8, rs1: u8, rs2: u8 },
+    /// `addi rd, rs1, imm` (rs1 != r0), specialized like [`Add`](Self::Add).
+    AddImm { rd: u8, rs1: u8, imm: u32 },
+    /// `slli rd, rs1, sh` with the shift amount pre-masked; hot in
+    /// address-generation sequences.
+    ShlImm { rd: u8, rs1: u8, sh: u32 },
+    /// R-type ALU: `rd = op(regs[rs1], regs[rs2])`.
+    Alu { op: AluOp, rd: u8, rs1: u8, rs2: u8 },
+    /// I-type ALU with the immediate pre-sign-extended: `rd = op(regs[rs1], imm)`.
+    AluImm {
+        op: AluOp,
+        rd: u8,
+        rs1: u8,
+        imm: u32,
+    },
+    /// Constant materialization (`lui` with the shift pre-applied, or
+    /// `addi rd, r0, imm`): `rd = value`.
+    LoadImm { rd: u8, value: u32 },
+    /// Memory load: `rd = load(regs[rs1] + off)`, emitting a read event.
+    Load {
+        kind: LoadKind,
+        rd: u8,
+        rs1: u8,
+        off: u32,
+    },
+    /// Memory store: `store(regs[rs1] + off, regs[rs])`, emitting a write
+    /// event; may invalidate translated text.
+    Store {
+        kind: StoreKind,
+        rs: u8,
+        rs1: u8,
+        off: u32,
+    },
+    /// Conditional branch to a target inside this block (stream index).
+    Branch {
+        cond: Cond,
+        rs1: u8,
+        rs2: u8,
+        idx: u32,
+    },
+    /// Conditional branch whose taken target leaves the block.
+    BranchExit {
+        cond: Cond,
+        rs1: u8,
+        rs2: u8,
+        target: u32,
+    },
+    /// `jal` to a target inside this block: link, then continue at `idx`.
+    JumpIdx { rd: u8, link: u32, idx: u32 },
+    /// `jal` leaving the block: link, then return to the dispatcher.
+    JumpOut { rd: u8, link: u32, target: u32 },
+    /// `jalr rd, rs1, imm`: indirect target, always exits the block.
+    Jalr { rd: u8, rs1: u8, imm: u32 },
+    /// `halt`.
+    Halt,
+    /// An undecodable word: emits the fetch event, then reports
+    /// [`crate::IsaError::IllegalInstruction`] with the PC unadvanced.
+    Illegal,
+}
+
+impl UopKind {
+    /// `true` for micro-ops that only touch the register file: no data
+    /// events, no control flow, no errors. A maximal run of plain uops is
+    /// a *span* the dispatcher executes in one batch — its fetch events
+    /// go out as a single bulk copy and the step budget is checked once.
+    #[inline]
+    pub(crate) fn is_plain(&self) -> bool {
+        matches!(
+            self,
+            UopKind::Nop
+                | UopKind::Add { .. }
+                | UopKind::AddImm { .. }
+                | UopKind::ShlImm { .. }
+                | UopKind::Alu { .. }
+                | UopKind::AluImm { .. }
+                | UopKind::LoadImm { .. }
+        )
+    }
+}
+
+/// One translated basic block: the entry PC and its micro-op stream, in
+/// struct-of-arrays layout so the dispatcher can bulk-copy a span's fetch
+/// events straight out of `fetches` while dispatching only on `kinds`.
+#[derive(Debug, Clone)]
+pub(crate) struct UopBlock {
+    /// Address of the first instruction; the uop at index `i` corresponds
+    /// to the word at `entry + 4*i`.
+    pub(crate) entry: u32,
+    /// The pre-decoded operation stream.
+    pub(crate) kinds: Vec<UopKind>,
+    /// Per-uop fetch events, pre-built at translation time (the original
+    /// instruction word rides along as `fetch.value`). Contiguous so a
+    /// span's worth is one `memcpy` into the trace.
+    pub(crate) fetches: Vec<MemEvent>,
+    /// `run_end[i]` is the end (exclusive stream index) of the maximal
+    /// plain run starting at `i`, or `i` itself when `kinds[i]` is not
+    /// plain. Branches may land mid-run, so this is per-index, not
+    /// per-run-head.
+    pub(crate) run_end: Vec<u32>,
+}
+
+impl UopBlock {
+    /// First address past the block's text (`entry + 4 * len`), in `u64`
+    /// to stay exact even for blocks ending at the top of the address
+    /// space.
+    pub(crate) fn end(&self) -> u64 {
+        self.entry as u64 + 4 * self.kinds.len() as u64
+    }
+}

@@ -1,0 +1,257 @@
+//! Property tests for the compiled backend's translation cache: the
+//! compiled backend must be observationally identical to the interpreter
+//! — registers, PC, halt state, step count, memory, and byte-identical
+//! trace events — on programs that *rewrite their own text*, which forces
+//! the store-to-text invalidation path: the patched slot is part of an
+//! already-translated block when the store executes.
+
+use lpmem_util::{Props, Rng};
+
+use lpmem_isa::{assemble, Backend, Inst, Machine, Opcode, Reg};
+
+const DATA_BASE: u32 = 0x8000;
+
+fn random_reg(rng: &mut Rng) -> Reg {
+    Reg::new(rng.gen_range(0..16u8)).expect("in range")
+}
+
+/// A random branch-free instruction (ALU or a load/store into the data
+/// window) — safe filler that cannot redirect control flow.
+fn random_filler(rng: &mut Rng) -> Inst {
+    use Opcode::*;
+    match rng.gen_range(0..3u32) {
+        0 => Inst::R {
+            op: *rng
+                .choose(&[Add, Sub, And, Or, Xor, Sll, Srl, Sra, Slt, Sltu, Mul])
+                .expect("non-empty"),
+            rd: random_reg(rng),
+            rs1: random_reg(rng),
+            rs2: random_reg(rng),
+        },
+        1 => Inst::I {
+            op: *rng
+                .choose(&[Addi, Andi, Ori, Xori, Slli, Srli, Slti, Lui])
+                .expect("non-empty"),
+            rd: random_reg(rng),
+            rs1: random_reg(rng),
+            imm: rng.gen_range(-1000i32..1000),
+        },
+        _ => Inst::I {
+            op: *rng
+                .choose(&[Lw, Lh, Lhu, Lb, Lbu, Sw, Sh, Sb])
+                .expect("non-empty"),
+            rd: random_reg(rng),
+            rs1: Reg::ZERO,
+            imm: DATA_BASE as i32 + rng.gen_range(0i32..64),
+        },
+    }
+}
+
+/// A random *branch-free* instruction to patch in: what the rewritten
+/// text slot will decode to. Must not clobber the registers the patcher
+/// uses (r1 holds the patch word).
+fn random_patch_inst(rng: &mut Rng) -> Inst {
+    use Opcode::*;
+    let rd = Reg::new(rng.gen_range(2..16u8)).expect("in range");
+    match rng.gen_range(0..2u32) {
+        0 => Inst::I {
+            op: *rng.choose(&[Addi, Ori, Xori, Slti]).expect("non-empty"),
+            rd,
+            rs1: random_reg(rng),
+            imm: rng.gen_range(-1000i32..1000),
+        },
+        _ => Inst::R {
+            op: *rng.choose(&[Add, Sub, Xor, Mul]).expect("non-empty"),
+            rd,
+            rs1: random_reg(rng),
+            rs2: random_reg(rng),
+        },
+    }
+}
+
+/// Builds a self-modifying program:
+///
+/// ```text
+///   lui r1, hi(patch)        ; materialize the patch word
+///   ori r1, r1, lo(patch)
+///   sw  r1, 4*slot(r0)       ; rewrite a *later* slot in the same block
+///   <filler…>                ; branch-free, so everything is one block
+///   <slot: originally filler, replaced by the patch at run time>
+///   <filler…>
+///   halt
+/// ```
+///
+/// Both backends must execute the *patched* instruction: the interpreter
+/// re-fetches every word; the compiled backend translated the whole
+/// straight-line region into one block before the store, so it must
+/// invalidate and re-translate.
+fn self_modifying_program(rng: &mut Rng) -> Vec<Inst> {
+    let patch = random_patch_inst(rng).encode();
+    let filler_len = rng.gen_range(4usize..24);
+    // The patched slot sits after the 3-instruction patcher prologue.
+    let slot = 3 + rng.gen_range(0..filler_len);
+    let r1 = Reg::new(1).expect("in range");
+    let mut insts = vec![
+        Inst::I {
+            op: Opcode::Lui,
+            rd: r1,
+            rs1: Reg::ZERO,
+            imm: ((patch >> 14) as i32) << 14 >> 14, // raw 18-bit field, sign-preserved
+        },
+        Inst::I {
+            op: Opcode::Ori,
+            rd: r1,
+            rs1: r1,
+            imm: (patch & 0x3FFF) as i32,
+        },
+        Inst::I {
+            op: Opcode::Sw,
+            rd: r1,
+            rs1: Reg::ZERO,
+            imm: 4 * slot as i32,
+        },
+    ];
+    // Filler must not clobber r1 before the store — it executes after, so
+    // any filler is fine; the patch itself never writes r0/r1.
+    insts.extend((0..filler_len).map(|_| random_filler(rng)));
+    insts
+}
+
+/// Runs `insts` (plus a trailing halt) on both backends and asserts full
+/// observational equality. No reference evaluator here: self-modifying
+/// programs execute text the instruction list doesn't contain, so the
+/// interpreter is the only oracle.
+fn check_backends_agree(insts: &[Inst]) {
+    let mut src = String::from(".text\n");
+    for inst in insts {
+        src.push_str(&format!(".word {:#010x}\n", inst.encode()));
+    }
+    src.push_str("halt\n");
+    let program = assemble(&src).expect("word directives always assemble");
+    let text_bytes = 4 * (insts.len() as u32 + 1);
+
+    let mut oracle = Machine::new(&program);
+    let oracle_run = oracle.run(10_000).expect("program must halt");
+
+    let mut compiled = Machine::new(&program);
+    let compiled_run = compiled
+        .run_with(Backend::Compiled, 10_000)
+        .expect("program must halt on the compiled backend");
+
+    assert_eq!(compiled_run.steps, oracle_run.steps, "step count diverged");
+    assert_eq!(compiled_run.trace, oracle_run.trace, "trace diverged");
+    assert_eq!(compiled.pc(), oracle.pc(), "pc diverged");
+    assert_eq!(compiled.is_halted(), oracle.is_halted());
+    for i in 0..16u8 {
+        let r = Reg::new(i).expect("in range");
+        assert_eq!(compiled.reg(r), oracle.reg(r), "register r{i} diverged");
+    }
+    // Compare the rewritten text region and the data window byte for
+    // byte.
+    for addr in 0..text_bytes {
+        assert_eq!(
+            compiled.mem().read_u8(addr as u64),
+            oracle.mem().read_u8(addr as u64),
+            "text byte {addr:#x} diverged"
+        );
+    }
+    for addr in DATA_BASE..DATA_BASE + 68 {
+        assert_eq!(
+            compiled.mem().read_u8(addr as u64),
+            oracle.mem().read_u8(addr as u64),
+            "data byte {addr:#x} diverged"
+        );
+    }
+}
+
+#[test]
+fn self_modifying_programs_match_the_interpreter() {
+    Props::new("compiled backend matches the interpreter on self-modifying code")
+        .cases(192)
+        .run(|rng| check_backends_agree(&self_modifying_program(rng)));
+}
+
+/// The store may also rewrite the *store's own successor* — the tightest
+/// possible invalidation: the very next instruction to execute is stale.
+#[test]
+fn patching_the_next_instruction_executes_the_patch() {
+    let r = |i: u8| Reg::new(i).expect("in range");
+    let patch = Inst::I {
+        op: Opcode::Addi,
+        rd: r(2),
+        rs1: Reg::ZERO,
+        imm: 99,
+    }
+    .encode();
+    let insts = [
+        Inst::I {
+            op: Opcode::Lui,
+            rd: r(1),
+            rs1: Reg::ZERO,
+            imm: ((patch >> 14) as i32) << 14 >> 14,
+        },
+        Inst::I {
+            op: Opcode::Ori,
+            rd: r(1),
+            rs1: r(1),
+            imm: (patch & 0x3FFF) as i32,
+        },
+        // Rewrites slot 3 — the instruction immediately after this store.
+        Inst::I {
+            op: Opcode::Sw,
+            rd: r(1),
+            rs1: Reg::ZERO,
+            imm: 12,
+        },
+        // Originally r2 = 1; the store above replaces it with r2 = 99.
+        Inst::I {
+            op: Opcode::Addi,
+            rd: r(2),
+            rs1: Reg::ZERO,
+            imm: 1,
+        },
+    ];
+    check_backends_agree(&insts);
+    // And the patched value is what actually landed.
+    let mut src = String::from(".text\n");
+    for inst in &insts {
+        src.push_str(&format!(".word {:#010x}\n", inst.encode()));
+    }
+    src.push_str("halt\n");
+    let program = assemble(&src).expect("assembles");
+    let mut m = Machine::new(&program);
+    m.run_with(Backend::Compiled, 100).expect("halts");
+    assert_eq!(m.reg(r(2)), 99, "the patched instruction must execute");
+}
+
+/// Repeated kernel-style re-entry: a loop whose body is a separate block
+/// (`jal` call) exercises block-cache reuse across thousands of entries;
+/// the trace must still be byte-identical.
+#[test]
+fn block_reuse_across_many_entries_stays_identical() {
+    let src = r#"
+            li r1, 200
+            li r2, 0
+        loop:
+            jal r15, body
+            addi r1, r1, -1
+            bne r1, r0, loop
+            halt
+        body:
+            add r2, r2, r1
+            jalr r0, r15, 0
+    "#;
+    let program = assemble(src).expect("assembles");
+    let mut oracle = Machine::new(&program);
+    let oracle_run = oracle.run(100_000).expect("halts");
+    let mut compiled = Machine::new(&program);
+    let compiled_run = compiled
+        .run_with(Backend::Compiled, 100_000)
+        .expect("halts");
+    assert_eq!(compiled_run.trace, oracle_run.trace);
+    assert_eq!(compiled_run.steps, oracle_run.steps);
+    assert_eq!(
+        compiled.reg(Reg::new(2).expect("in range")),
+        (1..=200).sum::<u32>()
+    );
+}

@@ -1,16 +1,21 @@
-//! Differential testing of the TinyRISC interpreter: random programs are
-//! executed both by [`lpmem_isa::Machine`] and by an independent reference
+//! Differential testing of the TinyRISC execution backends: random
+//! programs are executed by the interpreter ([`lpmem_isa::Machine::run`]),
+//! by the compiled micro-op backend, and by an independent reference
 //! evaluator written here, and the full architectural state is compared.
 //!
-//! The generator produces straight-line ALU code with loads, stores, and
-//! *forward-only* branches (so every program terminates), assembled into
-//! memory via `.word` directives — exercising the encoder, the decoder,
-//! and the interpreter against a second implementation of the semantics.
+//! The interpreter is the **oracle**: it is checked against the reference
+//! evaluator, and the compiled backend must then match the interpreter
+//! bit-for-bit — registers, memory, step count, and every trace event.
+//!
+//! Two program families are generated: straight-line code with
+//! *forward-only* control flow (termination is structural), and bounded
+//! *backward* control flow — decrementing-counter loops and guarded
+//! `jal`-to-earlier-address cycles — which is exactly the shape the block
+//! cache must get right.
 
 use lpmem_util::{Props, Rng};
 
-use lpmem_isa::{assemble, Inst, Machine, Opcode, Reg};
-use lpmem_trace::Trace;
+use lpmem_isa::{assemble, Backend, Inst, Machine, Opcode, Reg};
 
 const DATA_BASE: u32 = 0x8000;
 
@@ -141,11 +146,119 @@ fn reference_run(insts: &[Inst]) -> ([u32; 16], std::collections::HashMap<u32, u
     (regs, mem)
 }
 
+/// Assembles `insts` (plus a trailing halt) and runs the full
+/// three-way comparison:
+///
+/// 1. interpreter vs the reference evaluator (registers + memory);
+/// 2. compiled backend vs the interpreter (registers, PC, halt flag,
+///    step count, memory window, and byte-identical trace events).
+fn check_program(insts: &[Inst]) {
+    let mut src = String::from(".text\n");
+    for inst in insts {
+        src.push_str(&format!(".word {:#010x}\n", inst.encode()));
+    }
+    // A pad of halts, not just one: a trailing jump may overshoot the
+    // first word after the program (the historical regression below ends
+    // in `jal r10, +1`), and the reference evaluator treats every
+    // out-of-program pc as termination.
+    for _ in 0..9 {
+        src.push_str("halt\n");
+    }
+    let program = assemble(&src).expect("word directives always assemble");
+
+    let mut oracle = Machine::new(&program);
+    let oracle_run = oracle.run(10_000).expect("program must halt");
+    assert!(oracle.is_halted(), "program must halt");
+
+    // Interpreter vs the independent reference.
+    let (ref_regs, ref_mem) = reference_run(insts);
+    for (i, &expect) in ref_regs.iter().enumerate() {
+        assert_eq!(
+            oracle.reg(Reg::new(i as u8).expect("in range")),
+            expect,
+            "register r{i} diverged from reference"
+        );
+    }
+    for (&addr, &byte) in &ref_mem {
+        assert_eq!(
+            oracle.mem().read_u8(addr as u64),
+            byte,
+            "memory byte {addr:#x} diverged from reference"
+        );
+    }
+
+    // Compiled backend vs the interpreter: full architectural state and
+    // byte-identical trace.
+    let mut compiled = Machine::new(&program);
+    let compiled_run = compiled
+        .run_with(Backend::Compiled, 10_000)
+        .expect("program must halt on the compiled backend");
+    assert_eq!(compiled_run.steps, oracle_run.steps, "step count diverged");
+    assert_eq!(compiled_run.trace, oracle_run.trace, "trace diverged");
+    assert_eq!(compiled.pc(), oracle.pc(), "pc diverged");
+    assert_eq!(compiled.is_halted(), oracle.is_halted());
+    for i in 0..16u8 {
+        let r = Reg::new(i).expect("in range");
+        assert_eq!(compiled.reg(r), oracle.reg(r), "register r{i} diverged");
+    }
+    // Generated stores land in [DATA_BASE, DATA_BASE + 64 + 4).
+    for addr in DATA_BASE..DATA_BASE + 68 {
+        assert_eq!(
+            compiled.mem().read_u8(addr as u64),
+            oracle.mem().read_u8(addr as u64),
+            "memory byte {addr:#x} diverged between backends"
+        );
+    }
+}
+
 fn random_reg(rng: &mut Rng) -> Reg {
     Reg::new(rng.gen_range(0..16u8)).expect("in range")
 }
 
-/// One random instruction at position `pos` of a `len`-long program.
+/// A random instruction that neither branches nor jumps.
+fn random_branch_free_inst(rng: &mut Rng) -> Inst {
+    use Opcode::*;
+    match rng.gen_range(0..3u32) {
+        0 => {
+            let op = *rng
+                .choose(&[Add, Sub, And, Or, Xor, Sll, Srl, Sra, Slt, Sltu, Mul])
+                .expect("non-empty");
+            Inst::R {
+                op,
+                rd: random_reg(rng),
+                rs1: random_reg(rng),
+                rs2: random_reg(rng),
+            }
+        }
+        1 => {
+            let op = *rng
+                .choose(&[Addi, Andi, Ori, Xori, Slli, Srli, Slti, Lui])
+                .expect("non-empty");
+            Inst::I {
+                op,
+                rd: random_reg(rng),
+                rs1: random_reg(rng),
+                imm: rng.gen_range(-1000i32..1000),
+            }
+        }
+        _ => {
+            // Loads/stores hit a small window at DATA_BASE via r0 so
+            // addresses are controlled (no self-modifying code).
+            let op = *rng
+                .choose(&[Lw, Lh, Lhu, Lb, Lbu, Sw, Sh, Sb])
+                .expect("non-empty");
+            Inst::I {
+                op,
+                rd: random_reg(rng),
+                rs1: Reg::ZERO,
+                imm: DATA_BASE as i32 + rng.gen_range(0i32..64),
+            }
+        }
+    }
+}
+
+/// One random instruction at position `pos` of a `len`-long program, with
+/// forward-only control flow.
 fn random_inst(rng: &mut Rng, pos: usize, len: usize) -> Inst {
     use Opcode::*;
     // Control flow may only jump forward *within* the program (the word
@@ -154,109 +267,240 @@ fn random_inst(rng: &mut Rng, pos: usize, len: usize) -> Inst {
     let remaining = (len - pos - 1) as i32;
     // Weights mirror the original proptest mix: 4 ALU-R, 4 ALU-I,
     // 2 loads/stores, 1 branch, 1 jump. Near the end of the program only
-    // the first three classes are drawn (equally weighted).
-    let pick = if remaining < 1 {
-        rng.gen_range(0..3u32) * 4 // 0, 4, or 8: one of the branch-free arms
+    // the branch-free classes are drawn.
+    if remaining < 1 || rng.gen_range(0..12u32) < 10 {
+        random_branch_free_inst(rng)
+    } else if rng.gen_range(0..2u32) == 0 {
+        let op = *rng
+            .choose(&[Beq, Bne, Blt, Bge, Bltu, Bgeu])
+            .expect("non-empty");
+        Inst::B {
+            op,
+            rs1: random_reg(rng),
+            rs2: random_reg(rng),
+            imm: rng.gen_range(1i32..=remaining.min(8)),
+        }
     } else {
-        rng.gen_range(0..12u32)
-    };
-    match pick {
-        0..=3 => {
-            let op = *rng
-                .choose(&[Add, Sub, And, Or, Xor, Sll, Srl, Sra, Slt, Sltu, Mul])
-                .unwrap();
-            Inst::R {
-                op,
-                rd: random_reg(rng),
-                rs1: random_reg(rng),
-                rs2: random_reg(rng),
-            }
-        }
-        4..=7 => {
-            let op = *rng
-                .choose(&[Addi, Andi, Ori, Xori, Slli, Srli, Slti, Lui])
-                .unwrap();
-            Inst::I {
-                op,
-                rd: random_reg(rng),
-                rs1: random_reg(rng),
-                imm: rng.gen_range(-1000i32..1000),
-            }
-        }
-        8..=9 => {
-            // Loads/stores hit a small window at DATA_BASE via r0 so
-            // addresses are controlled (no self-modifying code).
-            let op = *rng.choose(&[Lw, Lh, Lhu, Lb, Lbu, Sw, Sh, Sb]).unwrap();
-            Inst::I {
-                op,
-                rd: random_reg(rng),
-                rs1: Reg::ZERO,
-                imm: DATA_BASE as i32 + rng.gen_range(0i32..64),
-            }
-        }
-        10 => {
-            let op = *rng.choose(&[Beq, Bne, Blt, Bge, Bltu, Bgeu]).unwrap();
-            Inst::B {
-                op,
-                rs1: random_reg(rng),
-                rs2: random_reg(rng),
-                imm: rng.gen_range(1i32..=remaining.min(8)),
-            }
-        }
-        _ => Inst::J {
+        Inst::J {
             op: Jal,
             rd: random_reg(rng),
             imm: rng.gen_range(1i32..=remaining.min(8)),
-        },
+        }
     }
 }
 
-fn random_program(rng: &mut Rng) -> Vec<Inst> {
+fn random_forward_program(rng: &mut Rng) -> Vec<Inst> {
     let len = rng.gen_range(4..48usize);
     (0..len).map(|pos| random_inst(rng, pos, len)).collect()
+}
+
+/// The loop counter register; generated loop bodies never write it.
+const COUNTER: u8 = 14;
+
+/// A branch-free instruction that does not write the loop counter.
+fn random_body_inst(rng: &mut Rng) -> Inst {
+    loop {
+        let inst = random_branch_free_inst(rng);
+        let writes_counter = match inst {
+            Inst::R { rd, .. } => rd.index() == COUNTER as usize,
+            Inst::I { op, rd, .. } => {
+                !matches!(op, Opcode::Sw | Opcode::Sh | Opcode::Sb)
+                    && rd.index() == COUNTER as usize
+            }
+            _ => false,
+        };
+        if !writes_counter {
+            return inst;
+        }
+    }
+}
+
+/// A decrementing-counter loop with a *backward conditional branch*:
+///
+/// ```text
+///   addi r14, r0, n          ; n in 1..=8
+/// loop:
+///   <body>                   ; 1..=6 branch-free insts, r14 preserved
+///   addi r14, r14, -1
+///   bne  r14, r0, loop       ; backward, imm = -(body + 2)
+///   <tail>                   ; 0..=4 branch-free insts
+/// ```
+fn random_loop_program(rng: &mut Rng) -> Vec<Inst> {
+    let counter = Reg::new(COUNTER).expect("in range");
+    let n = rng.gen_range(1i32..=8);
+    let body = rng.gen_range(1usize..=6);
+    let tail = rng.gen_range(0usize..=4);
+    let mut insts = vec![Inst::I {
+        op: Opcode::Addi,
+        rd: counter,
+        rs1: Reg::ZERO,
+        imm: n,
+    }];
+    insts.extend((0..body).map(|_| random_body_inst(rng)));
+    insts.push(Inst::I {
+        op: Opcode::Addi,
+        rd: counter,
+        rs1: counter,
+        imm: -1,
+    });
+    insts.push(Inst::B {
+        op: Opcode::Bne,
+        rs1: counter,
+        rs2: Reg::ZERO,
+        imm: -(body as i32 + 2),
+    });
+    insts.extend((0..tail).map(|_| random_body_inst(rng)));
+    insts
+}
+
+/// A guarded `jal` to an *earlier* address:
+///
+/// ```text
+///   addi r14, r0, n          ; n in 1..=6
+///   <body>                   ; 0..=4 branch-free insts, r14 preserved
+/// head:
+///   addi r14, r14, -1
+///   beq  r14, r0, done       ; forward, skips the backward jal
+///   jal  rd, head            ; backward, imm = -3
+/// done:
+///   <tail>
+/// ```
+fn random_backward_jal_program(rng: &mut Rng) -> Vec<Inst> {
+    let counter = Reg::new(COUNTER).expect("in range");
+    let n = rng.gen_range(1i32..=6);
+    let body = rng.gen_range(0usize..=4);
+    let tail = rng.gen_range(0usize..=4);
+    // The jal link register must not clobber the counter.
+    let link = Reg::new(rng.gen_range(0..COUNTER)).expect("in range");
+    let mut insts = vec![Inst::I {
+        op: Opcode::Addi,
+        rd: counter,
+        rs1: Reg::ZERO,
+        imm: n,
+    }];
+    insts.extend((0..body).map(|_| random_body_inst(rng)));
+    insts.push(Inst::I {
+        op: Opcode::Addi,
+        rd: counter,
+        rs1: counter,
+        imm: -1,
+    });
+    insts.push(Inst::B {
+        op: Opcode::Beq,
+        rs1: counter,
+        rs2: Reg::ZERO,
+        imm: 1,
+    });
+    insts.push(Inst::J {
+        op: Opcode::Jal,
+        rd: link,
+        imm: -3,
+    });
+    insts.extend((0..tail).map(|_| random_body_inst(rng)));
+    insts
 }
 
 #[test]
 fn machine_matches_reference_interpreter() {
     Props::new("machine matches the reference interpreter")
         .cases(256)
-        .run(|rng| {
-            let insts = random_program(rng);
-            // Assemble the raw words into a program (text at 0).
-            let mut src = String::from(".text\n");
-            for inst in &insts {
-                src.push_str(&format!(".word {:#010x}\n", inst.encode()));
-            }
-            src.push_str("halt\n");
-            let program = assemble(&src).expect("word directives always assemble");
-            let mut machine = Machine::new(&program);
-            let mut trace = Trace::new();
-            let mut steps = 0;
-            while steps < 10_000 {
-                steps += 1;
-                if machine
-                    .step(&mut trace)
-                    .expect("all generated words decode")
-                {
-                    break;
-                }
-            }
-            assert!(machine.is_halted(), "program must halt");
+        .run(|rng| check_program(&random_forward_program(rng)));
+}
 
-            let (ref_regs, ref_mem) = reference_run(&insts);
-            for (i, &expect) in ref_regs.iter().enumerate() {
-                assert_eq!(
-                    machine.reg(Reg::new(i as u8).expect("in range")),
-                    expect,
-                    "register r{i} diverged"
-                );
-            }
-            for (&addr, &byte) in &ref_mem {
-                assert_eq!(
-                    machine.mem().read_u8(addr as u64),
-                    byte,
-                    "memory byte {addr:#x} diverged"
-                );
-            }
-        });
+#[test]
+fn backward_branch_loops_match_on_all_backends() {
+    Props::new("backward-branch loops match on all backends")
+        .cases(192)
+        .run(|rng| check_program(&random_loop_program(rng)));
+}
+
+#[test]
+fn backward_jal_cycles_match_on_all_backends() {
+    Props::new("backward-jal cycles match on all backends")
+        .cases(192)
+        .run(|rng| check_program(&random_backward_jal_program(rng)));
+}
+
+/// The shrunk counterexample from the retired proptest regression corpus
+/// (`differential.proptest-regressions`), replayed explicitly: proptest
+/// was removed in PR 1, which silently stopped this sequence from ever
+/// running again.
+#[test]
+fn regression_shrunk_ori_jal_load_sequence() {
+    use Opcode::*;
+    let r = |i: u8| Reg::new(i).expect("in range");
+    let add0 = Inst::R {
+        op: Add,
+        rd: r(0),
+        rs1: r(0),
+        rs2: r(0),
+    };
+    let insts = [
+        add0,
+        add0,
+        add0,
+        add0,
+        add0,
+        add0,
+        add0,
+        Inst::I {
+            op: Ori,
+            rd: r(0),
+            rs1: r(8),
+            imm: 577,
+        },
+        Inst::J {
+            op: Jal,
+            rd: r(0),
+            imm: 3,
+        },
+        Inst::I {
+            op: Lb,
+            rd: r(0),
+            rs1: r(0),
+            imm: 32823,
+        },
+        Inst::I {
+            op: Lh,
+            rd: r(15),
+            rs1: r(0),
+            imm: 32809,
+        },
+        Inst::B {
+            op: Bgeu,
+            rs1: r(2),
+            rs2: r(12),
+            imm: 1,
+        },
+        Inst::I {
+            op: Lw,
+            rd: r(0),
+            rs1: r(0),
+            imm: 32827,
+        },
+        Inst::R {
+            op: Or,
+            rd: r(10),
+            rs1: r(1),
+            rs2: r(10),
+        },
+        Inst::B {
+            op: Bgeu,
+            rs1: r(5),
+            rs2: r(0),
+            imm: 1,
+        },
+        Inst::I {
+            op: Lw,
+            rd: r(13),
+            rs1: r(0),
+            imm: 32798,
+        },
+        Inst::J {
+            op: Jal,
+            rd: r(10),
+            imm: 1,
+        },
+    ];
+    check_program(&insts);
 }

@@ -28,7 +28,12 @@ impl<B: Backing + ?Sized> Backing for &mut B {
 }
 
 const PAGE_SHIFT: u32 = 12;
-const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// Size in bytes of a [`FlatMemory`] page (4 KiB). Public so callers that
+/// mirror memory into denser structures (e.g. the TinyRISC compiled
+/// backend's data arena) can match the materialization granularity
+/// exactly — `resident_pages` stays comparable across such mirrors.
+pub const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 
 /// Sparse byte-addressable memory backed by 4 KiB pages.
 ///
@@ -77,44 +82,101 @@ impl FlatMemory {
     }
 
     /// Reads a little-endian 32-bit word (no alignment requirement).
+    ///
+    /// Accesses that stay within one page — the overwhelmingly common
+    /// case — cost a single page lookup; only page-straddling reads fall
+    /// back to the byte path. This is the hot edge of the TinyRISC
+    /// simulator (every load, and every instruction fetch on the
+    /// interpreter backend).
     pub fn read_u32(&self, addr: u64) -> u32 {
-        u32::from_le_bytes([
-            self.read_u8(addr),
-            self.read_u8(addr + 1),
-            self.read_u8(addr + 2),
-            self.read_u8(addr + 3),
-        ])
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off <= PAGE_SIZE - 4 {
+            match self.pages.get(&(addr >> PAGE_SHIFT)) {
+                Some(p) => u32::from_le_bytes([p[off], p[off + 1], p[off + 2], p[off + 3]]),
+                None => 0,
+            }
+        } else {
+            u32::from_le_bytes([
+                self.read_u8(addr),
+                self.read_u8(addr + 1),
+                self.read_u8(addr + 2),
+                self.read_u8(addr + 3),
+            ])
+        }
     }
 
     /// Writes a little-endian 32-bit word (no alignment requirement).
     pub fn write_u32(&mut self, addr: u64, value: u32) {
-        for (i, b) in value.to_le_bytes().iter().enumerate() {
-            self.write_u8(addr + i as u64, *b);
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off <= PAGE_SIZE - 4 {
+            let page = self.page_mut(addr);
+            page[off..off + 4].copy_from_slice(&value.to_le_bytes());
+        } else {
+            for (i, b) in value.to_le_bytes().iter().enumerate() {
+                self.write_u8(addr + i as u64, *b);
+            }
         }
     }
 
     /// Reads a little-endian 16-bit halfword.
     pub fn read_u16(&self, addr: u64) -> u16 {
-        u16::from_le_bytes([self.read_u8(addr), self.read_u8(addr + 1)])
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off <= PAGE_SIZE - 2 {
+            match self.pages.get(&(addr >> PAGE_SHIFT)) {
+                Some(p) => u16::from_le_bytes([p[off], p[off + 1]]),
+                None => 0,
+            }
+        } else {
+            u16::from_le_bytes([self.read_u8(addr), self.read_u8(addr + 1)])
+        }
     }
 
     /// Writes a little-endian 16-bit halfword.
     pub fn write_u16(&mut self, addr: u64, value: u16) {
-        for (i, b) in value.to_le_bytes().iter().enumerate() {
-            self.write_u8(addr + i as u64, *b);
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off <= PAGE_SIZE - 2 {
+            let page = self.page_mut(addr);
+            page[off..off + 2].copy_from_slice(&value.to_le_bytes());
+        } else {
+            for (i, b) in value.to_le_bytes().iter().enumerate() {
+                self.write_u8(addr + i as u64, *b);
+            }
         }
     }
 
     /// Copies `data` into memory starting at `addr`.
+    ///
+    /// Runs page by page (one lookup per touched page, not per byte) so
+    /// bulk loads — program segments, dirty-page write-back — stay cheap.
     pub fn load(&mut self, addr: u64, data: &[u8]) {
-        for (i, b) in data.iter().enumerate() {
-            self.write_u8(addr + i as u64, *b);
+        let mut addr = addr;
+        let mut data = data;
+        while !data.is_empty() {
+            let off = (addr as usize) & (PAGE_SIZE - 1);
+            let n = (PAGE_SIZE - off).min(data.len());
+            self.page_mut(addr)[off..off + n].copy_from_slice(&data[..n]);
+            // Wrapping: the bump after the final chunk may pass the top of
+            // the address space; it is never dereferenced.
+            addr = addr.wrapping_add(n as u64);
+            data = &data[n..];
         }
     }
 
     /// Number of 4 KiB pages currently materialized.
     pub fn resident_pages(&self) -> usize {
         self.pages.len()
+    }
+
+    /// Snapshot of every materialized page as `(base address, bytes)`,
+    /// sorted by base address (deterministic despite the hash-map store).
+    pub fn pages_sorted(&self) -> Vec<(u64, &[u8; PAGE_SIZE])> {
+        let mut pages: Vec<(u64, &[u8; PAGE_SIZE])> = self
+            .pages
+            .iter()
+            .map(|(idx, page)| (idx << PAGE_SHIFT, &**page))
+            .collect();
+        pages.sort_unstable_by_key(|&(base, _)| base);
+        pages
     }
 }
 
@@ -235,6 +297,33 @@ mod tests {
         m.write_u32(addr, 0x1122_3344);
         assert_eq!(m.read_u32(addr), 0x1122_3344);
         assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn pages_sorted_is_ordered_and_complete() {
+        let mut m = FlatMemory::new();
+        // Touch pages out of address order.
+        m.write_u8(5 * PAGE_SIZE as u64, 3);
+        m.write_u8(0, 1);
+        m.write_u8(2 * PAGE_SIZE as u64 + 7, 2);
+        let sorted = m.pages_sorted();
+        let bases: Vec<u64> = sorted.iter().map(|&(b, _)| b).collect();
+        assert_eq!(bases, vec![0, 2 * PAGE_SIZE as u64, 5 * PAGE_SIZE as u64]);
+        assert_eq!(sorted[0].1[0], 1);
+        assert_eq!(sorted[1].1[7], 2);
+        assert_eq!(sorted[2].1[0], 3);
+    }
+
+    #[test]
+    fn bulk_load_spans_pages() {
+        let mut m = FlatMemory::new();
+        let data: Vec<u8> = (0..=255u8).cycle().take(3 * PAGE_SIZE).collect();
+        let base = PAGE_SIZE as u64 - 100; // misaligned, spans 4 pages
+        m.load(base, &data);
+        assert_eq!(m.resident_pages(), 4);
+        for (i, b) in data.iter().enumerate() {
+            assert_eq!(m.read_u8(base + i as u64), *b, "byte {i}");
+        }
     }
 
     #[test]

@@ -30,7 +30,7 @@
 pub mod backing;
 pub mod cache;
 
-pub use backing::{Backing, FlatMemory, RecordingBacking};
+pub use backing::{Backing, FlatMemory, RecordingBacking, PAGE_SIZE};
 pub use cache::{Cache, CacheConfig, CacheStats, ReplacementPolicy, WritePolicy};
 
 /// Errors produced when configuring the memory hierarchy.

@@ -17,6 +17,7 @@ pub enum AccessKind {
 impl AccessKind {
     /// Returns `true` for data-side accesses ([`Read`](Self::Read) and
     /// [`Write`](Self::Write)).
+    #[inline]
     pub fn is_data(self) -> bool {
         !matches!(self, AccessKind::InstrFetch)
     }
@@ -47,6 +48,7 @@ pub struct MemEvent {
 
 impl MemEvent {
     /// Creates a data-read event of word (4-byte) width and zero value.
+    #[inline]
     pub fn read(addr: u64) -> Self {
         MemEvent {
             addr,
@@ -57,6 +59,7 @@ impl MemEvent {
     }
 
     /// Creates a data-write event of word (4-byte) width and zero value.
+    #[inline]
     pub fn write(addr: u64) -> Self {
         MemEvent {
             addr,
@@ -68,6 +71,7 @@ impl MemEvent {
 
     /// Creates an instruction-fetch event of word (4-byte) width and zero
     /// value.
+    #[inline]
     pub fn fetch(addr: u64) -> Self {
         MemEvent {
             addr,
@@ -78,6 +82,7 @@ impl MemEvent {
     }
 
     /// Returns this event carrying `value` as its data payload.
+    #[inline]
     pub fn with_value(mut self, value: u32) -> Self {
         self.value = value;
         self
@@ -124,8 +129,15 @@ impl Trace {
     }
 
     /// Appends an event.
+    #[inline]
     pub fn push(&mut self, ev: MemEvent) {
         self.events.push(ev);
+    }
+
+    /// Appends a pre-built run of events in one bulk copy.
+    #[inline]
+    pub fn extend_from_slice(&mut self, evs: &[MemEvent]) {
+        self.events.extend_from_slice(evs);
     }
 
     /// Number of events in the trace.

@@ -103,14 +103,10 @@ pub fn format_ns(ns: f64) -> String {
     }
 }
 
-/// Runs `f` under the given options and returns the timing summary.
-///
-/// The harness first calibrates an inner iteration count so each sample
-/// takes roughly `opts.sample_ns`, then warms up for `opts.warmup_ns`,
-/// then records `opts.samples` timed samples and reports their median.
-pub fn benchmark<R>(name: &str, opts: &Options, mut f: impl FnMut() -> R) -> Measurement {
-    // Calibration: double the iteration count until one batch is long
-    // enough to time reliably, then scale to the target sample length.
+/// Calibration: double the iteration count until one batch is long
+/// enough to time reliably, then report the per-iteration cost and how
+/// many iterations calibration burned.
+fn calibrate<R>(f: &mut impl FnMut() -> R) -> (u64, u64) {
     let mut iters: u64 = 1;
     let mut calib_ns;
     let mut total_iters = 0u64;
@@ -126,7 +122,16 @@ pub fn benchmark<R>(name: &str, opts: &Options, mut f: impl FnMut() -> R) -> Mea
         }
         iters *= 2;
     }
-    let per_iter = (calib_ns / iters).max(1);
+    ((calib_ns / iters).max(1), total_iters)
+}
+
+/// Runs `f` under the given options and returns the timing summary.
+///
+/// The harness first calibrates an inner iteration count so each sample
+/// takes roughly `opts.sample_ns`, then warms up for `opts.warmup_ns`,
+/// then records `opts.samples` timed samples and reports their median.
+pub fn benchmark<R>(name: &str, opts: &Options, mut f: impl FnMut() -> R) -> Measurement {
+    let (per_iter, mut total_iters) = calibrate(&mut f);
     let iters_per_sample = (opts.sample_ns / per_iter).clamp(1, 100_000_000);
 
     // Warmup.
@@ -159,6 +164,94 @@ pub fn benchmark<R>(name: &str, opts: &Options, mut f: impl FnMut() -> R) -> Mea
         max_ns: *per_iter_ns.last().expect("at least one sample"),
         iters_per_sample,
         total_iters,
+    }
+}
+
+/// The result of a paired A/B comparison: each side's timing summary plus
+/// the median of the **per-sample** `A / B` time ratios.
+///
+/// On a machine with slow load drift (thermal throttling, noisy
+/// neighbours), timing all of A and then all of B puts the drift entirely
+/// into the ratio of their medians. Pairing times both sides back-to-back
+/// inside every sample, so each ratio sees the same weather and the
+/// median ratio is what survives.
+#[derive(Debug, Clone)]
+pub struct PairedMeasurement {
+    /// Side A's summary (medians are still per-side, for reporting).
+    pub a: Measurement,
+    /// Side B's summary.
+    pub b: Measurement,
+    /// Median over samples of `per_iter_a / per_iter_b`.
+    pub ratio: f64,
+}
+
+/// Benchmarks `fa` against `fb` with paired samples; see
+/// [`PairedMeasurement`] for why this beats two independent
+/// [`benchmark`] calls when the quantity of interest is the ratio.
+pub fn benchmark_paired<RA, RB>(
+    name_a: &str,
+    name_b: &str,
+    opts: &Options,
+    mut fa: impl FnMut() -> RA,
+    mut fb: impl FnMut() -> RB,
+) -> PairedMeasurement {
+    let (per_a, mut total_a) = calibrate(&mut fa);
+    let (per_b, mut total_b) = calibrate(&mut fb);
+    // Each side gets half the per-sample budget.
+    let iters_a = (opts.sample_ns / 2 / per_a).clamp(1, 100_000_000);
+    let iters_b = (opts.sample_ns / 2 / per_b).clamp(1, 100_000_000);
+
+    // Warm both sides together so they reach steady state under the same
+    // conditions.
+    let warm_start = Instant::now();
+    while (warm_start.elapsed().as_nanos() as u64) < opts.warmup_ns {
+        for _ in 0..iters_a.min(512) {
+            black_box(fa());
+            total_a += 1;
+        }
+        for _ in 0..iters_b.min(512) {
+            black_box(fb());
+            total_b += 1;
+        }
+    }
+
+    let samples = opts.samples.max(1) as usize;
+    let mut ns_a: Vec<f64> = Vec::with_capacity(samples);
+    let mut ns_b: Vec<f64> = Vec::with_capacity(samples);
+    let mut ratios: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..iters_a {
+            black_box(fa());
+        }
+        let a = start.elapsed().as_nanos() as f64 / iters_a as f64;
+        let start = Instant::now();
+        for _ in 0..iters_b {
+            black_box(fb());
+        }
+        let b = start.elapsed().as_nanos() as f64 / iters_b as f64;
+        total_a += iters_a;
+        total_b += iters_b;
+        ns_a.push(a);
+        ns_b.push(b);
+        ratios.push(a / b);
+    }
+    ns_a.sort_by(|x, y| x.total_cmp(y));
+    ns_b.sort_by(|x, y| x.total_cmp(y));
+    ratios.sort_by(|x, y| x.total_cmp(y));
+
+    let side = |name: &str, sorted: &[f64], iters: u64, total: u64| Measurement {
+        name: name.to_string(),
+        median_ns: median_of_sorted(sorted),
+        min_ns: sorted[0],
+        max_ns: *sorted.last().expect("at least one sample"),
+        iters_per_sample: iters,
+        total_iters: total,
+    };
+    PairedMeasurement {
+        a: side(name_a, &ns_a, iters_a, total_a),
+        b: side(name_b, &ns_b, iters_b, total_b),
+        ratio: median_of_sorted(&ratios),
     }
 }
 
@@ -195,6 +288,23 @@ mod tests {
             slow.median_ns,
             fast.median_ns
         );
+    }
+
+    #[test]
+    fn paired_ratio_tracks_relative_cost() {
+        let m = benchmark_paired(
+            "slow",
+            "fast",
+            &Options::quick(),
+            || black_box((0..20_000u64).sum::<u64>()),
+            || black_box((0..1_000u64).sum::<u64>()),
+        );
+        assert!(
+            m.ratio > 1.0,
+            "20x the work should time slower: ratio {}",
+            m.ratio
+        );
+        assert!(m.a.median_ns > m.b.median_ns);
     }
 
     #[test]

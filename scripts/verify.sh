@@ -23,6 +23,15 @@ cargo run --release --locked --offline -p lpmem-bench --bin explore -- \
     --axes small --strategy exhaustive --budget 32 --seed 2003 \
     --threads 2 --jsonl /dev/null
 
+echo "==> isa backend differential smoke + speedup gate (DESIGN.md §10)"
+# Byte-identical traces on every kernel is a hard gate; the >=5x speedup
+# check self-skips on single-CPU machines (or LPMEM_SKIP_TIMING_GATE=1),
+# where wall-clock ratios are meaningless. Quick sampling: the committed
+# BENCH_isa.json comes from a full run, not from here.
+mkdir -p target
+cargo run --release --locked --offline -p lpmem-bench --bin isa-bench -- \
+    --quick --json target/BENCH_isa_smoke.json --check-speedup 5
+
 echo "==> lpmem-lint --deny (determinism/accounting invariants, DESIGN.md §9)"
 cargo run --release --locked --offline -p lpmem-lint --bin lint -- --deny
 
