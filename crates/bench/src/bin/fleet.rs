@@ -1,0 +1,204 @@
+//! Fleet-scale streaming simulation sweep (DESIGN.md §11).
+//!
+//! ```text
+//! fleet                                   # 1M devices, uniform mix
+//! fleet --devices 200000 --threads 4      # smaller fleet, fixed workers
+//! fleet --mix media --events 512          # population profile / stream length
+//! fleet --jsonl fleet.jsonl               # write the byte-stable report
+//! fleet --bench-json BENCH_fleet.json     # write the throughput report
+//! fleet --assert-peak-rss-mb 192          # fail if peak RSS exceeds bound
+//! fleet --list                            # list mix presets
+//! ```
+//!
+//! Every device streams its events through the online statistics of
+//! `lpmem_trace::stream` — no trace is ever materialized — so memory stays
+//! bounded by the per-device footprint regardless of fleet size, which
+//! `--assert-peak-rss-mb` turns into a hard gate. The JSONL body is a pure
+//! function of the spec: byte-identical at any `--threads` value.
+
+use std::io::Write as _;
+
+use lpmem_bench::fleet::{run_fleet, FleetReport, FleetSpec};
+use lpmem_bench::sweep::worker_count;
+use lpmem_core::{DeviceArchetype, WorkloadMix};
+use lpmem_util::json::JsonObject;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("fleet: {msg}");
+    std::process::exit(2);
+}
+
+/// Peak resident set size of this process in kB (`VmHWM` from
+/// `/proc/self/status`), when the platform exposes it.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn bench_json(report: &FleetReport) -> String {
+    let summary = JsonObject::new()
+        .str("schema", "lpmem-fleet-bench-v1")
+        .u64("devices", report.spec.devices)
+        .u64("events_per_device", report.spec.events_per_device as u64)
+        .u64("events", report.total_events())
+        .str("mix", report.spec.mix.name())
+        .u64("seed", report.spec.base_seed)
+        .u64("workers", report.workers as u64)
+        .f64("elapsed_s", report.elapsed_ns as f64 / 1e9)
+        .f64("devices_per_sec", report.devices_per_sec())
+        .f64("events_per_sec", report.events_per_sec())
+        .finish();
+    let classes: Vec<String> = report
+        .per_class
+        .iter()
+        .enumerate()
+        .map(|(c, agg)| {
+            JsonObject::new()
+                .str("class", DeviceArchetype::ALL[c].name())
+                .u64("devices", agg.devices)
+                .u64("events", agg.events)
+                .f64(
+                    "mean_stack_distance",
+                    agg.dist_sum as f64 / agg.reuses as f64,
+                )
+                .f64("spatial_locality", agg.near_pairs as f64 / agg.pairs as f64)
+                .finish()
+        })
+        .collect();
+    format!(
+        "{{\"summary\":{summary},\"classes\":[{}]}}\n",
+        classes.join(",")
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut spec = FleetSpec::new(WorkloadMix::uniform());
+    spec.devices = 1_000_000;
+    let mut threads = worker_count();
+    let mut jsonl_path: Option<String> = None;
+    let mut bench_path: Option<String> = None;
+    let mut max_rss_mb: Option<u64> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| fail(&format!("{name} needs a value")))
+        };
+        let parse_u64 = |name: &str, v: String| -> u64 {
+            v.parse()
+                .unwrap_or_else(|_| fail(&format!("{name} needs an unsigned integer")))
+        };
+        match arg.as_str() {
+            "--devices" => spec.devices = parse_u64("--devices", value("--devices")),
+            "--events" => {
+                spec.events_per_device = parse_u64("--events", value("--events")) as usize
+            }
+            "--threads" => threads = parse_u64("--threads", value("--threads")).max(1) as usize,
+            "--mix" => {
+                let v = value("--mix");
+                spec.mix = WorkloadMix::parse(&v)
+                    .unwrap_or_else(|| fail(&format!("unknown mix {v:?} (try --list)")));
+            }
+            "--seed" => spec.base_seed = parse_u64("--seed", value("--seed")),
+            "--shard" => spec.shard_devices = parse_u64("--shard", value("--shard")),
+            "--samples" => spec.samples = parse_u64("--samples", value("--samples")) as usize,
+            "--ws-window" => {
+                spec.ws_window = parse_u64("--ws-window", value("--ws-window")) as usize
+            }
+            "--jsonl" => jsonl_path = Some(value("--jsonl")),
+            "--bench-json" => bench_path = Some(value("--bench-json")),
+            "--assert-peak-rss-mb" => {
+                max_rss_mb = Some(parse_u64(
+                    "--assert-peak-rss-mb",
+                    value("--assert-peak-rss-mb"),
+                ))
+            }
+            "--list" => {
+                println!("mix presets: uniform, embedded, media, chase");
+                println!("custom mixes: 5 comma-separated weights in archetype order:");
+                for a in DeviceArchetype::ALL {
+                    println!("  {}", a.name());
+                }
+                return;
+            }
+            _ => fail(&format!("unknown argument {arg:?} (see the module docs)")),
+        }
+    }
+
+    let report = run_fleet(&spec, threads).unwrap_or_else(|e| fail(&e));
+
+    println!(
+        "== fleet: {} devices x {} events, mix {}, {} workers ==",
+        spec.devices,
+        spec.events_per_device,
+        spec.mix.name(),
+        report.workers
+    );
+    println!(
+        "  {:<14} {:>9} {:>12} {:>10} {:>10} {:>8}",
+        "class", "devices", "events", "mean dist", "spatial", "ws max"
+    );
+    for (c, agg) in report.per_class.iter().enumerate() {
+        let mean_dist = if agg.reuses > 0 {
+            agg.dist_sum as f64 / agg.reuses as f64
+        } else {
+            0.0
+        };
+        let spatial = if agg.pairs > 0 {
+            agg.near_pairs as f64 / agg.pairs as f64
+        } else {
+            0.0
+        };
+        println!(
+            "  {:<14} {:>9} {:>12} {:>10.1} {:>10.3} {:>8}",
+            DeviceArchetype::ALL[c].name(),
+            agg.devices,
+            agg.events,
+            mean_dist,
+            spatial,
+            agg.ws_max
+        );
+    }
+    let elapsed_s = report.elapsed_ns as f64 / 1e9;
+    println!(
+        "  {:.2}s wall: {:.0} devices/sec, {:.2e} events/sec",
+        elapsed_s,
+        report.devices_per_sec(),
+        report.events_per_sec()
+    );
+    if let Some(kb) = peak_rss_kb() {
+        println!("  peak RSS: {:.1} MiB", kb as f64 / 1024.0);
+    }
+
+    if let Some(path) = jsonl_path {
+        match std::fs::write(&path, report.jsonl()) {
+            Ok(()) => println!("  jsonl written to {path}"),
+            Err(e) => fail(&format!("cannot write {path}: {e}")),
+        }
+    }
+    if let Some(path) = bench_path {
+        match std::fs::File::create(&path)
+            .and_then(|mut f| f.write_all(bench_json(&report).as_bytes()))
+        {
+            Ok(()) => println!("  bench report written to {path}"),
+            Err(e) => fail(&format!("cannot write {path}: {e}")),
+        }
+    }
+    if let Some(limit_mb) = max_rss_mb {
+        match peak_rss_kb() {
+            Some(kb) if kb > limit_mb * 1024 => fail(&format!(
+                "peak RSS {:.1} MiB exceeds the {limit_mb} MiB bound",
+                kb as f64 / 1024.0
+            )),
+            Some(kb) => println!(
+                "  peak-RSS gate passed: {:.1} MiB <= {limit_mb} MiB",
+                kb as f64 / 1024.0
+            ),
+            None => println!("  peak-RSS gate skipped (no /proc/self/status)"),
+        }
+    }
+}

@@ -8,10 +8,12 @@
 
 pub mod benchrun;
 pub mod experiments;
+pub mod fleet;
 pub mod metrics;
 pub mod sweep;
 pub mod table;
 
+pub use fleet::{run_fleet, FleetReport, FleetSpec};
 pub use metrics::Metrics;
 pub use sweep::{run_sweep, SweepGrid, SweepReport};
 pub use table::Table;

@@ -1,0 +1,105 @@
+//! Fleet aggregation invariants: the merged JSONL report is byte-identical
+//! at any worker count and under any shard-merge permutation — the
+//! workspace's signature determinism guarantee, extended to the fleet
+//! path (`serialization_order.rs` style coverage).
+
+use lpmem_bench::fleet::{run_fleet, simulate_shard, FleetReport, FleetShard, FleetSpec};
+use lpmem_core::WorkloadMix;
+use lpmem_util::Rng;
+
+fn small_spec() -> FleetSpec {
+    let mut spec = FleetSpec::new(WorkloadMix::embedded());
+    spec.devices = 300;
+    spec.events_per_device = 96;
+    spec.shard_devices = 32;
+    spec.base_seed = 77;
+    spec
+}
+
+#[test]
+fn jsonl_is_byte_identical_at_any_worker_count() {
+    let spec = small_spec();
+    let baseline = run_fleet(&spec, 1).unwrap().jsonl();
+    for workers in [2, 8] {
+        let report = run_fleet(&spec, workers).unwrap();
+        assert_eq!(
+            report.jsonl(),
+            baseline,
+            "fleet JSONL diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn jsonl_is_invariant_under_shard_merge_permutations() {
+    let spec = small_spec();
+    let shards: Vec<FleetShard> = (0..spec.num_shards())
+        .map(|s| simulate_shard(&spec, s))
+        .collect();
+    let baseline = FleetReport::from_shards(spec.clone(), shards.clone()).jsonl();
+    let mut rng = Rng::seed_from_u64(0xf1ee7);
+    for round in 0..16 {
+        let mut shuffled = shards.clone();
+        rng.shuffle(&mut shuffled);
+        let report = FleetReport::from_shards(spec.clone(), shuffled);
+        assert_eq!(report.jsonl(), baseline, "diverged in round {round}");
+    }
+}
+
+#[test]
+fn seeds_hang_off_device_coordinates_not_shard_layout() {
+    // Re-sharding the same fleet must not change any aggregate: device
+    // seeds derive from device ids, never from shard or worker layout.
+    let spec = small_spec();
+    let baseline = run_fleet(&spec, 2).unwrap();
+    let mut resharded = spec.clone();
+    resharded.shard_devices = 7;
+    let report = run_fleet(&resharded, 3).unwrap();
+    assert_eq!(report.per_class, baseline.per_class);
+    assert_eq!(report.samples, baseline.samples);
+}
+
+#[test]
+fn sample_is_the_global_bottom_k_by_priority() {
+    let spec = small_spec();
+    let report = run_fleet(&spec, 2).unwrap();
+    assert_eq!(report.samples.len(), spec.samples);
+    // Sorted by (priority, device) and globally minimal: every priority in
+    // the sample is <= every priority outside it.
+    let keys: Vec<(u64, u64)> = report
+        .samples
+        .iter()
+        .map(|s| (s.priority, s.device))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort_unstable();
+    assert_eq!(keys, sorted);
+    let cutoff = *keys.last().unwrap();
+    let mut outside = 0u64;
+    for device in 0..spec.devices {
+        let d = lpmem_bench::fleet::simulate_device(&spec, device);
+        if (d.priority, d.device) < cutoff && !report.samples.iter().any(|s| s.device == device) {
+            outside += 1;
+        }
+    }
+    assert_eq!(outside, 0, "a lower-priority device was left unsampled");
+}
+
+#[test]
+fn distinct_mixes_and_seeds_change_the_population() {
+    let spec = small_spec();
+    let base = run_fleet(&spec, 1).unwrap();
+    let mut other_mix = spec.clone();
+    other_mix.mix = WorkloadMix::chase();
+    let chase = run_fleet(&other_mix, 1).unwrap();
+    assert_ne!(base.per_class, chase.per_class);
+    // Chase-heavy mix puts most devices in the chase class (index 3).
+    let chase_devices = chase.per_class[3].devices;
+    assert!(
+        chase_devices > spec.devices / 3,
+        "chase mix produced only {chase_devices} chase devices"
+    );
+    let mut other_seed = spec.clone();
+    other_seed.base_seed = 78;
+    assert_ne!(run_fleet(&other_seed, 1).unwrap().jsonl(), base.jsonl());
+}

@@ -36,6 +36,8 @@
 pub mod flows;
 pub mod workloads;
 
+pub use workloads::{DeviceArchetype, WorkloadMix};
+
 /// Errors surfaced by the evaluation flows.
 #[derive(Debug)]
 pub enum FlowError {

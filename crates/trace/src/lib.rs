@@ -29,10 +29,14 @@ pub mod gen;
 pub mod io;
 pub mod profile;
 pub mod stats;
+pub mod stream;
 
 pub use event::{AccessKind, MemEvent, Trace};
 pub use profile::BlockProfile;
 pub use stats::{LocalityReport, StackDistanceHistogram};
+pub use stream::{
+    Reservoir, StreamingLocality, StreamingStackDistance, StreamingWorkingSet, WorkingSetReport,
+};
 
 /// Errors produced when constructing or analysing traces.
 #[derive(Debug, Clone, PartialEq, Eq)]

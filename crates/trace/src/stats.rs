@@ -5,45 +5,13 @@
 //! exploit: partitioning exploits *spatial* locality of the address profile,
 //! clustering *creates* it, and caches/compression depend on *temporal*
 //! reuse.
+//!
+//! Both entry points here are thin wrappers over the streaming forms in
+//! [`crate::stream`] — one shared implementation, so the materialized and
+//! online paths cannot drift apart.
 
-use std::collections::HashMap;
-
-use crate::{checked_log2, Trace, TraceError};
-
-/// A Fenwick (binary-indexed) tree over `n` slots used to count live
-/// timestamps for the O(N log N) stack-distance algorithm.
-#[derive(Debug, Clone)]
-struct Fenwick {
-    tree: Vec<u64>,
-}
-
-impl Fenwick {
-    fn new(n: usize) -> Self {
-        Fenwick {
-            tree: vec![0; n + 1],
-        }
-    }
-
-    /// Adds `delta` at index `i` (0-based).
-    fn add(&mut self, i: usize, delta: i64) {
-        let mut i = i + 1;
-        while i < self.tree.len() {
-            self.tree[i] = (self.tree[i] as i64 + delta) as u64;
-            i += i & i.wrapping_neg();
-        }
-    }
-
-    /// Sum of values in `0..=i` (0-based inclusive prefix sum).
-    fn prefix_sum(&self, i: usize) -> u64 {
-        let mut i = i + 1;
-        let mut s = 0;
-        while i > 0 {
-            s += self.tree[i];
-            i -= i & i.wrapping_neg();
-        }
-        s
-    }
-}
+use crate::stream::{StreamingLocality, StreamingStackDistance};
+use crate::{Trace, TraceError};
 
 /// Histogram of LRU stack distances at block granularity.
 ///
@@ -67,45 +35,23 @@ impl StackDistanceHistogram {
     /// Distances at or above this value are clamped into the final bucket.
     pub const MAX_TRACKED: usize = 1 << 16;
 
-    /// Computes the histogram for `trace` at the given block size.
+    /// Computes the histogram for `trace` at the given block size by
+    /// streaming the events through [`StreamingStackDistance`].
     ///
     /// # Errors
     ///
     /// Returns [`TraceError::InvalidBlockSize`] for a bad block size.
     pub fn from_trace(trace: &Trace, block_size: u64) -> Result<Self, TraceError> {
-        let shift = checked_log2(block_size)?;
-        let n = trace.len();
-        let mut fen = Fenwick::new(n);
-        let mut last_pos: HashMap<u64, usize> = HashMap::new();
-        let mut hist = vec![0u64; 0];
-        let mut cold = 0u64;
-        for (t, ev) in trace.iter().enumerate() {
-            let b = ev.block(shift);
-            match last_pos.get(&b) {
-                None => cold += 1,
-                Some(&prev) => {
-                    // Distinct blocks touched strictly between prev and t:
-                    // live markers in (prev, t).
-                    let upto_t = if t == 0 { 0 } else { fen.prefix_sum(t - 1) };
-                    let upto_prev = fen.prefix_sum(prev);
-                    let d = (upto_t - upto_prev) as usize;
-                    let d = d.min(Self::MAX_TRACKED);
-                    if hist.len() <= d {
-                        hist.resize(d + 1, 0);
-                    }
-                    hist[d] += 1;
-                    // Remove the old marker for this block.
-                    fen.add(prev, -1);
-                }
-            }
-            fen.add(t, 1);
-            last_pos.insert(b, t);
+        let mut stream = StreamingStackDistance::new(block_size)?;
+        for &ev in trace.events() {
+            stream.push(ev);
         }
-        Ok(StackDistanceHistogram {
-            hist,
-            cold,
-            total: n as u64,
-        })
+        Ok(stream.finish())
+    }
+
+    /// Assembles a histogram from streaming-accumulated parts.
+    pub(crate) fn from_parts(hist: Vec<u64>, cold: u64, total: u64) -> Self {
+        StackDistanceHistogram { hist, cold, total }
     }
 
     /// Number of first-touch (cold) accesses.
@@ -168,7 +114,8 @@ pub struct LocalityReport {
 }
 
 impl LocalityReport {
-    /// Computes the report. `spatial_window` is the distance (bytes) under
+    /// Computes the report by streaming the events through
+    /// [`StreamingLocality`]. `spatial_window` is the distance (bytes) under
     /// which two consecutive accesses count as spatially local.
     ///
     /// # Errors
@@ -179,31 +126,11 @@ impl LocalityReport {
         if trace.is_empty() {
             return Err(TraceError::EmptyTrace);
         }
-        if spatial_window == 0 {
-            return Err(TraceError::InvalidParameter("spatial_window must be > 0"));
+        let mut stream = StreamingLocality::new(spatial_window)?;
+        for &ev in trace.events() {
+            stream.push(ev);
         }
-        let events = trace.len();
-        let mut near = 0usize;
-        let evs = trace.events();
-        for w in evs.windows(2) {
-            if w[0].addr.abs_diff(w[1].addr) <= spatial_window {
-                near += 1;
-            }
-        }
-        let spatial_locality = if events > 1 {
-            near as f64 / (events - 1) as f64
-        } else {
-            1.0
-        };
-        let sdh = StackDistanceHistogram::from_trace(trace, 64)?;
-        let footprint_blocks = sdh.cold_accesses() as usize;
-        Ok(LocalityReport {
-            spatial_locality,
-            spatial_window,
-            mean_stack_distance: sdh.mean_distance(),
-            footprint_blocks,
-            events,
-        })
+        stream.finish()
     }
 }
 
@@ -214,20 +141,6 @@ mod tests {
 
     fn trace_of(addrs: &[u64]) -> Trace {
         addrs.iter().map(|&a| MemEvent::read(a)).collect()
-    }
-
-    #[test]
-    fn fenwick_prefix_sums() {
-        let mut f = Fenwick::new(8);
-        f.add(0, 1);
-        f.add(3, 2);
-        f.add(7, 5);
-        assert_eq!(f.prefix_sum(0), 1);
-        assert_eq!(f.prefix_sum(2), 1);
-        assert_eq!(f.prefix_sum(3), 3);
-        assert_eq!(f.prefix_sum(7), 8);
-        f.add(3, -2);
-        assert_eq!(f.prefix_sum(7), 6);
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! Differential oracle for the streaming statistics layer: on random
+//! seeds, for **every** generator family, the streaming forms must be
+//! *exactly* equal to the materialized `from_trace` forms — the
+//! interpreter-vs-compiled oracle pattern applied to statistics.
+//!
+//! The materialized wrappers delegate to the streaming code, so most of
+//! these properties attack the part that can genuinely diverge: the
+//! timestamp *compaction* and clamp-depth *eviction* machinery that only
+//! streaming exercises (the wrapper path grows the same structures but a
+//! random trace shape decides whether compaction triggers), plus the
+//! independent chunk-based [`WorkingSetReport::from_trace`] twin.
+
+use lpmem_trace::gen::{HotColdGen, MarkovGen, PhaseScatterGen, PointerChaseGen, StridedGen};
+use lpmem_trace::{
+    LocalityReport, StackDistanceHistogram, StreamingLocality, StreamingStackDistance,
+    StreamingWorkingSet, Trace, WorkingSetReport,
+};
+use lpmem_util::{Props, Rng};
+
+/// Draws a random trace from a randomly chosen generator family with
+/// random (valid) parameters. Returns the family name for diagnostics.
+fn random_trace(rng: &mut Rng) -> (&'static str, Trace) {
+    let seed = rng.next_u64();
+    let n = 1 + rng.gen_range(0..3000usize);
+    match rng.gen_range(0..5u32) {
+        0 => {
+            let span = 1u64 << (12 + rng.gen_range(0..6u32));
+            let num_hot = 1 + rng.gen_range(0..16usize);
+            let hot_prob = rng.gen_f64();
+            let t = HotColdGen::new(span, num_hot, hot_prob)
+                .block_size(64 << rng.gen_range(0..4u64))
+                .write_ratio(rng.gen_f64())
+                .seed(seed)
+                .events(n)
+                .collect();
+            ("hot-cold", t)
+        }
+        1 => {
+            let stride = 4u64 << rng.gen_range(0..5u32);
+            let array = stride * (1 + rng.gen_range(0..512u64));
+            let passes = 1 + rng.gen_range(0..4usize);
+            let t = StridedGen::new(rng.gen_range(0..1u64 << 16), array, stride, passes)
+                .write_every(rng.gen_range(0..4usize))
+                .events()
+                .collect();
+            ("strided", t)
+        }
+        2 => {
+            let regions: Vec<(u64, u64)> = (0..1 + rng.gen_range(0..4u64))
+                .map(|_| {
+                    (
+                        rng.gen_range(0..1u64 << 20),
+                        4 * (1 + rng.gen_range(0..1024u64)),
+                    )
+                })
+                .collect();
+            let t = MarkovGen::new(regions, rng.gen_f64() * 0.2)
+                .write_ratio(rng.gen_f64())
+                .seed(seed)
+                .events(n)
+                .collect();
+            ("phased", t)
+        }
+        3 => {
+            let len = 8 + rng.gen_range(0..1u64 << 16);
+            let t = PointerChaseGen::new(rng.gen_range(0..1u64 << 20), len)
+                .seed(seed)
+                .events(n)
+                .collect();
+            ("chase", t)
+        }
+        _ => {
+            let phases = 1 + rng.gen_range(0..5usize);
+            let bpp = 1 + rng.gen_range(0..8usize);
+            let dwell = 1 + rng.gen_range(0..200usize);
+            let t = PhaseScatterGen::new(phases, bpp, dwell)
+                .block_size(64 << rng.gen_range(0..4u64))
+                .write_ratio(rng.gen_f64())
+                .seed(seed)
+                .events(n)
+                .collect();
+            ("phase-scatter", t)
+        }
+    }
+}
+
+#[test]
+fn streaming_stack_distance_equals_materialized() {
+    Props::new("stream sdh == from_trace").cases(48).run(|rng| {
+        let (name, trace) = random_trace(rng);
+        let block_size = 1u64 << rng.gen_range(0..13u32);
+        let mut stream = StreamingStackDistance::new(block_size).unwrap();
+        for &ev in trace.events() {
+            stream.push(ev);
+        }
+        let materialized = StackDistanceHistogram::from_trace(&trace, block_size).unwrap();
+        assert_eq!(
+            stream.finish(),
+            materialized,
+            "{name}, block_size {block_size}, {} events",
+            trace.len()
+        );
+    });
+}
+
+#[test]
+fn streaming_locality_equals_materialized() {
+    Props::new("stream locality == from_trace")
+        .cases(48)
+        .run(|rng| {
+            let (name, trace) = random_trace(rng);
+            let window = 1 + rng.gen_range(0..1024u64);
+            let mut stream = StreamingLocality::new(window).unwrap();
+            for &ev in trace.events() {
+                stream.push(ev);
+            }
+            let materialized = LocalityReport::from_trace(&trace, window).unwrap();
+            assert_eq!(stream.finish().unwrap(), materialized, "{name}");
+        });
+}
+
+#[test]
+fn streaming_working_set_equals_materialized() {
+    Props::new("stream working set == from_trace")
+        .cases(48)
+        .run(|rng| {
+            let (name, trace) = random_trace(rng);
+            let block_size = 1u64 << rng.gen_range(0..13u32);
+            let window = 1 + rng.gen_range(0..300usize);
+            let mut stream = StreamingWorkingSet::new(block_size, window).unwrap();
+            for &ev in trace.events() {
+                stream.push(ev);
+            }
+            let materialized = WorkingSetReport::from_trace(&trace, block_size, window).unwrap();
+            assert_eq!(stream.finish(), materialized, "{name}");
+        });
+}
+
+#[test]
+fn compaction_stress_stays_exact() {
+    // A small footprint revisited across far more events than the
+    // streaming timestamp capacity forces many compaction cycles; the
+    // result must still be bit-equal to the offline algorithm.
+    Props::new("compaction is exact").cases(8).run(|rng| {
+        let seed = rng.next_u64();
+        let regions = vec![(0u64, 4096), (1 << 20, 2048)];
+        let trace: Trace = MarkovGen::new(regions, 0.01)
+            .seed(seed)
+            .events(20_000)
+            .collect();
+        let mut stream = StreamingStackDistance::new(64).unwrap();
+        for &ev in trace.events() {
+            stream.push(ev);
+        }
+        assert_eq!(
+            stream.finish(),
+            StackDistanceHistogram::from_trace(&trace, 64).unwrap()
+        );
+    });
+}
+
+#[test]
+fn clamp_depth_eviction_stays_exact() {
+    // More distinct blocks than MAX_TRACKED: the streaming form must
+    // evict markers past the clamp depth yet still match the offline
+    // histogram, whose distances are clamped to the same depth.
+    let blocks = StackDistanceHistogram::MAX_TRACKED as u64 + 1024;
+    let trace: Trace = StridedGen::new(0, blocks * 64, 64, 2).events().collect();
+    let mut stream = StreamingStackDistance::new(64).unwrap();
+    for &ev in trace.events() {
+        stream.push(ev);
+    }
+    let streamed = stream.finish();
+    let materialized = StackDistanceHistogram::from_trace(&trace, 64).unwrap();
+    assert_eq!(streamed, materialized);
+    // Every second-pass access sits exactly in the clamp bucket.
+    assert_eq!(
+        streamed.buckets()[StackDistanceHistogram::MAX_TRACKED],
+        blocks
+    );
+    assert_eq!(streamed.cold_accesses(), blocks);
+}

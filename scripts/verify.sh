@@ -32,6 +32,29 @@ mkdir -p target
 cargo run --release --locked --offline -p lpmem-bench --bin isa-bench -- \
     --quick --json target/BENCH_isa_smoke.json --check-speedup 5
 
+echo "==> fleet smoke: worker byte-identity + bounded-memory gate (DESIGN.md §11)"
+# The fleet path streams every device through the online statistics, so
+# peak RSS is bounded by per-device footprint, not fleet size:
+# materializing this smoke's event stream (20000 devices x 1024 events
+# x 16 B/event) would need ~320 MiB and blow the 128 MiB gate. The JSONL
+# body must be byte-identical at any worker count.
+cargo run --release --locked --offline -p lpmem-bench --bin fleet -- \
+    --devices 20000 --events 1024 --threads 1 --jsonl target/fleet_t1.jsonl
+cargo run --release --locked --offline -p lpmem-bench --bin fleet -- \
+    --devices 20000 --events 1024 --threads 2 --jsonl target/fleet_t2.jsonl \
+    --assert-peak-rss-mb 128
+cmp target/fleet_t1.jsonl target/fleet_t2.jsonl
+
+echo "==> fleet bench report (self-skips on single-CPU hosts, like isa-bench)"
+# Quick throughput emission: the committed BENCH_fleet.json comes from a
+# full 1M-device run, not from here.
+if [ "$(nproc 2>/dev/null || echo 1)" -gt 1 ] && [ -z "${LPMEM_SKIP_TIMING_GATE:-}" ]; then
+    cargo run --release --locked --offline -p lpmem-bench --bin fleet -- \
+        --devices 100000 --bench-json target/BENCH_fleet_smoke.json
+else
+    echo "    skipped (single CPU or LPMEM_SKIP_TIMING_GATE); committed BENCH_fleet.json stands"
+fi
+
 echo "==> lpmem-lint --deny (determinism/accounting invariants, DESIGN.md §9)"
 cargo run --release --locked --offline -p lpmem-lint --bin lint -- --deny
 

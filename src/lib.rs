@@ -77,7 +77,7 @@ pub mod prelude {
     pub use lpmem_core::flows::scheduling::{dsp_pipeline_app, run_scheduling, SchedulingOutcome};
     pub use lpmem_core::flows::system::{run_system, run_system_with_tech, SystemOutcome};
     pub use lpmem_core::flows::{FlowSpec, FlowSummary, TechNode, VariantSpec};
-    pub use lpmem_core::{workloads, FlowError};
+    pub use lpmem_core::{workloads, DeviceArchetype, FlowError, WorkloadMix};
     pub use lpmem_energy::{
         AreaReport, BusModel, Energy, EnergyReport, OffChipModel, SramModel, Technology,
     };
@@ -89,7 +89,10 @@ pub mod prelude {
     pub use lpmem_mem::{Cache, CacheConfig, FlatMemory, RecordingBacking};
     pub use lpmem_partition::{greedy_partition, optimal_partition, Partition, PartitionCost};
     pub use lpmem_sched::{greedy_schedule, naive_schedule, AppSpec, ContextSpec, SchedPlatform};
-    pub use lpmem_trace::{AccessKind, BlockProfile, LocalityReport, MemEvent, Trace};
+    pub use lpmem_trace::{
+        AccessKind, BlockProfile, LocalityReport, MemEvent, Reservoir, StackDistanceHistogram,
+        StreamingLocality, StreamingStackDistance, StreamingWorkingSet, Trace, WorkingSetReport,
+    };
 }
 
 #[cfg(test)]
