@@ -8,6 +8,7 @@
 //! explore --strategy exhaustive            # or evolutionary / auto
 //! explore --budget 512 --seed 7            # evaluation budget and seed
 //! explore --threads 8                      # worker pool size
+//! explore --faults secded                  # fault campaign + 4th objective
 //! explore --jsonl frontier.jsonl           # frontier dump ('-' = stdout)
 //! explore --list                           # axes and space size
 //! ```
@@ -20,7 +21,7 @@
 use std::io::Write as _;
 
 use lpmem_bench::sweep::worker_count;
-use lpmem_core::flows::VariantSpec;
+use lpmem_core::flows::{FaultSpec, VariantSpec};
 use lpmem_explore::{parse_strategy, DesignPoint, DesignSpace, Evaluator, SearchConfig, Workload};
 
 fn fail(msg: &str) -> ! {
@@ -71,6 +72,7 @@ fn main() {
     let mut seed = 2003u64;
     let mut threads: Option<usize> = None;
     let mut jsonl_path: Option<String> = None;
+    let mut fault = FaultSpec::off();
     let mut list = false;
 
     let mut it = args.iter();
@@ -96,6 +98,11 @@ fn main() {
                 _ => fail("--threads needs a positive integer"),
             },
             "--jsonl" => jsonl_path = Some(value("--jsonl")),
+            "--faults" | "-f" => {
+                let spec = value("--faults");
+                fault = FaultSpec::parse(&spec)
+                    .unwrap_or_else(|| fail(&format!("unknown fault spec {spec:?}")));
+            }
             "--list" | "-l" => list = true,
             other => fail(&format!(
                 "unknown argument {other:?} (see src/bin/explore.rs)"
@@ -147,15 +154,21 @@ fn main() {
     };
 
     println!(
-        "explore: {} of {} points, {} search, seed {}, {} workers",
+        "explore: {} of {} points, {} search, seed {}, {} workers{}",
         budget.min(space.len()),
         space.len(),
         strategy.name(),
         seed,
         workers,
+        if fault.enabled() {
+            format!(", faults {}", fault.label())
+        } else {
+            String::new()
+        },
     );
     let workload = Workload::default();
-    let evaluator = Evaluator::new(workload).unwrap_or_else(|e| fail(&format!("workload: {e}")));
+    let evaluator =
+        Evaluator::with_faults(workload, fault).unwrap_or_else(|e| fail(&format!("workload: {e}")));
     let out = strategy
         .search(&space, &evaluator, &cfg)
         .unwrap_or_else(|e| fail(&format!("search failed: {e}")));
@@ -165,18 +178,36 @@ fn main() {
         out.evaluated,
         out.frontier.len()
     );
-    println!(
-        "{:<42} {:>14} {:>10} {:>10}",
-        "key", "energy_pj", "area_mm2", "cycles"
-    );
-    for p in out.frontier.points() {
+    if fault.enabled() {
         println!(
-            "{:<42} {:>14.1} {:>10.4} {:>10}",
-            p.point.key(),
-            p.objectives.energy_pj,
-            p.objectives.area_mm2,
-            p.objectives.cycles
+            "{:<42} {:>14} {:>10} {:>10} {:>8}",
+            "key", "energy_pj", "area_mm2", "cycles", "silent"
         );
+    } else {
+        println!(
+            "{:<42} {:>14} {:>10} {:>10}",
+            "key", "energy_pj", "area_mm2", "cycles"
+        );
+    }
+    for p in out.frontier.points() {
+        if fault.enabled() {
+            println!(
+                "{:<42} {:>14.1} {:>10.4} {:>10} {:>8}",
+                p.point.key(),
+                p.objectives.energy_pj,
+                p.objectives.area_mm2,
+                p.objectives.cycles,
+                p.objectives.silent
+            );
+        } else {
+            println!(
+                "{:<42} {:>14.1} {:>10.4} {:>10}",
+                p.point.key(),
+                p.objectives.energy_pj,
+                p.objectives.area_mm2,
+                p.objectives.cycles
+            );
+        }
     }
 
     if let Some(path) = jsonl_path {

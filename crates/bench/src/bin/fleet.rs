@@ -4,6 +4,7 @@
 //! fleet                                   # 1M devices, uniform mix
 //! fleet --devices 200000 --threads 4      # smaller fleet, fixed workers
 //! fleet --mix media --events 512          # population profile / stream length
+//! fleet --faults secded --tech t90        # fault-campaign mode (DESIGN.md §12)
 //! fleet --jsonl fleet.jsonl               # write the byte-stable report
 //! fleet --bench-json BENCH_fleet.json     # write the throughput report
 //! fleet --assert-peak-rss-mb 192          # fail if peak RSS exceeds bound
@@ -20,6 +21,7 @@ use std::io::Write as _;
 
 use lpmem_bench::fleet::{run_fleet, FleetReport, FleetSpec};
 use lpmem_bench::sweep::worker_count;
+use lpmem_core::flows::{FaultSpec, TechNode};
 use lpmem_core::{DeviceArchetype, WorkloadMix};
 use lpmem_util::json::JsonObject;
 
@@ -37,8 +39,16 @@ fn peak_rss_kb() -> Option<u64> {
 }
 
 fn bench_json(report: &FleetReport) -> String {
-    let summary = JsonObject::new()
-        .str("schema", "lpmem-fleet-bench-v1")
+    let faults = report.spec.fault.enabled();
+    let mut summary = JsonObject::new()
+        .str(
+            "schema",
+            if faults {
+                "lpmem-fault-bench-v1"
+            } else {
+                "lpmem-fleet-bench-v1"
+            },
+        )
         .u64("devices", report.spec.devices)
         .u64("events_per_device", report.spec.events_per_device as u64)
         .u64("events", report.total_events())
@@ -47,8 +57,27 @@ fn bench_json(report: &FleetReport) -> String {
         .u64("workers", report.workers as u64)
         .f64("elapsed_s", report.elapsed_ns as f64 / 1e9)
         .f64("devices_per_sec", report.devices_per_sec())
-        .f64("events_per_sec", report.events_per_sec())
-        .finish();
+        .f64("events_per_sec", report.events_per_sec());
+    if faults {
+        let rel = report.total_reliability();
+        summary = summary
+            .str("faults", &report.spec.fault.label())
+            .str("tech", report.spec.tech.name())
+            .u64("injected", rel.injected)
+            .u64("masked", rel.masked)
+            .u64("detected", rel.detected)
+            .u64("corrected", rel.corrected)
+            .u64("silent", rel.silent)
+            .f64(
+                "campaigns_per_sec",
+                if report.elapsed_ns == 0 {
+                    0.0
+                } else {
+                    report.spec.devices as f64 * 1e9 / report.elapsed_ns as f64
+                },
+            );
+    }
+    let summary = summary.finish();
     let classes: Vec<String> = report
         .per_class
         .iter()
@@ -109,6 +138,16 @@ fn main() {
             "--ws-window" => {
                 spec.ws_window = parse_u64("--ws-window", value("--ws-window")) as usize
             }
+            "--faults" => {
+                let v = value("--faults");
+                spec.fault = FaultSpec::parse(&v)
+                    .unwrap_or_else(|| fail(&format!("unknown fault spec {v:?}")));
+            }
+            "--tech" => {
+                let v = value("--tech");
+                spec.tech = TechNode::parse(&v)
+                    .unwrap_or_else(|| fail(&format!("unknown tech node {v:?}")));
+            }
             "--jsonl" => jsonl_path = Some(value("--jsonl")),
             "--bench-json" => bench_path = Some(value("--bench-json")),
             "--assert-peak-rss-mb" => {
@@ -161,6 +200,19 @@ fn main() {
             mean_dist,
             spatial,
             agg.ws_max
+        );
+    }
+    if spec.fault.enabled() {
+        let rel = report.total_reliability();
+        println!(
+            "  faults {} at {}: {} injected = {} masked + {} detected + {} corrected + {} silent",
+            spec.fault.label(),
+            spec.tech.name(),
+            rel.injected,
+            rel.masked,
+            rel.detected,
+            rel.corrected,
+            rel.silent
         );
     }
     let elapsed_s = report.elapsed_ns as f64 / 1e9;

@@ -7,6 +7,7 @@
 //! sweep --flows compression,system        # filter an axis
 //! sweep --kernels fir,dct8 --techs t90    # filter more axes
 //! sweep --variants tight --seed 7         # variant axis + base seed
+//! sweep --faults off,secded,parity        # reliability axis (campaigns)
 //! sweep --jsonl results.jsonl             # machine-readable report
 //! sweep --list                            # grid axes and task count
 //! ```
@@ -19,7 +20,7 @@
 use std::io::Write as _;
 
 use lpmem_bench::sweep::{run_sweep, worker_count, SweepGrid};
-use lpmem_core::flows::{FlowSpec, TechNode, VariantSpec};
+use lpmem_core::flows::{FaultSpec, FlowSpec, TechNode, VariantSpec};
 use lpmem_isa::Kernel;
 
 fn fail(msg: &str) -> ! {
@@ -86,6 +87,9 @@ fn main() {
             "--variants" => {
                 grid.variants = parse_list(&value("--variants"), "variant", VariantSpec::parse);
             }
+            "--faults" => {
+                grid.faults = parse_list(&value("--faults"), "fault spec", FaultSpec::parse);
+            }
             "--list" | "-l" => list = true,
             other => fail(&format!(
                 "unknown argument {other:?} (see src/bin/sweep.rs)"
@@ -108,6 +112,7 @@ fn main() {
             "variants: {}",
             join(grid.variants.iter().map(|v| v.name.clone()))
         );
+        println!("faults:   {}", join(grid.faults.iter().map(|f| f.label())));
         println!("seed:     {}", grid.base_seed);
         println!("tasks:    {}", grid.len());
         return;
@@ -118,12 +123,13 @@ fn main() {
 
     let workers = threads.unwrap_or_else(worker_count);
     println!(
-        "sweep: {} tasks ({} flows x {} kernels x {} techs x {} variants), {} workers{}",
+        "sweep: {} tasks ({} flows x {} kernels x {} techs x {} variants x {} faults), {} workers{}",
         grid.len(),
         grid.flows.len(),
         grid.kernels.len(),
         grid.techs.len(),
         grid.variants.len(),
+        grid.faults.len(),
         workers,
         if quick { ", quick scales" } else { "" },
     );

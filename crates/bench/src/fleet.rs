@@ -24,6 +24,9 @@
 // lpmem-lint: allow(D02, reason = "run instrumentation: wall time feeds throughput reporting only, never the JSONL report body")
 use std::time::Instant;
 
+use lpmem_core::flows::{
+    run_campaign, BankExposure, FaultExposure, FaultSpec, ReliabilityReport, TechNode,
+};
 use lpmem_core::{DeviceArchetype, WorkloadMix};
 use lpmem_trace::{Reservoir, StreamingStackDistance, StreamingWorkingSet};
 use lpmem_util::json::JsonObject;
@@ -69,6 +72,12 @@ pub struct FleetSpec {
     pub samples: usize,
     /// Devices per aggregation shard (one pool task each).
     pub shard_devices: u64,
+    /// Fault-campaign mode: each device's touched footprint is exposed to
+    /// the spec's upset rate under its protection ([`FaultSpec::off`] for
+    /// the classic locality-only fleet, whose report bytes are unchanged).
+    pub fault: FaultSpec,
+    /// Technology node pricing the fault campaign's FIT rate.
+    pub tech: TechNode,
 }
 
 impl FleetSpec {
@@ -84,6 +93,8 @@ impl FleetSpec {
             ws_window: 64,
             samples: 8,
             shard_devices: 1024,
+            fault: FaultSpec::off(),
+            tech: TechNode::T180,
         }
     }
 
@@ -157,6 +168,8 @@ pub struct DeviceStats {
     pub priority: u64,
     /// Reservoir-sampled event addresses (profile of this device).
     pub profile_addrs: Vec<u64>,
+    /// Campaign outcome (all-zero when the spec's fault axis is off).
+    pub reliability: ReliabilityReport,
 }
 
 fn dist_bucket(d: usize) -> usize {
@@ -212,6 +225,33 @@ pub fn simulate_device(spec: &FleetSpec, device: u64) -> DeviceStats {
         }
     }
     let wsr = ws.finish();
+
+    // Fault-campaign mode: the device's touched block footprint is the
+    // exposed memory, its stream length the exposure time, its reuses the
+    // consuming reads. The campaign seed tree hangs off (base_seed,
+    // device-as-domain), so campaigns are coordinate-stable like
+    // everything else on this path.
+    let reliability = if spec.fault.enabled() {
+        let exposure = FaultExposure {
+            domain: device,
+            banks: vec![BankExposure {
+                words: hist.cold_accesses() * (spec.block_size / 4),
+                active_ticks: hist.total_accesses(),
+                sleep_ticks: 0,
+                reads: reuses,
+                writes: hist.cold_accesses(),
+            }],
+        };
+        run_campaign(
+            &spec.fault,
+            &spec.tech.technology(),
+            &exposure,
+            spec.base_seed,
+        )
+    } else {
+        ReliabilityReport::default()
+    };
+
     DeviceStats {
         device,
         class: class.index(),
@@ -228,6 +268,7 @@ pub fn simulate_device(spec: &FleetSpec, device: u64) -> DeviceStats {
         ws_max: wsr.max_distinct.max(wsr.tail_distinct),
         priority: SplitMix64::derive(spec.base_seed, &[device, TAG_PRIORITY]),
         profile_addrs: profile.into_items(),
+        reliability,
     }
 }
 
@@ -260,6 +301,8 @@ pub struct ClassAgg {
     pub ws_max: u64,
     /// Largest block footprint seen on any device of the class.
     pub max_footprint: u64,
+    /// Summed campaign outcomes (all-zero outside fault mode).
+    pub reliability: ReliabilityReport,
 }
 
 impl Default for ClassAgg {
@@ -277,6 +320,7 @@ impl Default for ClassAgg {
             ws_distinct_sum: 0,
             ws_max: 0,
             max_footprint: 0,
+            reliability: ReliabilityReport::default(),
         }
     }
 }
@@ -298,6 +342,7 @@ impl ClassAgg {
         self.ws_distinct_sum += d.ws_distinct_sum;
         self.ws_max = self.ws_max.max(d.ws_max);
         self.max_footprint = self.max_footprint.max(d.cold);
+        self.reliability.merge(&d.reliability);
     }
 
     /// Merges another aggregate (commutative, associative).
@@ -316,6 +361,7 @@ impl ClassAgg {
         self.ws_distinct_sum += o.ws_distinct_sum;
         self.ws_max = self.ws_max.max(o.ws_max);
         self.max_footprint = self.max_footprint.max(o.max_footprint);
+        self.reliability.merge(&o.reliability);
     }
 }
 
@@ -444,27 +490,42 @@ impl FleetReport {
         self.per_class.iter().map(|c| c.events).sum()
     }
 
+    /// Fleet-wide campaign outcome (all-zero outside fault mode).
+    pub fn total_reliability(&self) -> ReliabilityReport {
+        let mut total = ReliabilityReport::default();
+        for c in &self.per_class {
+            total.merge(&c.reliability);
+        }
+        total
+    }
+
     /// The machine-readable report: one `fleet` header line, one `class`
     /// line per archetype (in [`DeviceArchetype::ALL`] order), and one
     /// `sample` line per sampled device. Byte-identical for a given spec
     /// at any worker count; every float is derived from fully-merged
     /// integers at render time.
     pub fn jsonl(&self) -> String {
+        let faults = self.spec.fault.enabled();
         let mut out = String::new();
-        out.push_str(
-            &JsonObject::new()
-                .str("kind", "fleet")
-                .u64("devices", self.spec.devices)
-                .u64("events_per_device", self.spec.events_per_device as u64)
-                .u64("events", self.total_events())
-                .str("mix", self.spec.mix.name())
-                .u64("seed", self.spec.base_seed)
-                .u64("block_size", self.spec.block_size)
-                .u64("spatial_window", self.spec.spatial_window)
-                .u64("ws_window", self.spec.ws_window as u64)
-                .u64("samples", self.samples.len() as u64)
-                .finish(),
-        );
+        let mut header = JsonObject::new()
+            .str("kind", "fleet")
+            .u64("devices", self.spec.devices)
+            .u64("events_per_device", self.spec.events_per_device as u64)
+            .u64("events", self.total_events())
+            .str("mix", self.spec.mix.name())
+            .u64("seed", self.spec.base_seed)
+            .u64("block_size", self.spec.block_size)
+            .u64("spatial_window", self.spec.spatial_window)
+            .u64("ws_window", self.spec.ws_window as u64)
+            .u64("samples", self.samples.len() as u64);
+        // Campaign fields appear only in fault mode, so the classic
+        // locality report keeps its historical bytes (golden-pinned).
+        if faults {
+            header = header
+                .str("faults", &self.spec.fault.label())
+                .str("tech", self.spec.tech.name());
+        }
+        out.push_str(&header.finish());
         out.push('\n');
         for (c, agg) in self.per_class.iter().enumerate() {
             let hist = agg
@@ -473,33 +534,38 @@ impl FleetReport {
                 .map(u64::to_string)
                 .collect::<Vec<_>>()
                 .join(",");
-            out.push_str(
-                &JsonObject::new()
-                    .str("kind", "class")
-                    .str("class", DeviceArchetype::ALL[c].name())
-                    .u64("devices", agg.devices)
-                    .u64("events", agg.events)
-                    .u64("cold", agg.cold)
-                    .u64("reuses", agg.reuses)
-                    .u64("dist_sum", agg.dist_sum)
-                    .u64("near_pairs", agg.near_pairs)
-                    .u64("pairs", agg.pairs)
-                    .u64("ws_windows", agg.ws_windows)
-                    .u64("ws_distinct_sum", agg.ws_distinct_sum)
-                    .u64("ws_max", agg.ws_max)
-                    .u64("max_footprint", agg.max_footprint)
-                    .f64(
-                        "mean_stack_distance",
-                        agg.dist_sum as f64 / agg.reuses as f64,
-                    )
-                    .f64("spatial_locality", agg.near_pairs as f64 / agg.pairs as f64)
-                    .f64(
-                        "ws_mean",
-                        agg.ws_distinct_sum as f64 / agg.ws_windows as f64,
-                    )
-                    .str("dist_hist", &hist)
-                    .finish(),
-            );
+            let mut row = JsonObject::new()
+                .str("kind", "class")
+                .str("class", DeviceArchetype::ALL[c].name())
+                .u64("devices", agg.devices)
+                .u64("events", agg.events)
+                .u64("cold", agg.cold)
+                .u64("reuses", agg.reuses)
+                .u64("dist_sum", agg.dist_sum)
+                .u64("near_pairs", agg.near_pairs)
+                .u64("pairs", agg.pairs)
+                .u64("ws_windows", agg.ws_windows)
+                .u64("ws_distinct_sum", agg.ws_distinct_sum)
+                .u64("ws_max", agg.ws_max)
+                .u64("max_footprint", agg.max_footprint)
+                .f64(
+                    "mean_stack_distance",
+                    agg.dist_sum as f64 / agg.reuses as f64,
+                )
+                .f64("spatial_locality", agg.near_pairs as f64 / agg.pairs as f64)
+                .f64(
+                    "ws_mean",
+                    agg.ws_distinct_sum as f64 / agg.ws_windows as f64,
+                );
+            if faults {
+                row = row
+                    .u64("injected", agg.reliability.injected)
+                    .u64("masked", agg.reliability.masked)
+                    .u64("detected", agg.reliability.detected)
+                    .u64("corrected", agg.reliability.corrected)
+                    .u64("silent", agg.reliability.silent);
+            }
+            out.push_str(&row.str("dist_hist", &hist).finish());
             out.push('\n');
         }
         for s in &self.samples {
@@ -643,6 +709,41 @@ mod tests {
         let flat = FleetReport::from_shards(flat_spec.clone(), vec![simulate_shard(&flat_spec, 0)]);
         assert_eq!(merged.per_class, flat.per_class);
         assert_eq!(merged.samples, flat.samples);
+    }
+
+    #[test]
+    fn fault_mode_accounts_and_plain_bytes_lack_campaign_fields() {
+        use lpmem_core::flows::Protection;
+        let plain = run_fleet(&small_spec(), 2).unwrap();
+        assert!(plain.total_reliability().is_empty());
+        assert!(!plain.jsonl().contains("\"injected\""));
+        assert!(!plain.jsonl().contains("\"faults\""));
+
+        // Short streams expose few word-ticks, so accelerate well past
+        // the campaign default for a statistically real upset population.
+        let mut spec = small_spec();
+        spec.fault = FaultSpec {
+            rate_scale: FaultSpec::DEFAULT_ACCEL.saturating_mul(10_000),
+            protection: Protection::Secded,
+        };
+        let faulted = run_fleet(&spec, 2).unwrap();
+        let total = faulted.total_reliability();
+        assert!(total.injected > 0, "accelerated rate must inject");
+        assert_eq!(
+            total.injected,
+            total.masked + total.detected + total.corrected + total.silent,
+            "every injected bit lands in exactly one outcome"
+        );
+        let jsonl = faulted.jsonl();
+        assert!(jsonl.contains("\"faults\":\"secded:"));
+        assert!(jsonl.contains("\"injected\""));
+        // Campaigns are coordinate-derived: worker count changes nothing.
+        assert_eq!(jsonl, run_fleet(&spec, 1).unwrap().jsonl());
+        assert_eq!(jsonl, run_fleet(&spec, 8).unwrap().jsonl());
+        // The locality statistics are untouched by the fault axis.
+        for (f, p) in faulted.per_class.iter().zip(plain.per_class.iter()) {
+            assert_eq!((f.devices, f.events, f.cold), (p.devices, p.events, p.cold));
+        }
     }
 
     #[test]

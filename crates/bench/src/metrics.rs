@@ -277,6 +277,7 @@ mod tests {
             baseline: Energy::from_pj(baseline_pj),
             optimized: Energy::from_pj(optimized_pj),
             events: 1,
+            reliability: None,
         }
     }
 

@@ -17,7 +17,7 @@
 // lpmem-lint: allow(D02, reason = "run instrumentation: wall times feed the metrics tables only, never the scored results or the JSONL report")
 use std::time::Instant;
 
-use lpmem_core::flows::{FlowSpec, FlowSummary, TechNode, VariantSpec};
+use lpmem_core::flows::{FaultSpec, FlowSpec, FlowSummary, TechNode, VariantSpec};
 use lpmem_isa::Kernel;
 pub use lpmem_util::pool::parallel_map;
 use lpmem_util::pool::parallel_map_workers;
@@ -38,6 +38,10 @@ pub struct SweepGrid {
     pub techs: Vec<TechNode>,
     /// Configuration-variant axis.
     pub variants: Vec<VariantSpec>,
+    /// Reliability axis: fault/protection configurations each grid point
+    /// runs under. The default single `FaultSpec::off()` entry reproduces
+    /// the pre-fault grid (and its reports) exactly.
+    pub faults: Vec<FaultSpec>,
     /// Base seed every task seed is derived from.
     pub base_seed: u64,
 }
@@ -59,12 +63,13 @@ impl SweepGrid {
             kernels: Kernel::ALL.iter().map(|&k| (k, scale(k))).collect(),
             techs: TechNode::ALL.to_vec(),
             variants: vec![VariantSpec::default(), VariantSpec::tight()],
+            faults: vec![FaultSpec::off()],
             base_seed: crate::experiments::SEED,
         }
     }
 
     /// Expands the grid into its task list, in deterministic grid order
-    /// (flow-major, then kernel, technology, variant).
+    /// (flow-major, then kernel, technology, variant, fault).
     pub fn tasks(&self) -> Vec<SweepTask> {
         let mut out = Vec::with_capacity(self.len());
         let mut index = 0;
@@ -73,21 +78,28 @@ impl SweepGrid {
                 for (ti, &tech) in self.techs.iter().enumerate() {
                     for (vi, variant) in self.variants.iter().enumerate() {
                         // Seeds hang off grid coordinates — not off `index`,
-                        // so filtering one axis never reseeds another.
+                        // so filtering one axis never reseeds another. The
+                        // fault axis deliberately stays out of the path:
+                        // every protection is judged on the *same* workload
+                        // draw, and fault draws decorrelate through their
+                        // own TAG_FAULT derivation domain.
                         let seed = SplitMix64::derive(
                             self.base_seed,
                             &[fi as u64, ki as u64, ti as u64, vi as u64],
                         );
-                        out.push(SweepTask {
-                            index,
-                            flow,
-                            kernel,
-                            scale,
-                            tech,
-                            variant: variant.clone(),
-                            seed,
-                        });
-                        index += 1;
+                        for &fault in &self.faults {
+                            out.push(SweepTask {
+                                index,
+                                flow,
+                                kernel,
+                                scale,
+                                tech,
+                                variant: variant.clone(),
+                                fault,
+                                seed,
+                            });
+                            index += 1;
+                        }
                     }
                 }
             }
@@ -97,7 +109,11 @@ impl SweepGrid {
 
     /// Number of tasks the grid expands to.
     pub fn len(&self) -> usize {
-        self.flows.len() * self.kernels.len() * self.techs.len() * self.variants.len()
+        self.flows.len()
+            * self.kernels.len()
+            * self.techs.len()
+            * self.variants.len()
+            * self.faults.len()
     }
 
     /// Whether the grid is empty.
@@ -121,6 +137,8 @@ pub struct SweepTask {
     pub tech: TechNode,
     /// Configuration variant.
     pub variant: VariantSpec,
+    /// Reliability configuration.
+    pub fault: FaultSpec,
     /// Derived per-task seed (a pure function of grid coordinates).
     pub seed: u64,
 }
@@ -129,7 +147,14 @@ impl SweepTask {
     /// Runs the task's flow.
     fn run(&self) -> Result<FlowSummary, String> {
         self.flow
-            .run(self.kernel, self.scale, self.seed, self.tech, &self.variant)
+            .run_with_faults(
+                self.kernel,
+                self.scale,
+                self.seed,
+                self.tech,
+                &self.variant,
+                &self.fault,
+            )
             .map_err(|e| e.to_string())
     }
 }
@@ -148,9 +173,11 @@ pub struct TaskResult {
 impl TaskResult {
     /// One JSON-lines record for this result. Contains only fields that
     /// are a pure function of the grid — never timings — so the full
-    /// report is byte-identical at any worker count.
+    /// report is byte-identical at any worker count. Reliability fields
+    /// appear only on fault-enabled tasks, keeping default-grid reports
+    /// byte-identical to the pre-fault schema.
     pub fn json_line(&self) -> String {
-        let obj = JsonObject::new()
+        let mut obj = JsonObject::new()
             .u64("task", self.task.index as u64)
             .str("flow", self.task.flow.name())
             .str("kernel", self.task.kernel.name())
@@ -158,14 +185,27 @@ impl TaskResult {
             .str("tech", self.task.tech.name())
             .str("variant", &self.task.variant.name)
             .u64("seed", self.task.seed);
+        if self.task.fault.enabled() {
+            obj = obj.str("fault", &self.task.fault.label());
+        }
         match &self.outcome {
-            Ok(s) => obj
-                .str("workload", &s.workload)
-                .u64("events", s.events)
-                .f64("baseline_pj", s.baseline.as_pj())
-                .f64("optimized_pj", s.optimized.as_pj())
-                .f64("saving", s.saving())
-                .finish(),
+            Ok(s) => {
+                obj = obj
+                    .str("workload", &s.workload)
+                    .u64("events", s.events)
+                    .f64("baseline_pj", s.baseline.as_pj())
+                    .f64("optimized_pj", s.optimized.as_pj())
+                    .f64("saving", s.saving());
+                if let Some(r) = &s.reliability {
+                    obj = obj
+                        .u64("injected", r.injected)
+                        .u64("masked", r.masked)
+                        .u64("detected", r.detected)
+                        .u64("corrected", r.corrected)
+                        .u64("silent", r.silent);
+                }
+                obj.finish()
+            }
             Err(e) => obj.str("error", e).finish(),
         }
     }
@@ -221,14 +261,20 @@ pub fn worker_count() -> usize {
 /// Runs every task of `grid` on `workers` threads and aggregates the
 /// report. Results come back in grid order and all result fields except
 /// timings are independent of `workers`.
+///
+/// A task that *panics* (a model bug, not a modeled flow error) does not
+/// abort the sweep: the pool isolates it with `catch_unwind` and the
+/// report carries a deterministic `panic: …` error record in that task's
+/// slot — byte-identical at any worker count, since the record is keyed
+/// by the task's grid index, not by which worker hit it.
 pub fn run_sweep(grid: &SweepGrid, workers: usize) -> SweepReport {
     // lpmem-lint: allow(D02, reason = "elapsed wall time of the whole run; reported in the metrics table, excluded from the JSONL")
     let started = Instant::now();
     let tasks = grid.tasks();
-    let per_worker: Vec<(Vec<(usize, TaskResult)>, Metrics)> = parallel_map_workers(
+    let per_worker = parallel_map_workers(
         tasks,
         workers,
-        |task| {
+        |task: SweepTask| {
             // lpmem-lint: allow(D02, reason = "per-task latency for the histogram; task outcomes never read it")
             let t0 = Instant::now();
             let outcome = task.run();
@@ -250,9 +296,26 @@ pub fn run_sweep(grid: &SweepGrid, workers: usize) -> SweepReport {
 
     let mut results: Vec<TaskResult> = Vec::new();
     let mut metrics = Metrics::new();
-    for (chunk, local) in per_worker {
+    let mut panicked: Vec<lpmem_util::TaskPanic> = Vec::new();
+    for (chunk, local, panics) in per_worker {
         results.extend(chunk.into_iter().map(|(_, r)| r));
         metrics.merge(&local);
+        panicked.extend(panics);
+    }
+    // Rebuild a deterministic error record for every poisoned task from
+    // its grid coordinates (the expansion is pure, so re-deriving the
+    // task is exact). Zero wall time: the measurement died with the task.
+    if !panicked.is_empty() {
+        let all = grid.tasks();
+        for p in panicked {
+            let task = all[p.index].clone();
+            metrics.record(task.flow.name(), 0, None);
+            results.push(TaskResult {
+                task,
+                outcome: Err(format!("panic: {}", p.message)),
+                wall_ns: 0,
+            });
+        }
     }
     results.sort_by_key(|r| r.task.index);
     SweepReport {

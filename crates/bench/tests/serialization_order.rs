@@ -25,8 +25,10 @@ fn frontier_jsonl_is_insertion_order_invariant() {
                 energy_pj: ((i * 7) % 13) as f64,
                 area_mm2: ((i * 5) % 11) as f64,
                 cycles: ((i * 3) % 17) as u64,
+                silent: 0,
             },
             area: AreaReport::new(),
+            reliability: None,
         })
         .collect();
 
@@ -59,6 +61,7 @@ fn summary(baseline_pj: f64, optimized_pj: f64) -> FlowSummary {
         baseline: Energy::from_pj(baseline_pj),
         optimized: Energy::from_pj(optimized_pj),
         events: 1,
+        reliability: None,
     }
 }
 

@@ -8,4 +8,10 @@ pub mod scheduling;
 pub mod spec;
 pub mod system;
 
-pub use spec::{FlowSpec, FlowSummary, TechNode, VariantSpec};
+pub use spec::{data_memory_exposure, FlowSpec, FlowSummary, TechNode, VariantSpec};
+
+// Reliability surface, re-exported so harness crates reach the fault
+// axis through the same uniform flow module as everything else.
+pub use lpmem_fault::{
+    run_campaign, BankExposure, FaultExposure, FaultSpec, Protection, ReliabilityReport,
+};

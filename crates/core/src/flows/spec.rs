@@ -12,8 +12,12 @@
 
 use lpmem_compress::DiffCodec;
 use lpmem_energy::{Energy, Technology};
+use lpmem_fault::{run_campaign, BankExposure, FaultExposure, FaultSpec, ReliabilityReport};
 use lpmem_isa::Kernel;
+use lpmem_partition::sleep::{evaluate_with_sleep, SleepPolicy};
+use lpmem_partition::{optimal_partition, PartitionCost};
 use lpmem_sched::SchedPlatform;
+use lpmem_trace::{BlockProfile, Trace};
 
 use crate::flows::buscoding::run_buscoding;
 use crate::flows::compression::{run_compression_trace, CompressionConfig, PlatformKind};
@@ -22,6 +26,10 @@ use crate::flows::scheduling::{dsp_pipeline_app, run_scheduling};
 use crate::flows::system::run_system_with_tech;
 use crate::workloads::kernel_trace_and_image;
 use crate::FlowError;
+
+/// Bank power-gating timeout (trace ticks) used when deriving fault
+/// exposure — matches the sleep-aware partitioning experiments.
+const FAULT_SLEEP_TIMEOUT: u64 = 32;
 
 /// A named technology node — the sweep grid's technology axis.
 ///
@@ -206,6 +214,50 @@ impl FlowSpec {
         }
     }
 
+    /// Runs this flow under a reliability configuration: the ordinary
+    /// flow result plus a deterministic fault campaign over the flow's
+    /// data-memory exposure, with the protection's encode/decode energy
+    /// charged onto the optimized design.
+    ///
+    /// A disabled `fault` spec takes the exact [`run`](FlowSpec::run)
+    /// path — the differential guarantee every pre-fault golden report
+    /// rests on.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying flow's error.
+    pub fn run_with_faults(
+        self,
+        kernel: Kernel,
+        scale: u32,
+        seed: u64,
+        tech: TechNode,
+        variant: &VariantSpec,
+        fault: &FaultSpec,
+    ) -> Result<FlowSummary, FlowError> {
+        let mut summary = self.run(kernel, scale, seed, tech, variant)?;
+        if !fault.enabled() {
+            return Ok(summary);
+        }
+        let technology = tech.technology();
+        let exposure = match self {
+            // The scheduling flow has no kernel trace; its L0 scratchpad
+            // is the exposed memory, busy for the whole run.
+            FlowSpec::Scheduling => {
+                FaultExposure::single_bank(variant.l0_bytes / 4, summary.events, summary.events)
+            }
+            _ => {
+                let run = kernel.run(scale, seed)?;
+                data_memory_exposure(&run.trace, variant, &technology)?
+            }
+        };
+        summary.reliability = Some(run_campaign(fault, &technology, &exposure, seed));
+        summary.optimized += fault
+            .protection
+            .access_overhead(&technology, exposure.accesses());
+        Ok(summary)
+    }
+
     fn summary(
         self,
         workload: &str,
@@ -219,8 +271,51 @@ impl FlowSpec {
             baseline,
             optimized,
             events,
+            reliability: None,
         }
     }
+}
+
+/// Derives the fault exposure of a trace's data memory: the trace is
+/// profiled and partitioned exactly like the partitioning flow (same
+/// block size and bank budget), then replayed under the sleep model so
+/// each bank's drowsy residency — the retention-failure driver — is an
+/// exact integer tick count.
+///
+/// # Errors
+///
+/// Returns [`FlowError::EmptyInput`] when the trace has no data accesses
+/// and propagates profile-construction errors.
+pub fn data_memory_exposure(
+    trace: &Trace,
+    variant: &VariantSpec,
+    tech: &Technology,
+) -> Result<FaultExposure, FlowError> {
+    let data = trace.data_only();
+    if data.is_empty() {
+        return Err(FlowError::EmptyInput("trace has no data accesses"));
+    }
+    let profile = BlockProfile::from_trace(&data, variant.block_size)?;
+    let cost = PartitionCost::new(tech);
+    let (partition, _) = optimal_partition(&profile, variant.max_banks, &cost);
+    let policy = SleepPolicy::from_tech(tech, FAULT_SLEEP_TIMEOUT);
+    let sleep = evaluate_with_sleep(&data, &profile, &partition, tech, &policy);
+    let block_words = profile.block_size() / 4;
+    let counts = profile.counts();
+    let write_counts = profile.write_counts();
+    let mut banks = Vec::with_capacity(partition.num_banks());
+    for (bi, range) in partition.banks().enumerate() {
+        let reads: u64 = range.clone().map(|b| counts[b] - write_counts[b]).sum();
+        let writes: u64 = range.clone().map(|b| write_counts[b]).sum();
+        banks.push(BankExposure {
+            words: range.len() as u64 * block_words,
+            active_ticks: sleep.total_ticks - sleep.bank_sleep_ticks[bi],
+            sleep_ticks: sleep.bank_sleep_ticks[bi],
+            reads,
+            writes,
+        });
+    }
+    Ok(FaultExposure { domain: 0, banks })
 }
 
 impl std::fmt::Display for FlowSpec {
@@ -319,6 +414,10 @@ pub struct FlowSummary {
     pub optimized: Energy,
     /// Events evaluated (the flow's natural unit of work).
     pub events: u64,
+    /// Fault-campaign outcome when the flow ran under a reliability
+    /// configuration ([`FlowSpec::run_with_faults`]); `None` on the
+    /// ordinary path, keeping pre-fault reports byte-identical.
+    pub reliability: Option<ReliabilityReport>,
 }
 
 impl FlowSummary {
@@ -378,6 +477,90 @@ mod tests {
             .run(Kernel::Dct8, 16, 42, TechNode::T130, &variant)
             .unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn disabled_faults_are_byte_identical_to_plain_runs() {
+        // The differential guarantee: a disabled fault spec must take the
+        // exact same path as `run` — field-for-field equal summaries.
+        let variant = VariantSpec::default();
+        for flow in FlowSpec::ALL {
+            let plain = flow
+                .run(Kernel::Fir, 48, 2003, TechNode::T180, &variant)
+                .unwrap();
+            let off = flow
+                .run_with_faults(
+                    Kernel::Fir,
+                    48,
+                    2003,
+                    TechNode::T180,
+                    &variant,
+                    &lpmem_fault::FaultSpec::off(),
+                )
+                .unwrap();
+            assert_eq!(plain, off, "{flow}");
+            assert!(off.reliability.is_none());
+        }
+    }
+
+    #[test]
+    fn fault_runs_report_reliability_and_charge_protection() {
+        use lpmem_fault::Protection;
+        let variant = VariantSpec::default();
+        for flow in FlowSpec::ALL {
+            let unprotected = flow
+                .run_with_faults(
+                    Kernel::Fir,
+                    48,
+                    2003,
+                    TechNode::T90,
+                    &variant,
+                    &lpmem_fault::FaultSpec::accelerated(Protection::None),
+                )
+                .unwrap();
+            let secded = flow
+                .run_with_faults(
+                    Kernel::Fir,
+                    48,
+                    2003,
+                    TechNode::T90,
+                    &variant,
+                    &lpmem_fault::FaultSpec::accelerated(Protection::Secded),
+                )
+                .unwrap();
+            let ur = unprotected.reliability.expect("campaign ran");
+            let sr = secded.reliability.expect("campaign ran");
+            // The scheduling flow's L0 scratchpad is tiny and short-lived;
+            // its campaign legitimately observes ~0 faults at this rate.
+            if flow != FlowSpec::Scheduling {
+                assert!(ur.injected > 0, "{flow}: no faults injected");
+            }
+            assert!(
+                sr.silent < ur.silent || ur.silent == 0,
+                "{flow}: secded did not reduce silent corruption ({sr:?} vs {ur:?})"
+            );
+            // ECC costs real energy: the protected run must be pricier.
+            assert!(
+                secded.optimized > unprotected.optimized,
+                "{flow}: secded energy overhead missing"
+            );
+        }
+    }
+
+    #[test]
+    fn exposure_reflects_trace_structure() {
+        let run = Kernel::Fir.run(48, 2003).unwrap();
+        let exposure =
+            data_memory_exposure(&run.trace, &VariantSpec::default(), &Technology::tech180())
+                .unwrap();
+        assert!(!exposure.banks.is_empty());
+        let data_events = run.trace.data_only().len() as u64;
+        for bank in &exposure.banks {
+            assert!(bank.words > 0);
+            assert_eq!(bank.active_ticks + bank.sleep_ticks, data_events);
+        }
+        let accesses: u64 = exposure.accesses();
+        assert_eq!(accesses, data_events, "every data event lands in a bank");
     }
 
     #[test]

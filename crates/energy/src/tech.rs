@@ -51,6 +51,15 @@ pub struct Technology {
     pub sram_periph_mm2: f64,
     /// Periphery area slope in mm² per sqrt(bit) (word/bit-line drivers).
     pub sram_periph_slope_mm2: f64,
+    /// Single-event-upset rate of the SRAM array in FIT per Mbit
+    /// (failures per 10⁹ device-hours per 2²⁰ bits) at nominal Vdd.
+    /// Rises at newer nodes as the critical charge per cell shrinks.
+    pub seu_fit_per_mbit: f64,
+    /// Multiplier on the per-bit upset rate while a bank sits in its
+    /// state-retentive drowsy sleep mode: the lowered retention voltage
+    /// costs noise margin, so both SEU susceptibility and retention
+    /// failures scale up with sleep residency.
+    pub retention_drowsy_mult: f64,
 }
 
 impl Technology {
@@ -75,6 +84,8 @@ impl Technology {
             sram_cell_um2: 4.5,
             sram_periph_mm2: 0.012,
             sram_periph_slope_mm2: 2.0e-05,
+            seu_fit_per_mbit: 400.0,
+            retention_drowsy_mult: 3.0,
         }
     }
 
@@ -99,6 +110,8 @@ impl Technology {
             sram_cell_um2: 2.4,
             sram_periph_mm2: 0.008,
             sram_periph_slope_mm2: 1.4e-05,
+            seu_fit_per_mbit: 700.0,
+            retention_drowsy_mult: 5.0,
         }
     }
 
@@ -126,6 +139,8 @@ impl Technology {
             sram_cell_um2: 1.3,
             sram_periph_mm2: 0.005,
             sram_periph_slope_mm2: 1.0e-05,
+            seu_fit_per_mbit: 1150.0,
+            retention_drowsy_mult: 9.0,
         }
     }
 
@@ -170,6 +185,31 @@ mod tests {
         assert!(new.sram_e0_pj < old.sram_e0_pj);
         assert!(new.offchip_beat_pj < old.offchip_beat_pj);
         assert!(new.vdd < old.vdd);
+    }
+
+    #[test]
+    fn soft_error_rates_worsen_at_newer_nodes() {
+        // Critical charge shrinks with the cell, so the per-Mbit upset
+        // rate and the drowsy retention penalty must both be monotonically
+        // non-decreasing from 180 nm to 90 nm.
+        let nodes = [
+            Technology::tech180(),
+            Technology::tech130(),
+            Technology::tech90(),
+        ];
+        for pair in nodes.windows(2) {
+            assert!(
+                pair[1].seu_fit_per_mbit > pair[0].seu_fit_per_mbit,
+                "{} vs {}",
+                pair[0].name,
+                pair[1].name
+            );
+            assert!(pair[1].retention_drowsy_mult > pair[0].retention_drowsy_mult);
+        }
+        for t in nodes {
+            assert!(t.seu_fit_per_mbit > 0.0);
+            assert!(t.retention_drowsy_mult >= 1.0);
+        }
     }
 
     #[test]

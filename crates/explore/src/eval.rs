@@ -26,7 +26,8 @@ use lpmem_compress::{DiffCodec, FpcCodec, LineCodec, RawCodec, ZeroRunCodec};
 use lpmem_core::flows::compression::{run_compression_trace, CompressionConfig};
 use lpmem_core::flows::partitioning::{run_partitioning, PartitioningConfig};
 use lpmem_core::flows::scheduling::{dsp_pipeline_app, run_scheduling};
-use lpmem_core::flows::spec::TechNode;
+use lpmem_core::flows::spec::{data_memory_exposure, TechNode, VariantSpec};
+use lpmem_core::flows::{run_campaign, FaultSpec, ReliabilityReport};
 use lpmem_core::workloads::kernel_trace_and_image;
 use lpmem_core::FlowError;
 use lpmem_energy::{AreaReport, BusModel, SramModel, Technology};
@@ -79,7 +80,11 @@ impl Default for Workload {
     }
 }
 
-/// The three minimized objectives of one evaluated point.
+/// The minimized objectives of one evaluated point.
+///
+/// `silent` is the reliability objective: silent data corruptions of the
+/// fault campaign, zero whenever the evaluator's fault axis is off — so a
+/// fault-free search has exactly the classic three-axis dominance.
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Objectives {
@@ -90,6 +95,8 @@ pub struct Objectives {
     /// Performance proxy: memory cycles (on-chip accesses plus weighted
     /// off-chip beats).
     pub cycles: u64,
+    /// Silent data corruptions of the fault campaign (0 when faults off).
+    pub silent: u64,
 }
 
 impl Objectives {
@@ -97,10 +104,12 @@ impl Objectives {
     pub fn dominates(&self, other: &Objectives) -> bool {
         let no_worse = self.energy_pj <= other.energy_pj
             && self.area_mm2 <= other.area_mm2
-            && self.cycles <= other.cycles;
+            && self.cycles <= other.cycles
+            && self.silent <= other.silent;
         let better = self.energy_pj < other.energy_pj
             || self.area_mm2 < other.area_mm2
-            || self.cycles < other.cycles;
+            || self.cycles < other.cycles
+            || self.silent < other.silent;
         no_worse && better
     }
 }
@@ -115,6 +124,8 @@ pub struct Evaluation {
     pub objectives: Objectives,
     /// Named area breakdown behind `objectives.area_mm2`.
     pub area: AreaReport,
+    /// Full campaign accounting when the evaluator's fault axis is on.
+    pub reliability: Option<ReliabilityReport>,
 }
 
 #[derive(Clone)]
@@ -129,9 +140,18 @@ struct CompEval {
     beats: u64,
 }
 
+#[derive(Clone, Copy)]
+struct FaultEval {
+    report: ReliabilityReport,
+    accesses: u64,
+    reads: u64,
+    data_bytes: u64,
+}
+
 /// Scores design points against one fixed workload.
 pub struct Evaluator {
     workload: Workload,
+    fault: FaultSpec,
     tech: Technology,
     trace: Trace,
     image: FlatMemory,
@@ -142,16 +162,32 @@ pub struct Evaluator {
     comp_cache: Mutex<HashMap<(CacheGeom, CodecChoice), CompEval>>,
     bus_cache: Mutex<HashMap<String, f64>>,
     sched_cache: Mutex<HashMap<u64, f64>>,
+    fault_cache: Mutex<HashMap<(usize, u64), FaultEval>>,
 }
 
 impl Evaluator {
-    /// Runs the workload once and captures everything scoring needs.
+    /// Runs the workload once and captures everything scoring needs. The
+    /// fault axis is off: `silent` is 0 for every point and scoring is
+    /// exactly the classic three-objective evaluation.
     ///
     /// # Errors
     ///
     /// Propagates kernel execution and application-builder errors, and
     /// rejects workloads whose trace lacks fetches or data accesses.
     pub fn new(workload: Workload) -> Result<Evaluator, FlowError> {
+        Evaluator::with_faults(workload, FaultSpec::off())
+    }
+
+    /// Like [`Evaluator::new`] but scoring every point under a fault
+    /// campaign: each candidate's banked data memory is exposed to the
+    /// spec's accelerated upset rate, the protection's energy/area/latency
+    /// overheads are charged, and the campaign's silent corruptions become
+    /// the fourth objective.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Evaluator::new`].
+    pub fn with_faults(workload: Workload, fault: FaultSpec) -> Result<Evaluator, FlowError> {
         let (trace, image) =
             kernel_trace_and_image(workload.kernel, workload.scale, workload.seed)?;
         let fetch_stream: Vec<(u64, u32)> = trace
@@ -170,6 +206,7 @@ impl Evaluator {
         let tech = workload.tech.technology();
         Ok(Evaluator {
             workload,
+            fault,
             tech,
             trace,
             image,
@@ -180,12 +217,19 @@ impl Evaluator {
             comp_cache: Mutex::new(HashMap::new()),
             bus_cache: Mutex::new(HashMap::new()),
             sched_cache: Mutex::new(HashMap::new()),
+            fault_cache: Mutex::new(HashMap::new()),
         })
     }
 
     /// The workload this evaluator scores against.
     pub fn workload(&self) -> &Workload {
         &self.workload
+    }
+
+    /// The fault spec every point is scored under ([`FaultSpec::off`]
+    /// unless built by [`Evaluator::with_faults`]).
+    pub fn fault(&self) -> &FaultSpec {
+        &self.fault
     }
 
     /// Scores one point. Pure in the point: the same point always maps to
@@ -202,7 +246,7 @@ impl Evaluator {
         let ibus_pj = self.ibus(point.bus);
         let sched_pj = self.scheduling(point.l0)?;
 
-        let energy_pj = part.energy_pj + comp.energy_pj + ibus_pj + sched_pj;
+        let mut energy_pj = part.energy_pj + comp.energy_pj + ibus_pj + sched_pj;
 
         let sram = SramModel::new(&self.tech);
         let mut area = part.area.clone();
@@ -212,8 +256,22 @@ impl Evaluator {
         area.add("sched.l0", sram.area_mm2(point.l0));
         area.add("sched.l1", sram.area_mm2(16 << 10));
 
-        let cycles =
+        let mut cycles =
             self.fetch_stream.len() as u64 + self.data_accesses + OFFCHIP_BEAT_CYCLES * comp.beats;
+
+        let mut reliability = None;
+        let mut silent = 0;
+        if self.fault.enabled() {
+            let fault = self.faults(point.banks, point.block)?;
+            let protection = self.fault.protection;
+            energy_pj += protection
+                .access_overhead(&self.tech, fault.accesses)
+                .as_pj();
+            area.merge(&protection.area_overhead(&self.tech, fault.data_bytes));
+            cycles += protection.extra_read_cycles() * fault.reads;
+            silent = fault.report.silent;
+            reliability = Some(fault.report);
+        }
 
         Ok(Evaluation {
             point: point.clone(),
@@ -221,8 +279,10 @@ impl Evaluator {
                 energy_pj,
                 area_mm2: area.total_mm2(),
                 cycles,
+                silent,
             },
             area,
+            reliability,
         })
     }
 
@@ -321,6 +381,31 @@ impl Evaluator {
         let pj = out.greedy.as_pj();
         lock(&self.sched_cache).insert(l0, pj);
         Ok(pj)
+    }
+
+    /// Campaign outcome for one banked-memory shape. The exposure and the
+    /// campaign depend only on `(banks, block)` — the protection is fixed
+    /// per evaluator — so two points sharing a shape share the draw.
+    fn faults(&self, banks: usize, block: u64) -> Result<FaultEval, FlowError> {
+        if let Some(&hit) = lock(&self.fault_cache).get(&(banks, block)) {
+            return Ok(hit);
+        }
+        let shape = VariantSpec {
+            max_banks: banks,
+            block_size: block,
+            ..VariantSpec::default()
+        };
+        let exposure = data_memory_exposure(&self.trace, &shape, &self.tech)?;
+        let reads: u64 = exposure.banks.iter().map(|b| b.reads).sum();
+        let words: u64 = exposure.banks.iter().map(|b| b.words).sum();
+        let eval = FaultEval {
+            report: run_campaign(&self.fault, &self.tech, &exposure, self.workload.seed),
+            accesses: exposure.accesses(),
+            reads,
+            data_bytes: words * 4,
+        };
+        lock(&self.fault_cache).insert((banks, block), eval);
+        Ok(eval)
     }
 
     fn gate_area_mm2(&self, gates: u64) -> f64 {
@@ -430,16 +515,19 @@ mod tests {
             energy_pj: 1.0,
             area_mm2: 1.0,
             cycles: 10,
+            silent: 0,
         };
         let b = Objectives {
             energy_pj: 2.0,
             area_mm2: 1.0,
             cycles: 10,
+            silent: 0,
         };
         let c = Objectives {
             energy_pj: 0.5,
             area_mm2: 2.0,
             cycles: 10,
+            silent: 0,
         };
         assert!(a.dominates(&b));
         assert!(!b.dominates(&a));
@@ -448,6 +536,59 @@ mod tests {
             !a.dominates(&c) && !c.dominates(&a),
             "trade-offs are incomparable"
         );
+        // The reliability axis participates: fewer silent corruptions at
+        // equal cost dominates; a cheaper-but-corrupting point trades off.
+        let clean = Objectives { silent: 0, ..a };
+        let corrupting = Objectives { silent: 4, ..a };
+        assert!(clean.dominates(&corrupting));
+        assert!(!corrupting.dominates(&clean));
+        let cheap_corrupting = Objectives {
+            energy_pj: 0.5,
+            silent: 4,
+            ..a
+        };
+        assert!(!clean.dominates(&cheap_corrupting) && !cheap_corrupting.dominates(&clean));
+    }
+
+    #[test]
+    fn fault_axis_scores_protection_against_silent_corruption() {
+        use lpmem_core::flows::Protection;
+        let p = DesignSpace::small().point_at(5);
+        let plain = Evaluator::new(tiny_workload())
+            .unwrap()
+            .evaluate(&p)
+            .unwrap();
+        assert_eq!(plain.objectives.silent, 0);
+        assert_eq!(plain.reliability, None);
+
+        // The tiny trace exposes few word-ticks, so push the beam rate
+        // well past the campaign default to get a statistically real
+        // upset population.
+        let spec = |protection| FaultSpec {
+            rate_scale: FaultSpec::DEFAULT_ACCEL.saturating_mul(100_000),
+            protection,
+        };
+        let none = Evaluator::with_faults(tiny_workload(), spec(Protection::None))
+            .unwrap()
+            .evaluate(&p)
+            .unwrap();
+        let secded = Evaluator::with_faults(tiny_workload(), spec(Protection::Secded))
+            .unwrap()
+            .evaluate(&p)
+            .unwrap();
+        // Unprotected: every consumed upset is silent; no overheads.
+        let none_rel = none.reliability.expect("campaign ran");
+        assert!(none_rel.injected > 0, "accelerated rate must inject");
+        assert_eq!(none.objectives.silent, none_rel.silent);
+        assert_eq!(none.objectives.energy_pj, plain.objectives.energy_pj);
+        assert_eq!(none.objectives.cycles, plain.objectives.cycles);
+        // SECDED: strictly fewer silent corruptions, bought with energy,
+        // check-bit area, and read latency.
+        assert!(secded.objectives.silent < none.objectives.silent);
+        assert!(secded.objectives.energy_pj > none.objectives.energy_pj);
+        assert!(secded.objectives.area_mm2 > none.objectives.area_mm2);
+        assert!(secded.objectives.cycles > none.objectives.cycles);
+        assert!(secded.area.component("prot.checkbits") > 0.0);
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //!
 //! The [`Frontier`] is an archive: every evaluated point is offered to it,
 //! dominated entries are evicted, and the survivors are kept in a
-//! deterministic total order — `(energy, area, cycles, key)` ascending —
+//! deterministic total order — `(energy, area, cycles, silent, key)`
+//! ascending —
 //! so two searches that evaluate the same points produce **byte-identical
 //! frontiers** regardless of evaluation interleaving or worker count.
 //! [`nsga_order`] ranks a whole population NSGA-II style (front rank, then
@@ -81,7 +82,7 @@ impl Frontier {
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         for p in &self.points {
-            let row = JsonObject::new()
+            let mut row = JsonObject::new()
                 .str("key", &p.point.key())
                 .u64("banks", p.point.banks as u64)
                 .u64("block", p.point.block)
@@ -94,6 +95,16 @@ impl Frontier {
                 .f64("energy_pj", p.objectives.energy_pj)
                 .f64("area_mm2", p.objectives.area_mm2)
                 .u64("cycles", p.objectives.cycles);
+            // Reliability fields appear only for fault-scored evaluations,
+            // so fault-free dumps keep their historical bytes.
+            if let Some(r) = &p.reliability {
+                row = row
+                    .u64("injected", r.injected)
+                    .u64("masked", r.masked)
+                    .u64("detected", r.detected)
+                    .u64("corrected", r.corrected)
+                    .u64("silent", r.silent);
+            }
             out.push_str(&row.finish());
             out.push('\n');
         }
@@ -108,6 +119,7 @@ fn order(a: &Objectives, a_key: &str, b: &Objectives, b_key: &str) -> Ordering {
         .total_cmp(&b.energy_pj)
         .then_with(|| a.area_mm2.total_cmp(&b.area_mm2))
         .then_with(|| a.cycles.cmp(&b.cycles))
+        .then_with(|| a.silent.cmp(&b.silent))
         .then_with(|| a_key.cmp(b_key))
 }
 
@@ -152,9 +164,22 @@ pub fn crowding_distances(objectives: &[Objectives], ranks: &[usize]) -> Vec<f64
         if members.is_empty() {
             continue;
         }
-        let axes: [fn(&Objectives) -> f64; 3] =
-            [|o| o.energy_pj, |o| o.area_mm2, |o| o.cycles as f64];
-        for extract in axes {
+        // The silent axis joins only when some member actually corrupts:
+        // a constant axis would re-crown its (index-order) boundary points
+        // as infinitely uncrowded, perturbing fault-free searches that
+        // must stay bit-for-bit on their historical trajectories.
+        let axes: [fn(&Objectives) -> f64; 4] = [
+            |o| o.energy_pj,
+            |o| o.area_mm2,
+            |o| o.cycles as f64,
+            |o| o.silent as f64,
+        ];
+        let live = if objectives.iter().any(|o| o.silent > 0) {
+            &axes[..]
+        } else {
+            &axes[..3]
+        };
+        for &extract in live {
             let mut sorted = members.clone();
             sorted.sort_by(|&a, &b| extract(&objectives[a]).total_cmp(&extract(&objectives[b])));
             let lo = extract(&objectives[sorted[0]]);
@@ -216,8 +241,10 @@ mod tests {
                 energy_pj: energy,
                 area_mm2: area,
                 cycles,
+                silent: 0,
             },
             area: AreaReport::new(),
+            reliability: None,
         }
     }
 
@@ -301,21 +328,25 @@ mod tests {
                 energy_pj: 1.0,
                 area_mm2: 1.0,
                 cycles: 1,
+                silent: 0,
             },
             Objectives {
                 energy_pj: 2.0,
                 area_mm2: 2.0,
                 cycles: 2,
+                silent: 0,
             },
             Objectives {
                 energy_pj: 3.0,
                 area_mm2: 3.0,
                 cycles: 3,
+                silent: 0,
             },
             Objectives {
                 energy_pj: 0.5,
                 area_mm2: 3.0,
                 cycles: 1,
+                silent: 0,
             },
         ];
         let ranks = non_dominated_ranks(&objs);
@@ -329,21 +360,25 @@ mod tests {
                 energy_pj: 0.0,
                 area_mm2: 10.0,
                 cycles: 5,
+                silent: 0,
             },
             Objectives {
                 energy_pj: 1.0,
                 area_mm2: 9.0,
                 cycles: 5,
+                silent: 0,
             },
             Objectives {
                 energy_pj: 9.0,
                 area_mm2: 1.0,
                 cycles: 5,
+                silent: 0,
             },
             Objectives {
                 energy_pj: 10.0,
                 area_mm2: 0.0,
                 cycles: 5,
+                silent: 0,
             },
         ];
         let ranks = non_dominated_ranks(&objs);

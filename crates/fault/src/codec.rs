@@ -1,0 +1,193 @@
+//! Parity and SECDED(39,32) codeword arithmetic.
+//!
+//! The SECDED code is the classic Hamming(38,32) extended with an overall
+//! parity bit: 32 data bits, 6 Hamming check bits at the power-of-two
+//! positions `1,2,4,8,16,32`, and the overall parity at position `0` —
+//! 39 bits total in the low bits of a `u64`. Single-bit errors are
+//! located by the syndrome and corrected; double-bit errors flip the
+//! syndrome without flipping the overall parity and are detected but not
+//! corrected. Parity codewords are 33 bits: data plus one even-parity
+//! bit at position 32, detecting any odd number of flips.
+
+/// Total bit width of a SECDED(39,32) codeword.
+pub const SECDED_BITS: u32 = 39;
+
+/// Total bit width of a parity codeword (32 data + 1 parity).
+pub const PARITY_BITS: u32 = 33;
+
+/// Outcome of decoding a (possibly corrupted) codeword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeOutcome {
+    /// No error observed.
+    Clean,
+    /// A single-bit error was located and repaired.
+    Corrected,
+    /// An uncorrectable error was detected (double flip, or a syndrome
+    /// pointing outside the codeword).
+    Detected,
+}
+
+/// Hamming positions (1..=38) that carry data bits, in data-bit order:
+/// every position that is not a power of two.
+fn data_positions() -> impl Iterator<Item = u32> {
+    (1u32..SECDED_BITS).filter(|p| !p.is_power_of_two())
+}
+
+/// Encodes 32 data bits into a 39-bit SECDED codeword.
+pub fn secded_encode(data: u32) -> u64 {
+    let mut word: u64 = 0;
+    for (i, pos) in data_positions().enumerate() {
+        if (data >> i) & 1 == 1 {
+            word |= 1u64 << pos;
+        }
+    }
+    // Each Hamming check bit covers the positions sharing its index bit.
+    for check in [1u32, 2, 4, 8, 16, 32] {
+        let mut parity = 0u64;
+        for pos in 1..SECDED_BITS {
+            if pos & check != 0 && pos != check {
+                parity ^= (word >> pos) & 1;
+            }
+        }
+        word |= parity << check;
+    }
+    // Overall parity (position 0) over the other 38 bits.
+    let overall = ((word >> 1).count_ones() & 1) as u64;
+    word | overall
+}
+
+/// Extracts the 32 data bits from a 39-bit codeword (no checking).
+fn secded_extract(word: u64) -> u32 {
+    let mut data: u32 = 0;
+    for (i, pos) in data_positions().enumerate() {
+        if (word >> pos) & 1 == 1 {
+            data |= 1 << i;
+        }
+    }
+    data
+}
+
+/// Decodes a 39-bit SECDED codeword, repairing a single-bit error.
+/// Returns the (best-effort) data word and the decode outcome. Triple
+/// flips may alias to a valid single-error syndrome and miscorrect —
+/// that is the code's documented limit, and the campaign accounts such
+/// words as silent corruptions by comparing against the original data.
+pub fn secded_decode(word: u64) -> (u32, DecodeOutcome) {
+    let mut syndrome: u32 = 0;
+    for check in [1u32, 2, 4, 8, 16, 32] {
+        let mut parity = 0u64;
+        for pos in 1..SECDED_BITS {
+            if pos & check != 0 {
+                parity ^= (word >> pos) & 1;
+            }
+        }
+        if parity == 1 {
+            syndrome |= check;
+        }
+    }
+    let overall_ok = (word & ((1u64 << SECDED_BITS) - 1)).count_ones() & 1 == 0;
+    match (syndrome, overall_ok) {
+        (0, true) => (secded_extract(word), DecodeOutcome::Clean),
+        // Overall parity alone is wrong: the parity bit itself flipped.
+        (0, false) => (secded_extract(word), DecodeOutcome::Corrected),
+        // Syndrome set but overall parity even: two flips cancelled in
+        // the parity — detected, not correctable.
+        (_, true) => (secded_extract(word), DecodeOutcome::Detected),
+        (s, false) if s < SECDED_BITS => {
+            let repaired = word ^ (1u64 << s);
+            (secded_extract(repaired), DecodeOutcome::Corrected)
+        }
+        // Syndrome points outside the codeword: uncorrectable.
+        (_, false) => (secded_extract(word), DecodeOutcome::Detected),
+    }
+}
+
+/// Encodes 32 data bits into a 33-bit even-parity codeword.
+pub fn parity_encode(data: u32) -> u64 {
+    let parity = (data.count_ones() & 1) as u64;
+    u64::from(data) | parity << 32
+}
+
+/// Decodes a 33-bit parity codeword: any odd number of flips is
+/// detected; even flip counts pass silently (the code's limit).
+pub fn parity_decode(word: u64) -> (u32, DecodeOutcome) {
+    let data = u32::try_from(word & 0xFFFF_FFFF).expect("masked to 32 bits");
+    if (word & ((1u64 << PARITY_BITS) - 1)).count_ones() & 1 == 0 {
+        (data, DecodeOutcome::Clean)
+    } else {
+        (data, DecodeOutcome::Detected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpmem_util::Rng;
+
+    fn sample_words() -> Vec<u32> {
+        let mut rng = Rng::seed_from_u64(0xfa17);
+        let mut words: Vec<u32> = (0..64).map(|_| rng.next_u64() as u32).collect();
+        words.extend([0, u32::MAX, 1, 0x8000_0000, 0xAAAA_AAAA, 0x5555_5555]);
+        words
+    }
+
+    #[test]
+    fn secded_round_trips_clean_words() {
+        for data in sample_words() {
+            let word = secded_encode(data);
+            assert_eq!(word >> SECDED_BITS, 0, "codeword wider than 39 bits");
+            assert_eq!(secded_decode(word), (data, DecodeOutcome::Clean));
+        }
+    }
+
+    #[test]
+    fn secded_corrects_every_single_bit_flip() {
+        for data in sample_words() {
+            let word = secded_encode(data);
+            for bit in 0..SECDED_BITS {
+                let (decoded, outcome) = secded_decode(word ^ (1u64 << bit));
+                assert_eq!(outcome, DecodeOutcome::Corrected, "bit {bit}");
+                assert_eq!(decoded, data, "bit {bit} miscorrected");
+            }
+        }
+    }
+
+    #[test]
+    fn secded_detects_every_double_bit_flip_without_miscorrection() {
+        for data in sample_words().into_iter().take(16) {
+            let word = secded_encode(data);
+            for a in 0..SECDED_BITS {
+                for b in (a + 1)..SECDED_BITS {
+                    let corrupted = word ^ (1u64 << a) ^ (1u64 << b);
+                    let (_, outcome) = secded_decode(corrupted);
+                    assert_eq!(
+                        outcome,
+                        DecodeOutcome::Detected,
+                        "flips {a},{b} on {data:#x} not detected"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parity_round_trips_and_detects_odd_flips() {
+        for data in sample_words() {
+            let word = parity_encode(data);
+            assert_eq!(word >> PARITY_BITS, 0);
+            assert_eq!(parity_decode(word), (data, DecodeOutcome::Clean));
+            for bit in 0..PARITY_BITS {
+                let (_, outcome) = parity_decode(word ^ (1u64 << bit));
+                assert_eq!(outcome, DecodeOutcome::Detected, "bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn parity_misses_even_flips() {
+        // The documented limit: an even number of flips preserves parity.
+        let word = parity_encode(0xDEAD_BEEF);
+        let (_, outcome) = parity_decode(word ^ 0b11);
+        assert_eq!(outcome, DecodeOutcome::Clean);
+    }
+}

@@ -16,8 +16,9 @@
 //!   code: invariants must be named or typed.
 //! * **D05** — float accumulation (`sum::<f64>()`) over an unordered hash
 //!   iteration: float addition does not commute bit-for-bit.
-//! * **A01** — raw narrowing `as` casts inside `lpmem-energy` accounting:
-//!   silent truncation corrupts exact-energy claims.
+//! * **A01** — raw narrowing `as` casts inside the accounting crates
+//!   (`lpmem-energy`, `lpmem-fault`): silent truncation corrupts
+//!   exact-energy claims and fault-campaign counters alike.
 //!
 //! The implementations are deliberately heuristic: token patterns plus
 //! file-local binding tracking, no type inference. False positives are the
@@ -63,7 +64,7 @@ pub const CATALOG: &[RuleInfo] = &[
     },
     RuleInfo {
         id: "A01",
-        summary: "narrowing `as` cast inside lpmem-energy accounting",
+        summary: "narrowing `as` cast inside accounting code (energy, fault)",
     },
     RuleInfo {
         id: "L00",
@@ -127,8 +128,8 @@ pub struct FileContext<'a> {
     pub tokens: &'a [Token],
     /// Library code: D04 applies. False for tests/benches/examples/bins.
     pub is_library: bool,
-    /// Inside the energy crate: A01 applies.
-    pub is_energy: bool,
+    /// Inside an accounting crate (energy, fault): A01 applies.
+    pub is_accounting: bool,
     /// The sanctioned wall-clock module (`util/src/bench.rs`): D02 exempt.
     pub exempt_time: bool,
     /// The PRNG implementation itself (`util/src/rng.rs`): D03 exempt.
@@ -153,7 +154,9 @@ impl<'a> FileContext<'a> {
             rel_path,
             tokens,
             is_library: !non_library,
-            is_energy: segments.iter().any(|s| s.contains("energy")),
+            is_accounting: segments
+                .iter()
+                .any(|s| s.contains("energy") || s.contains("fault")),
             exempt_time: rel_path.ends_with("util/src/bench.rs"),
             exempt_seed: rel_path.ends_with("util/src/rng.rs"),
             test_regions: test_regions(tokens),
@@ -666,9 +669,10 @@ fn d04(ctx: &FileContext<'_>) -> Vec<Diag> {
     diags
 }
 
-/// A01: narrowing `as` casts in energy-accounting code.
+/// A01: narrowing `as` casts in accounting code (energy totals, fault
+/// counters).
 fn a01(ctx: &FileContext<'_>) -> Vec<Diag> {
-    if !ctx.is_energy || !ctx.is_library {
+    if !ctx.is_accounting || !ctx.is_library {
         return Vec::new();
     }
     const NARROW: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
@@ -684,7 +688,7 @@ fn a01(ctx: &FileContext<'_>) -> Vec<Diag> {
                     t.line,
                     "A01",
                     format!(
-                        "narrowing `as {}` cast in energy accounting; use a \
+                        "narrowing `as {}` cast in accounting code; use a \
                          checked conversion or widen the accumulator",
                         ty.text
                     ),
@@ -819,15 +823,21 @@ mod tests {
     }
 
     #[test]
-    fn a01_fires_only_in_energy_library_code() {
+    fn a01_fires_only_in_accounting_library_code() {
         let src = "fn f(x: u64) -> u32 { x as u32 }";
         assert_eq!(
             rules_of(&diags_for("crates/energy/src/sram.rs", src)),
             vec!["A01"]
         );
+        // The fault crate's campaign counters are accounting too.
+        assert_eq!(
+            rules_of(&diags_for("crates/fault/src/campaign.rs", src)),
+            vec!["A01"]
+        );
         assert!(diags_for("crates/mem/src/cache.rs", src).is_empty());
         let widen = "fn f(x: u32) -> u64 { x as u64 }";
         assert!(diags_for("crates/energy/src/sram.rs", widen).is_empty());
+        assert!(diags_for("crates/fault/src/codec.rs", widen).is_empty());
     }
 
     #[test]

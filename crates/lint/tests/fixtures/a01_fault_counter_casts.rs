@@ -1,0 +1,11 @@
+//! A01 fixture: narrowing casts over fault-campaign counters (the file
+//! name places it inside the fault crate for the path classifier).
+
+pub fn truncate_counter(injected: u64) -> u32 {
+    injected as u32
+}
+
+// Negative case: masked checked conversion states the invariant.
+pub fn checked(word: u64) -> u32 {
+    u32::try_from(word & 0xFFFF_FFFF).expect("masked to 32 bits")
+}

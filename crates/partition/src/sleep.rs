@@ -61,6 +61,11 @@ pub struct SleepEvaluation {
     pub wakeups: Vec<u64>,
     /// Fraction of bank-ticks spent asleep, in `0.0..=1.0`.
     pub sleep_fraction: f64,
+    /// Ticks each bank spent in drowsy sleep (exact integer counts; the
+    /// retention-failure model in `lpmem-fault` scales on these).
+    pub bank_sleep_ticks: Vec<u64>,
+    /// Logical trace ticks the evaluation covered (data events replayed).
+    pub total_ticks: u64,
 }
 
 impl SleepEvaluation {
@@ -123,7 +128,7 @@ pub fn evaluate_with_sleep(
     let mut access_read = Energy::ZERO;
     let mut access_write = Energy::ZERO;
     let mut accesses = 0u64;
-    let mut sleep_ticks = 0u64;
+    let mut bank_sleep_ticks = vec![0u64; num_banks];
 
     let idle_pj_per_kib = tech.sram_idle_pj_per_kib;
     // Integrates a bank's leakage from its last access to tick `now`.
@@ -133,14 +138,14 @@ pub fn evaluate_with_sleep(
                   asleep: &mut [bool],
                   leak_idle_pj: &mut f64,
                   leak_sleep_pj: &mut f64,
-                  sleep_ticks: &mut u64,
+                  sleep_ticks: &mut [u64],
                   kib: &[f64]| {
         let idle_span = (now - last_access[bank]).max(0) as u64;
         let awake = idle_span.min(policy.timeout);
         let sleeping = idle_span - awake;
         *leak_idle_pj += idle_pj_per_kib * kib[bank] * awake as f64;
         *leak_sleep_pj += idle_pj_per_kib * policy.sleep_frac * kib[bank] * sleeping as f64;
-        *sleep_ticks += sleeping;
+        sleep_ticks[bank] += sleeping;
         if sleeping > 0 {
             asleep[bank] = true;
         }
@@ -165,7 +170,7 @@ pub fn evaluate_with_sleep(
             &mut asleep,
             &mut leak_idle_pj,
             &mut leak_sleep_pj,
-            &mut sleep_ticks,
+            &mut bank_sleep_ticks,
             &bank_kib,
         );
         if asleep[bank] {
@@ -191,7 +196,7 @@ pub fn evaluate_with_sleep(
             &mut asleep,
             &mut leak_idle_pj,
             &mut leak_sleep_pj,
-            &mut sleep_ticks,
+            &mut bank_sleep_ticks,
             &bank_kib,
         );
     }
@@ -206,11 +211,15 @@ pub fn evaluate_with_sleep(
     report.add("leak.idle", Energy::from_pj(leak_idle_pj));
     report.add("leak.sleep", Energy::from_pj(leak_sleep_pj));
     report.add("wakeups", Energy::from_pj(wake_pj));
-    let total_bank_ticks = (now.max(1) as u64) * num_banks as u64;
+    let total_ticks = now.max(1) as u64;
+    let total_bank_ticks = total_ticks * num_banks as u64;
+    let sleep_ticks: u64 = bank_sleep_ticks.iter().sum();
     SleepEvaluation {
         report,
         wakeups,
         sleep_fraction: sleep_ticks as f64 / total_bank_ticks as f64,
+        bank_sleep_ticks,
+        total_ticks,
     }
 }
 
@@ -312,6 +321,18 @@ mod tests {
             let b = flat_eval.report.component(comp).as_pj();
             assert!((a - b).abs() < 1e-6, "{comp}: {a} vs {b}");
         }
+    }
+
+    #[test]
+    fn bank_sleep_ticks_back_the_fraction() {
+        let trace = phased(10_000);
+        let (profile, partition) = two_bank_setup(&trace);
+        let policy = SleepPolicy::from_tech(&tech(), 16);
+        let ev = evaluate_with_sleep(&trace, &profile, &partition, &tech(), &policy);
+        let total: u64 = ev.bank_sleep_ticks.iter().sum();
+        assert!(total > 0, "phased trace must sleep");
+        let expect = total as f64 / (ev.total_ticks * ev.bank_sleep_ticks.len() as u64) as f64;
+        assert_eq!(ev.sleep_fraction, expect);
     }
 
     #[test]

@@ -35,6 +35,6 @@ pub mod prop;
 pub mod rng;
 
 pub use json::JsonObject;
-pub use pool::{parallel_map, parallel_map_workers};
+pub use pool::{parallel_map, parallel_map_workers, try_parallel_map, TaskPanic};
 pub use prop::Props;
 pub use rng::{Rng, SplitMix64};

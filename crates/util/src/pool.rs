@@ -14,14 +14,45 @@
 //! byte-identical report in the workspace builds on.
 
 use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
 use std::sync::Mutex;
 
 /// Tasks a worker takes from the injector in one lock acquisition.
 const INJECTOR_BATCH: usize = 4;
 
+/// A task body that panicked instead of returning a result.
+///
+/// The pool catches per-task panics with `catch_unwind` so one poisoned
+/// task cannot abort a whole campaign. The record carries the input
+/// `index` of the task and the rendered panic payload, so reports built
+/// from it are byte-identical at any worker count (index order is a
+/// property of the input, not of scheduling).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// Input position of the task that panicked.
+    pub index: usize,
+    /// Rendered panic payload (`&str`/`String` payloads verbatim).
+    pub message: String,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
 /// Applies `f` to every item on a work-stealing pool of `workers`
 /// threads, preserving input order in the output. `workers <= 1` runs
 /// inline with no threads.
+///
+/// If any task panics, the panic is re-raised *deterministically*: every
+/// remaining task still runs, and the panic with the lowest input index
+/// is the one propagated, regardless of worker count or scheduling. Use
+/// [`try_parallel_map`] to receive panics as values instead.
 pub fn parallel_map<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
 where
     T: Send,
@@ -29,25 +60,67 @@ where
     F: Fn(T) -> R + Sync,
 {
     let per_worker = parallel_map_workers(items, workers, f, |_: &mut (), _: &R| {});
-    let mut indexed: Vec<(usize, R)> = per_worker
-        .into_iter()
-        .flat_map(|(chunk, ())| chunk)
-        .collect();
+    let mut first_panic: Option<TaskPanic> = None;
+    let mut indexed: Vec<(usize, R)> = Vec::new();
+    for (chunk, (), panics) in per_worker {
+        indexed.extend(chunk);
+        for p in panics {
+            if first_panic.as_ref().is_none_or(|q| p.index < q.index) {
+                first_panic = Some(p);
+            }
+        }
+    }
+    if let Some(p) = first_panic {
+        panic!("task {} panicked: {}", p.index, p.message);
+    }
     indexed.sort_by_key(|&(i, _)| i);
     indexed.into_iter().map(|(_, r)| r).collect()
 }
 
+/// Like [`parallel_map`], but surfaces each task's outcome as a value:
+/// `Ok(result)` for tasks that returned, `Err(TaskPanic)` for tasks that
+/// panicked. Output is in input order at any worker count.
+pub fn try_parallel_map<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<Result<R, TaskPanic>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let per_worker = parallel_map_workers(items, workers, f, |_: &mut (), _: &R| {});
+    let mut out: Vec<Option<Result<R, TaskPanic>>> = (0..n).map(|_| None).collect();
+    for (chunk, (), panics) in per_worker {
+        for (i, r) in chunk {
+            out[i] = Some(Ok(r));
+        }
+        for p in panics {
+            let i = p.index;
+            out[i] = Some(Err(p));
+        }
+    }
+    out.into_iter()
+        .map(|slot| slot.expect("every task resolves to a result or a panic"))
+        .collect()
+}
+
+/// One worker's contribution from [`parallel_map_workers`]: its indexed
+/// results, its folded observer state, and the panics it caught.
+pub type WorkerYield<R, S> = (Vec<(usize, R)>, S, Vec<TaskPanic>);
+
 /// The engine under [`parallel_map`]: maps `f` over the items on a
 /// work-stealing pool and additionally folds every result into a
 /// per-worker state `S` via `observe`. Returns each worker's
-/// `(indexed results, state)`; callers that need global order sort by the
-/// index, callers that need global state merge the per-worker states.
+/// `(indexed results, state, panics)`; callers that need global order
+/// sort by the index, callers that need global state merge the
+/// per-worker states. Task bodies run under `catch_unwind`: a panicking
+/// task yields a [`TaskPanic`] record (and no result) instead of
+/// poisoning the pool, and never reaches `observe`.
 pub fn parallel_map_workers<T, R, S, F, O>(
     items: Vec<T>,
     workers: usize,
     f: F,
     observe: O,
-) -> Vec<(Vec<(usize, R)>, S)>
+) -> Vec<WorkerYield<R, S>>
 where
     T: Send,
     R: Send,
@@ -59,16 +132,21 @@ where
     let workers = workers.max(1).min(n.max(1));
     if workers <= 1 {
         let mut state = S::default();
-        let chunk: Vec<(usize, R)> = items
-            .into_iter()
-            .enumerate()
-            .map(|(i, item)| {
-                let r = f(item);
-                observe(&mut state, &r);
-                (i, r)
-            })
-            .collect();
-        return vec![(chunk, state)];
+        let mut panics = Vec::new();
+        let mut chunk: Vec<(usize, R)> = Vec::new();
+        for (i, item) in items.into_iter().enumerate() {
+            match std::panic::catch_unwind(AssertUnwindSafe(|| f(item))) {
+                Ok(r) => {
+                    observe(&mut state, &r);
+                    chunk.push((i, r));
+                }
+                Err(payload) => panics.push(TaskPanic {
+                    index: i,
+                    message: panic_message(payload),
+                }),
+            }
+        }
+        return vec![(chunk, state, panics)];
     }
 
     // Task storage: items move out of their slots as workers claim them.
@@ -125,6 +203,7 @@ where
                 scope.spawn(move || {
                     let mut chunk: Vec<(usize, R)> = Vec::new();
                     let mut state = S::default();
+                    let mut panics: Vec<TaskPanic> = Vec::new();
                     let mut idle_spins = 0u32;
                     loop {
                         match next_task(me) {
@@ -134,9 +213,16 @@ where
                                 // worker, so the slot is always full here.
                                 let (index, item) =
                                     lock(&slots[slot]).take().expect("task claimed twice");
-                                let r = f(item);
-                                observe(&mut state, &r);
-                                chunk.push((index, r));
+                                match std::panic::catch_unwind(AssertUnwindSafe(|| f(item))) {
+                                    Ok(r) => {
+                                        observe(&mut state, &r);
+                                        chunk.push((index, r));
+                                    }
+                                    Err(payload) => panics.push(TaskPanic {
+                                        index,
+                                        message: panic_message(payload),
+                                    }),
+                                }
                             }
                             None => {
                                 // Queues drained — but a peer may still
@@ -150,7 +236,7 @@ where
                             }
                         }
                     }
-                    (chunk, state)
+                    (chunk, state, panics)
                 })
             })
             .collect();
@@ -202,9 +288,93 @@ mod tests {
             |x| x,
             |count: &mut u64, _| *count += 1,
         );
-        let total: u64 = per_worker.iter().map(|(_, c)| c).sum();
+        let total: u64 = per_worker.iter().map(|(_, c, _)| c).sum();
         assert_eq!(total, 300);
-        let items: usize = per_worker.iter().map(|(chunk, _)| chunk.len()).sum();
+        let items: usize = per_worker.iter().map(|(chunk, _, _)| chunk.len()).sum();
         assert_eq!(items, 300);
+        assert!(per_worker.iter().all(|(_, _, panics)| panics.is_empty()));
+    }
+
+    /// A panic hook that swallows the default stderr backtrace chatter for
+    /// the duration of a closure, so panic-isolation tests stay quiet. The
+    /// hook is process-global, so concurrent callers are serialized.
+    fn with_quiet_panics<R>(body: impl FnOnce() -> R) -> R {
+        static HOOK: Mutex<()> = Mutex::new(());
+        let _guard = lock(&HOOK);
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let r = body();
+        std::panic::set_hook(prev);
+        r
+    }
+
+    #[test]
+    fn panicking_task_yields_error_record_not_abort() {
+        for workers in [1, 2, 8] {
+            let out = with_quiet_panics(|| {
+                try_parallel_map((0..100u32).collect::<Vec<_>>(), workers, |x| {
+                    if x == 37 {
+                        panic!("injected failure on {x}");
+                    }
+                    x * 2
+                })
+            });
+            assert_eq!(out.len(), 100, "workers={workers}");
+            for (i, slot) in out.iter().enumerate() {
+                if i == 37 {
+                    assert_eq!(
+                        slot,
+                        &Err(TaskPanic {
+                            index: 37,
+                            message: "injected failure on 37".to_owned()
+                        }),
+                        "workers={workers}"
+                    );
+                } else {
+                    assert_eq!(slot, &Ok(i as u32 * 2), "workers={workers}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_map_propagates_lowest_index_panic() {
+        // Two tasks panic; whichever worker hits one first must not decide
+        // the propagated message — the lowest input index always wins.
+        for workers in [1, 2, 8] {
+            let caught = with_quiet_panics(|| {
+                std::panic::catch_unwind(|| {
+                    parallel_map((0..64u32).collect::<Vec<_>>(), workers, |x| {
+                        if x == 11 || x == 52 {
+                            panic!("boom {x}");
+                        }
+                        x
+                    })
+                })
+            });
+            let payload = caught.expect_err("panic must propagate");
+            let msg = payload
+                .downcast_ref::<String>()
+                .expect("rendered message")
+                .clone();
+            assert_eq!(msg, "task 11 panicked: boom 11", "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn try_parallel_map_is_byte_identical_across_worker_counts() {
+        let run = |workers| {
+            with_quiet_panics(|| {
+                try_parallel_map((0..200u64).collect::<Vec<_>>(), workers, |x| {
+                    if x % 41 == 0 {
+                        panic!("divisible {x}");
+                    }
+                    x + 7
+                })
+            })
+        };
+        let one = run(1);
+        assert_eq!(one, run(2));
+        assert_eq!(one, run(8));
     }
 }

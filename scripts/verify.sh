@@ -45,6 +45,30 @@ cargo run --release --locked --offline -p lpmem-bench --bin fleet -- \
     --assert-peak-rss-mb 128
 cmp target/fleet_t1.jsonl target/fleet_t2.jsonl
 
+echo "==> fault campaign smoke: worker byte-identity + zero-fault equivalence (DESIGN.md §12)"
+# Campaign reports draw every flip from logical coordinates, so the
+# fault-mode JSONL must be byte-identical at any worker count; and a
+# disabled FaultSpec must reproduce the plain fleet bytes exactly (the
+# reliability layer costs nothing when off).
+cargo run --release --locked --offline -p lpmem-bench --bin fleet -- \
+    --devices 2000 --faults secded --tech t90 --threads 1 \
+    --jsonl target/fault_t1.jsonl
+cargo run --release --locked --offline -p lpmem-bench --bin fleet -- \
+    --devices 2000 --faults secded --tech t90 --threads 2 \
+    --jsonl target/fault_t2.jsonl
+cmp target/fault_t1.jsonl target/fault_t2.jsonl
+cargo run --release --locked --offline -p lpmem-bench --bin fleet -- \
+    --devices 2000 --faults off --threads 2 --jsonl target/fault_off.jsonl
+cargo run --release --locked --offline -p lpmem-bench --bin fleet -- \
+    --devices 2000 --threads 2 --jsonl target/fault_plain.jsonl
+cmp target/fault_off.jsonl target/fault_plain.jsonl
+
+echo "==> pool panic-isolation gate (DESIGN.md §12)"
+# A panicking task must yield a deterministic per-task error record, not
+# kill the harness.
+cargo test -q --locked --offline -p lpmem-util --lib pool
+cargo test -q --locked --offline -p lpmem-bench --test sweep fault
+
 echo "==> fleet bench report (self-skips on single-CPU hosts, like isa-bench)"
 # Quick throughput emission: the committed BENCH_fleet.json comes from a
 # full 1M-device run, not from here.

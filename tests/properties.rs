@@ -179,8 +179,10 @@ fn frontier_members_are_mutually_non_dominated() {
                     energy_pj: rng.gen_range(0..8u32) as f64,
                     area_mm2: rng.gen_range(0..8u32) as f64,
                     cycles: rng.gen_range(0..8u32) as u64,
+                    silent: 0,
                 },
                 area: AreaReport::new(),
+                reliability: None,
             })
             .collect();
         let mut frontier = Frontier::new();
