@@ -1,0 +1,180 @@
+//! Cores × banks scaling bench for the chip-multiprocessor flow
+//! (DESIGN.md §13).
+//!
+//! ```text
+//! cmp-bench                               # full sampling, writes BENCH_cmp.json
+//! cmp-bench --quick                       # quick sampling (CI smoke)
+//! cmp-bench --json path.json              # report path (default BENCH_cmp.json)
+//! cmp-bench --seed 7                      # workload seed
+//! ```
+//!
+//! Every cell runs [`run_cmp`] on the Fir-rooted multi-programmed
+//! workload with the headline LLC recipe (32 KiB × 4-way banks, zrun
+//! compression, a t180+t90 technology split under a 600 µW budget) at a
+//! given core and bank count, reports the scenario's deterministic
+//! outcome counters, and times the full flow. The counters are a pure
+//! function of the spec — only the timings vary run to run.
+//! `LPMEM_BENCH_QUICK=1` implies `--quick`.
+
+use std::io::Write as _;
+
+use lpmem_core::flows::cmp::run_cmp;
+use lpmem_core::flows::{CmpSpec, FaultSpec, FlowSummary, LlcCodec, TechNode, VariantSpec};
+use lpmem_isa::Kernel;
+use lpmem_util::bench::{benchmark, format_ns, Measurement, Options};
+use lpmem_util::json::JsonObject;
+
+/// Core counts on the scaling axis.
+const CORES: [u32; 4] = [1, 2, 4, 8];
+/// Bank counts on the scaling axis.
+const BANKS: [u32; 3] = [2, 4, 8];
+/// Workload scale every cell runs at (the harness default for Fir).
+const SCALE: u32 = 48;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("cmp-bench: {msg}");
+    std::process::exit(2);
+}
+
+/// The headline LLC recipe at a given chip geometry.
+fn spec_at(cores: u32, banks: u32) -> CmpSpec {
+    CmpSpec {
+        cores,
+        banks,
+        bank_kib: 32,
+        ways: 4,
+        codec: LlcCodec::Zrun,
+        techs: vec![TechNode::T180, TechNode::T90],
+        budget_uw: 600,
+        ..CmpSpec::off()
+    }
+}
+
+/// One cell's deterministic outcome plus its timing.
+struct Cell {
+    spec: CmpSpec,
+    summary: FlowSummary,
+    timing: Measurement,
+}
+
+impl Cell {
+    fn to_json(&self) -> String {
+        let report = self.summary.cmp.as_ref().expect("CMP runs carry a report");
+        JsonObject::new()
+            .u64("cores", u64::from(self.spec.cores))
+            .u64("banks", u64::from(self.spec.banks))
+            .str("spec", &self.spec.label())
+            .u64("events", self.summary.events)
+            .f64("baseline_pj", self.summary.baseline.as_pj())
+            .f64("optimized_pj", self.summary.optimized.as_pj())
+            .u64("llc_lookups", report.llc_lookups)
+            .u64("llc_hits", report.llc_hits)
+            .u64("llc_compressed", report.llc_compressed_lines)
+            .u64("offchip_beats", report.offchip_beats)
+            .u64("dark_banks", u64::from(report.dark_banks))
+            .u64("cmp_cycles", report.cycles)
+            .f64("median_ns", self.timing.median_ns)
+            .f64(
+                "events_per_sec",
+                self.timing.elems_per_sec(self.summary.events),
+            )
+            .finish()
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = std::env::var_os("LPMEM_BENCH_QUICK").is_some();
+    let mut json_path = "BENCH_cmp.json".to_owned();
+    let mut seed = 2003u64;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| fail(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--quick" | "-q" => quick = true,
+            "--json" => json_path = value("--json"),
+            "--seed" => match value("--seed").parse() {
+                Ok(s) => seed = s,
+                Err(_) => fail("--seed needs an unsigned integer"),
+            },
+            _ => fail(&format!("unknown argument {arg:?} (see the module docs)")),
+        }
+    }
+
+    let opts = if quick {
+        Options::quick()
+    } else {
+        Options::default()
+    };
+    let variant = VariantSpec::default();
+    let fault = FaultSpec::off();
+
+    println!(
+        "== cmp-bench: {} x {} chips, fir workload at scale {}, seed {} ==",
+        CORES.len(),
+        BANKS.len(),
+        SCALE,
+        seed
+    );
+    println!(
+        "  {:<8} {:>6} {:>9} {:>8} {:>9} {:>6} {:>12} {:>11}",
+        "chip", "events", "lookups", "beats", "dark", "save%", "median", "events/s"
+    );
+    let mut cells = Vec::new();
+    for cores in CORES {
+        for banks in BANKS {
+            let spec = spec_at(cores, banks);
+            let run = || {
+                run_cmp(
+                    Kernel::Fir,
+                    SCALE,
+                    seed,
+                    TechNode::T180,
+                    &variant,
+                    &fault,
+                    &spec,
+                )
+                .unwrap_or_else(|e| fail(&format!("{}: {e}", spec.label())))
+            };
+            let summary = run();
+            let timing = benchmark(&spec.label(), &opts, run);
+            let report = summary.cmp.as_ref().expect("CMP runs carry a report");
+            let save = 100.0 * (1.0 - summary.optimized.as_pj() / summary.baseline.as_pj());
+            println!(
+                "  c{:<7} {:>6} {:>9} {:>8} {:>9} {:>5.1} {:>12} {:>11.2e}",
+                format!("{cores}b{banks}"),
+                summary.events,
+                report.llc_lookups,
+                report.offchip_beats,
+                report.dark_banks,
+                save,
+                format_ns(timing.median_ns),
+                timing.elems_per_sec(summary.events),
+            );
+            cells.push(Cell {
+                spec,
+                summary,
+                timing,
+            });
+        }
+    }
+
+    let summary = JsonObject::new()
+        .str("schema", "lpmem-cmp-bench-v1")
+        .u64("seed", seed)
+        .str("kernel", Kernel::Fir.name())
+        .u64("scale", u64::from(SCALE))
+        .u64("cells", cells.len() as u64)
+        .finish();
+    let rows: Vec<String> = cells.iter().map(Cell::to_json).collect();
+    let json = format!("{{\"summary\":{summary},\"cells\":[{}]}}\n", rows.join(","));
+    match std::fs::File::create(&json_path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => println!("cmp-bench: wrote {json_path}"),
+        Err(e) => fail(&format!("cannot write {json_path}: {e}")),
+    }
+}

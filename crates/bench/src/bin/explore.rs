@@ -4,6 +4,7 @@
 //! ```text
 //! explore                                  # full axes, auto strategy
 //! explore --axes small                     # the 32-point DSE-2 space
+//! explore --axes cmp                       # + the CMP scenario axis (≥10⁷ points)
 //! explore --axes banks,codec               # explore two axes, pin the rest
 //! explore --strategy exhaustive            # or evolutionary / auto
 //! explore --budget 512 --seed 7            # evaluation budget and seed
@@ -36,9 +37,10 @@ fn parse_axes(arg: &str) -> DesignSpace {
     match arg.trim().to_ascii_lowercase().as_str() {
         "full" => return DesignSpace::full(),
         "small" => return DesignSpace::small(),
+        "cmp" => return DesignSpace::cmp(),
         _ => {}
     }
-    let full = DesignSpace::full();
+    let full = DesignSpace::cmp();
     let pin = DesignPoint::from_variant(&VariantSpec::default());
     let mut space = DesignSpace {
         banks: vec![pin.banks],
@@ -47,6 +49,7 @@ fn parse_axes(arg: &str) -> DesignSpace {
         codecs: vec![pin.codec],
         buses: vec![pin.bus],
         l0s: vec![pin.l0],
+        cmps: vec![None],
     };
     for name in arg.split(',').filter(|s| !s.trim().is_empty()) {
         match name.trim().to_ascii_lowercase().as_str() {
@@ -56,8 +59,9 @@ fn parse_axes(arg: &str) -> DesignSpace {
             "codec" | "codecs" => space.codecs = full.codecs.clone(),
             "bus" | "buses" => space.buses = full.buses.clone(),
             "l0" | "l0s" => space.l0s = full.l0s.clone(),
+            "cmp" | "cmps" => space.cmps = full.cmps.clone(),
             other => fail(&format!(
-                "unknown axis {other:?} (banks, block, cache, codec, bus, l0, full, small)"
+                "unknown axis {other:?} (banks, block, cache, codec, bus, l0, cmp, full, small)"
             )),
         }
     }
@@ -132,6 +136,18 @@ fn main() {
         );
         println!("buses:  {}", join(space.buses.iter().map(|b| b.name())));
         println!("l0s:    {}", join(space.l0s.iter().map(|b| b.to_string())));
+        // The CMP axis can hold over a thousand scenarios: print the
+        // count, not the labels.
+        let active = space.cmps.iter().filter(|c| c.is_some()).count();
+        println!(
+            "cmps:   {} scenario(s){}",
+            active,
+            if space.cmps.contains(&None) {
+                " + single-core"
+            } else {
+                ""
+            }
+        );
         println!("points: {}", space.len());
         return;
     }

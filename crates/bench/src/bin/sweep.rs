@@ -8,6 +8,7 @@
 //! sweep --kernels fir,dct8 --techs t90    # filter more axes
 //! sweep --variants tight --seed 7         # variant axis + base seed
 //! sweep --faults off,secded,parity        # reliability axis (campaigns)
+//! sweep --cmp off,c4b8x32w4-zrun-t180+t90-p600   # CMP scenario axis
 //! sweep --jsonl results.jsonl             # machine-readable report
 //! sweep --list                            # grid axes and task count
 //! ```
@@ -20,7 +21,7 @@
 use std::io::Write as _;
 
 use lpmem_bench::sweep::{run_sweep, worker_count, SweepGrid};
-use lpmem_core::flows::{FaultSpec, FlowSpec, TechNode, VariantSpec};
+use lpmem_core::flows::{CmpSpec, FaultSpec, FlowSpec, TechNode, VariantSpec};
 use lpmem_isa::Kernel;
 
 fn fail(msg: &str) -> ! {
@@ -90,6 +91,9 @@ fn main() {
             "--faults" => {
                 grid.faults = parse_list(&value("--faults"), "fault spec", FaultSpec::parse);
             }
+            "--cmp" => {
+                grid.cmps = parse_list(&value("--cmp"), "cmp spec", CmpSpec::parse);
+            }
             "--list" | "-l" => list = true,
             other => fail(&format!(
                 "unknown argument {other:?} (see src/bin/sweep.rs)"
@@ -113,6 +117,7 @@ fn main() {
             join(grid.variants.iter().map(|v| v.name.clone()))
         );
         println!("faults:   {}", join(grid.faults.iter().map(|f| f.label())));
+        println!("cmp:      {}", join(grid.cmps.iter().map(|c| c.label())));
         println!("seed:     {}", grid.base_seed);
         println!("tasks:    {}", grid.len());
         return;
@@ -123,13 +128,14 @@ fn main() {
 
     let workers = threads.unwrap_or_else(worker_count);
     println!(
-        "sweep: {} tasks ({} flows x {} kernels x {} techs x {} variants x {} faults), {} workers{}",
+        "sweep: {} tasks ({} flows x {} kernels x {} techs x {} variants x {} faults x {} cmp), {} workers{}",
         grid.len(),
         grid.flows.len(),
         grid.kernels.len(),
         grid.techs.len(),
         grid.variants.len(),
         grid.faults.len(),
+        grid.cmps.len(),
         workers,
         if quick { ", quick scales" } else { "" },
     );

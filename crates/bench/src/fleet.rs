@@ -17,9 +17,13 @@
 //! [`FleetReport::jsonl`] is therefore byte-identical at any worker count
 //! and under any shard permutation (floats appear only at render time,
 //! derived from fully-merged integers). Device-level detail survives as a
-//! bottom-k *priority sample*: each device gets a derived priority and the
-//! k smallest win, a selection no ordering can perturb; each sampled
-//! device carries a reservoir-sampled address profile.
+//! bottom-k *priority sample*: each device gets a coordinate-derived
+//! priority, each shard keeps its own k lowest-priority candidates, and
+//! the merge re-selects the k lowest overall. Because every shard retains
+//! a full k candidates, the merged sample *equals* the fleet-wide
+//! bottom-k — no re-sharding or merge order can change it (pinned by a
+//! property test in `tests/properties.rs`). Each sampled device carries a
+//! reservoir-sampled address profile.
 
 // lpmem-lint: allow(D02, reason = "run instrumentation: wall time feeds throughput reporting only, never the JSONL report body")
 use std::time::Instant;

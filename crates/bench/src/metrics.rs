@@ -278,6 +278,7 @@ mod tests {
             optimized: Energy::from_pj(optimized_pj),
             events: 1,
             reliability: None,
+            cmp: None,
         }
     }
 

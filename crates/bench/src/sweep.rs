@@ -17,7 +17,7 @@
 // lpmem-lint: allow(D02, reason = "run instrumentation: wall times feed the metrics tables only, never the scored results or the JSONL report")
 use std::time::Instant;
 
-use lpmem_core::flows::{FaultSpec, FlowSpec, FlowSummary, TechNode, VariantSpec};
+use lpmem_core::flows::{CmpSpec, FaultSpec, FlowSpec, FlowSummary, TechNode, VariantSpec};
 use lpmem_isa::Kernel;
 pub use lpmem_util::pool::parallel_map;
 use lpmem_util::pool::parallel_map_workers;
@@ -42,6 +42,10 @@ pub struct SweepGrid {
     /// runs under. The default single `FaultSpec::off()` entry reproduces
     /// the pre-fault grid (and its reports) exactly.
     pub faults: Vec<FaultSpec>,
+    /// Chip-multiprocessor axis: CMP scenarios each grid point runs
+    /// under. The default single `CmpSpec::off()` entry reproduces the
+    /// pre-CMP grid (and its reports) exactly.
+    pub cmps: Vec<CmpSpec>,
     /// Base seed every task seed is derived from.
     pub base_seed: u64,
 }
@@ -64,6 +68,7 @@ impl SweepGrid {
             techs: TechNode::ALL.to_vec(),
             variants: vec![VariantSpec::default(), VariantSpec::tight()],
             faults: vec![FaultSpec::off()],
+            cmps: vec![CmpSpec::off()],
             base_seed: crate::experiments::SEED,
         }
     }
@@ -79,26 +84,30 @@ impl SweepGrid {
                     for (vi, variant) in self.variants.iter().enumerate() {
                         // Seeds hang off grid coordinates — not off `index`,
                         // so filtering one axis never reseeds another. The
-                        // fault axis deliberately stays out of the path:
-                        // every protection is judged on the *same* workload
-                        // draw, and fault draws decorrelate through their
-                        // own TAG_FAULT derivation domain.
+                        // fault and CMP axes deliberately stay out of the
+                        // path: every protection and chip topology is
+                        // judged on the *same* workload draw, and their
+                        // own draws decorrelate through the TAG_FAULT and
+                        // TAG_CMP derivation domains.
                         let seed = SplitMix64::derive(
                             self.base_seed,
                             &[fi as u64, ki as u64, ti as u64, vi as u64],
                         );
                         for &fault in &self.faults {
-                            out.push(SweepTask {
-                                index,
-                                flow,
-                                kernel,
-                                scale,
-                                tech,
-                                variant: variant.clone(),
-                                fault,
-                                seed,
-                            });
-                            index += 1;
+                            for cmp in &self.cmps {
+                                out.push(SweepTask {
+                                    index,
+                                    flow,
+                                    kernel,
+                                    scale,
+                                    tech,
+                                    variant: variant.clone(),
+                                    fault,
+                                    cmp: cmp.clone(),
+                                    seed,
+                                });
+                                index += 1;
+                            }
                         }
                     }
                 }
@@ -114,6 +123,7 @@ impl SweepGrid {
             * self.techs.len()
             * self.variants.len()
             * self.faults.len()
+            * self.cmps.len()
     }
 
     /// Whether the grid is empty.
@@ -139,6 +149,8 @@ pub struct SweepTask {
     pub variant: VariantSpec,
     /// Reliability configuration.
     pub fault: FaultSpec,
+    /// Chip-multiprocessor scenario.
+    pub cmp: CmpSpec,
     /// Derived per-task seed (a pure function of grid coordinates).
     pub seed: u64,
 }
@@ -147,13 +159,14 @@ impl SweepTask {
     /// Runs the task's flow.
     fn run(&self) -> Result<FlowSummary, String> {
         self.flow
-            .run_with_faults(
+            .run_with_cmp(
                 self.kernel,
                 self.scale,
                 self.seed,
                 self.tech,
                 &self.variant,
                 &self.fault,
+                &self.cmp,
             )
             .map_err(|e| e.to_string())
     }
@@ -188,6 +201,9 @@ impl TaskResult {
         if self.task.fault.enabled() {
             obj = obj.str("fault", &self.task.fault.label());
         }
+        if self.task.cmp.enabled() {
+            obj = obj.str("cmp", &self.task.cmp.label());
+        }
         match &self.outcome {
             Ok(s) => {
                 obj = obj
@@ -203,6 +219,18 @@ impl TaskResult {
                         .u64("detected", r.detected)
                         .u64("corrected", r.corrected)
                         .u64("silent", r.silent);
+                }
+                if let Some(c) = &s.cmp {
+                    obj = obj
+                        .u64("cores", u64::from(c.cores))
+                        .u64("llc_banks", u64::from(c.llc_banks))
+                        .u64("dark_banks", u64::from(c.dark_banks))
+                        .u64("llc_lookups", c.llc_lookups)
+                        .u64("llc_hits", c.llc_hits)
+                        .u64("llc_lines", c.llc_lines)
+                        .u64("llc_compressed", c.llc_compressed_lines)
+                        .u64("offchip_beats", c.offchip_beats)
+                        .u64("cmp_cycles", c.cycles);
                 }
                 obj.finish()
             }
@@ -369,6 +397,34 @@ mod tests {
         // stable per coordinate, which re-expansion shows:
         assert_eq!(narrowed.tasks(), narrowed_tasks);
         assert_eq!(full_compression.len(), narrowed_tasks.len());
+    }
+
+    #[test]
+    fn cmp_axis_expands_innermost_and_keeps_seeds() {
+        let mut grid = SweepGrid::default_grid(true);
+        grid.flows = vec![FlowSpec::System];
+        grid.kernels.truncate(2);
+        grid.techs = vec![TechNode::T180];
+        grid.variants.truncate(1);
+        grid.cmps = vec![CmpSpec::off(), CmpSpec::quad()];
+        let tasks = grid.tasks();
+        assert_eq!(tasks.len(), grid.len());
+        assert_eq!(tasks.len(), 2 * 2);
+        // Innermost axis: adjacent tasks differ only in the CMP spec and
+        // share the workload seed.
+        assert_eq!(tasks[0].seed, tasks[1].seed);
+        assert!(!tasks[0].cmp.enabled());
+        assert!(tasks[1].cmp.enabled());
+        // The JSONL gains the CMP fields only on enabled tasks, and the
+        // report bytes are worker-count independent.
+        let one = run_sweep(&grid, 1).jsonl();
+        let four = run_sweep(&grid, 4).jsonl();
+        assert_eq!(one, four);
+        let lines: Vec<&str> = one.lines().collect();
+        assert!(!lines[0].contains("\"cmp\""));
+        assert!(lines[1].contains("\"cmp\":\"c4b8x32w4-zrun-t180+t90-p600\""));
+        assert!(lines[1].contains("\"llc_lookups\""));
+        assert!(lines[1].contains("\"dark_banks\""));
     }
 
     #[test]

@@ -29,6 +29,7 @@ fn frontier_jsonl_is_insertion_order_invariant() {
             },
             area: AreaReport::new(),
             reliability: None,
+            cmp: None,
         })
         .collect();
 
@@ -62,6 +63,7 @@ fn summary(baseline_pj: f64, optimized_pj: f64) -> FlowSummary {
         optimized: Energy::from_pj(optimized_pj),
         events: 1,
         reliability: None,
+        cmp: None,
     }
 }
 

@@ -3,7 +3,7 @@
 //! order with metrics that account for every task.
 
 use lpmem_bench::sweep::{run_sweep, SweepGrid};
-use lpmem_core::flows::{FaultSpec, FlowSpec, Protection, TechNode, VariantSpec};
+use lpmem_core::flows::{CmpSpec, FaultSpec, FlowSpec, Protection, TechNode, VariantSpec};
 use lpmem_isa::Kernel;
 
 /// A grid small enough for test time but covering every flow and both
@@ -15,6 +15,7 @@ fn small_grid() -> SweepGrid {
         techs: vec![TechNode::T180, TechNode::T90],
         variants: vec![VariantSpec::default(), VariantSpec::tight()],
         faults: vec![FaultSpec::off()],
+        cmps: vec![CmpSpec::off()],
         base_seed: 2003,
     }
 }

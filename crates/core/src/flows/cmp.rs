@@ -1,0 +1,367 @@
+//! The chip-multiprocessor flow: N cores' kernels interleaved through
+//! private L1s into the shared compressed NUCA LLC of `lpmem-cmp`.
+//!
+//! Each core runs its own kernel (rotating through [`Kernel::ALL`]
+//! starting from the grid point's kernel) on its own derived seed, so a
+//! 4-core run is a genuinely heterogeneous multi-programmed workload,
+//! not four copies of one trace. The instruction side stays per-core —
+//! every core has a private instruction bus with its own trained
+//! [`RegionEncoder`] — while the data side goes through
+//! [`simulate_cmp`]'s shared LLC.
+//!
+//! Degeneracy guarantees (the differential tests pin both):
+//!
+//! - a *disabled* spec never reaches this module
+//!   ([`FlowSpec::run_with_cmp`](crate::flows::FlowSpec::run_with_cmp)
+//!   takes the plain path), so zero-CMP reports stay byte-identical;
+//! - a *passthrough* spec (1 uncompressed bank, no tech axis, no
+//!   budget) is priced as the sum of independent single-core system
+//!   flows — for 1 core that is *exactly* the existing system flow.
+
+use lpmem_buscode::RegionEncoder;
+use lpmem_cmp::{simulate_cmp, CmpReport, CmpSpec, CoreRun};
+use lpmem_compress::DiffCodec;
+use lpmem_energy::{BusModel, Energy};
+use lpmem_fault::{run_campaign, FaultSpec, ReliabilityReport};
+use lpmem_isa::Kernel;
+use lpmem_trace::AccessKind;
+use lpmem_util::SplitMix64;
+
+use crate::flows::spec::{data_memory_exposure, FlowSpec, FlowSummary, TechNode, VariantSpec};
+use crate::flows::system::run_system_with_tech;
+use crate::workloads::kernel_trace_and_image;
+use crate::FlowError;
+
+/// The kernel core `i` runs: rotate through [`Kernel::ALL`] starting
+/// from the grid point's kernel.
+fn core_kernel(base: Kernel, core: u32) -> Kernel {
+    let base_index = Kernel::ALL
+        .iter()
+        .position(|k| *k == base)
+        .expect("every kernel is in Kernel::ALL");
+    Kernel::ALL[(base_index + core as usize) % Kernel::ALL.len()]
+}
+
+/// The seed core `i` runs on. Core 0 keeps the task seed unchanged so
+/// the 1-core passthrough is bit-identical to the single-core flow;
+/// further cores derive from it on the CMP tag.
+fn core_seed(seed: u64, core: u32) -> u64 {
+    if core == 0 {
+        seed
+    } else {
+        SplitMix64::derive(seed, &[u64::from(core), lpmem_cmp::TAG_CMP])
+    }
+}
+
+/// Builds the per-core workloads of a CMP run: core `i` executes
+/// `core_kernel(kernel, i)` at the shared scale on `core_seed(seed, i)`.
+///
+/// Public so the design-space explorer can feed the same multi-programmed
+/// workload into [`simulate_cmp`] under its own cache geometry.
+///
+/// # Errors
+///
+/// Propagates kernel generation errors.
+pub fn cmp_core_runs(
+    kernel: Kernel,
+    scale: u32,
+    seed: u64,
+    cores: u32,
+) -> Result<Vec<CoreRun>, FlowError> {
+    (0..cores)
+        .map(|c| {
+            let (trace, image) =
+                kernel_trace_and_image(core_kernel(kernel, c), scale, core_seed(seed, c))?;
+            Ok(CoreRun { trace, image })
+        })
+        .collect()
+}
+
+/// Runs the CMP scenario on one grid point: the system flow's platform
+/// with `cmp.cores` cores sharing the LLC `cmp` describes.
+///
+/// # Errors
+///
+/// Returns [`FlowError::EmptyInput`] when a core's trace has no
+/// instruction fetches, panics (via [`simulate_cmp`]) when the spec's
+/// LLC geometry is invalid for the platform's L1 line size, and
+/// propagates kernel errors.
+pub fn run_cmp(
+    kernel: Kernel,
+    scale: u32,
+    seed: u64,
+    tech: TechNode,
+    variant: &VariantSpec,
+    fault: &FaultSpec,
+    cmp: &CmpSpec,
+) -> Result<FlowSummary, FlowError> {
+    assert!(cmp.enabled(), "run_cmp needs an enabled CMP spec");
+    let technology = tech.technology();
+    let workload = format!("cmp{}:{}", cmp.cores, kernel.name());
+
+    if cmp.passthrough() {
+        // Degenerate LLC: one uncompressed bank, no heterogeneity, no
+        // budget — every core's traffic passes straight through, so the
+        // chip prices as the sum of independent single-core systems.
+        let mut baseline = Energy::ZERO;
+        let mut optimized = Energy::ZERO;
+        let mut fetches = 0u64;
+        let mut reliability: Option<ReliabilityReport> = None;
+        for c in 0..cmp.cores {
+            let k = core_kernel(kernel, c);
+            let s = core_seed(seed, c);
+            let out = run_system_with_tech(
+                k,
+                scale,
+                s,
+                variant.platform,
+                &DiffCodec::new(),
+                variant.regions,
+                &technology,
+            )?;
+            baseline += out.baseline.total();
+            optimized += out.optimized.total();
+            fetches += out.fetches;
+            if fault.enabled() {
+                let run = k.run(scale, s)?;
+                let mut exposure = data_memory_exposure(&run.trace, variant, &technology)?;
+                exposure.domain = u64::from(c);
+                let report = run_campaign(fault, &technology, &exposure, s);
+                optimized += fault
+                    .protection
+                    .access_overhead(&technology, exposure.accesses());
+                reliability = Some(match reliability {
+                    Some(mut acc) => {
+                        acc.merge(&report);
+                        acc
+                    }
+                    None => report,
+                });
+            }
+        }
+        return Ok(FlowSummary {
+            flow: FlowSpec::System,
+            workload,
+            baseline,
+            optimized,
+            events: fetches,
+            reliability,
+            cmp: Some(CmpReport {
+                spec: cmp.label(),
+                cores: cmp.cores,
+                llc_banks: 0,
+                dark_banks: 0,
+                llc_lookups: 0,
+                llc_hits: 0,
+                llc_lines: 0,
+                llc_compressed_lines: 0,
+                offchip_beats: 0,
+                cycles: 0,
+            }),
+        });
+    }
+
+    // Active scenario. Instruction side first: each core trains its own
+    // bus encoder on its own fetch stream.
+    let runs = cmp_core_runs(kernel, scale, seed, cmp.cores)?;
+    let bus = BusModel::onchip(&technology, 32);
+    let mut raw_transitions = 0u64;
+    let mut encoded_transitions = 0u64;
+    let mut fetches = 0u64;
+    for run in &runs {
+        let stream: Vec<(u64, u32)> = run
+            .trace
+            .iter()
+            .filter(|e| e.kind == AccessKind::InstrFetch)
+            .map(|e| (e.addr, e.value))
+            .collect();
+        if stream.is_empty() {
+            return Err(FlowError::EmptyInput("trace has no instruction fetches"));
+        }
+        let encoder = RegionEncoder::train(&stream, variant.regions);
+        let enc = encoder.evaluate(&stream);
+        raw_transitions += enc.raw_transitions;
+        encoded_transitions += enc.encoded_transitions;
+        fetches += stream.len() as u64;
+    }
+
+    // Data side: the shared-LLC simulation.
+    let sim = simulate_cmp(
+        cmp,
+        variant.platform.cache_config(),
+        &technology,
+        runs,
+        fault,
+        seed,
+    );
+
+    let mut baseline = sim.baseline.total();
+    baseline += bus.energy_of(raw_transitions);
+    let mut optimized = sim.optimized.total();
+    optimized += bus.energy_of(encoded_transitions);
+    // Same encoder/decoder gate-layer charge as the system flow (see
+    // `run_system_with_tech`), summed over the cores' private buses.
+    let gate_pj = 0.004 * bus.transition_energy().as_pj();
+    optimized += Energy::from_pj(gate_pj * (raw_transitions + encoded_transitions) as f64);
+
+    Ok(FlowSummary {
+        flow: FlowSpec::System,
+        workload,
+        baseline,
+        optimized,
+        events: fetches,
+        reliability: sim.reliability,
+        cmp: Some(sim.report),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpmem_fault::Protection;
+
+    fn passthrough_1core() -> CmpSpec {
+        CmpSpec {
+            cores: 1,
+            banks: 1,
+            bank_kib: 32,
+            ways: 4,
+            ..CmpSpec::off()
+        }
+    }
+
+    #[test]
+    fn disabled_cmp_is_byte_identical_to_the_fault_path() {
+        let variant = VariantSpec::default();
+        let fault = FaultSpec::accelerated(Protection::Parity);
+        for flow in FlowSpec::ALL {
+            let plain = flow
+                .run_with_faults(Kernel::Fir, 48, 2003, TechNode::T180, &variant, &fault)
+                .unwrap();
+            let off = flow
+                .run_with_cmp(
+                    Kernel::Fir,
+                    48,
+                    2003,
+                    TechNode::T180,
+                    &variant,
+                    &fault,
+                    &CmpSpec::off(),
+                )
+                .unwrap();
+            assert_eq!(plain, off, "{flow}");
+            assert!(off.cmp.is_none());
+        }
+    }
+
+    #[test]
+    fn one_core_passthrough_degenerates_to_the_system_flow() {
+        // A 1-core chip with one plain LLC bank *is* the single-core
+        // system: same energies, same event count, exactly.
+        let variant = VariantSpec::default();
+        let spec = passthrough_1core();
+        for fault in [FaultSpec::off(), FaultSpec::accelerated(Protection::Secded)] {
+            let solo = FlowSpec::System
+                .run_with_faults(Kernel::Fir, 48, 2003, TechNode::T90, &variant, &fault)
+                .unwrap();
+            let cmp = FlowSpec::System
+                .run_with_cmp(
+                    Kernel::Fir,
+                    48,
+                    2003,
+                    TechNode::T90,
+                    &variant,
+                    &fault,
+                    &spec,
+                )
+                .unwrap();
+            assert_eq!(solo.baseline, cmp.baseline);
+            assert_eq!(solo.optimized, cmp.optimized);
+            assert_eq!(solo.events, cmp.events);
+            assert_eq!(solo.reliability, cmp.reliability);
+            assert_eq!(cmp.workload, "cmp1:fir");
+            assert_eq!(cmp.cmp.as_ref().map(|r| r.cores), Some(1));
+        }
+    }
+
+    #[test]
+    fn cmp_applies_only_to_the_system_flow() {
+        let variant = VariantSpec::default();
+        let quad = CmpSpec::quad();
+        let plain = FlowSpec::Partitioning
+            .run(Kernel::Fir, 48, 2003, TechNode::T180, &variant)
+            .unwrap();
+        let under_cmp = FlowSpec::Partitioning
+            .run_with_cmp(
+                Kernel::Fir,
+                48,
+                2003,
+                TechNode::T180,
+                &variant,
+                &FaultSpec::off(),
+                &quad,
+            )
+            .unwrap();
+        assert_eq!(plain, under_cmp);
+    }
+
+    #[test]
+    fn active_cmp_reports_the_shared_llc_and_saves_energy() {
+        let variant = VariantSpec::default();
+        let out = run_cmp(
+            Kernel::Fir,
+            48,
+            2003,
+            TechNode::T180,
+            &variant,
+            &FaultSpec::off(),
+            &CmpSpec::quad(),
+        )
+        .unwrap();
+        let report = out.cmp.as_ref().expect("active run carries a report");
+        assert_eq!(report.cores, 4);
+        assert_eq!(report.llc_banks, 8);
+        assert!(report.llc_lookups > 0);
+        assert!(report.cycles > 0);
+        assert!(out.events > 0);
+        assert!(
+            out.optimized < out.baseline,
+            "shared compressed LLC should save energy: {} vs {}",
+            out.optimized,
+            out.baseline
+        );
+        // Heterogeneous multi-programming: the 4 cores run 4 kernels.
+        assert_eq!(out.workload, "cmp4:fir");
+        let runs = cmp_core_runs(Kernel::Fir, 48, 2003, 4).unwrap();
+        assert_eq!(runs.len(), 4);
+        assert_ne!(runs[0].trace.len(), runs[1].trace.len());
+    }
+
+    #[test]
+    fn cmp_runs_are_deterministic() {
+        let variant = VariantSpec::tight();
+        let fault = FaultSpec::accelerated(Protection::Secded);
+        let a = run_cmp(
+            Kernel::Dct8,
+            24,
+            7,
+            TechNode::T90,
+            &variant,
+            &fault,
+            &CmpSpec::quad(),
+        )
+        .unwrap();
+        let b = run_cmp(
+            Kernel::Dct8,
+            24,
+            7,
+            TechNode::T90,
+            &variant,
+            &fault,
+            &CmpSpec::quad(),
+        )
+        .unwrap();
+        assert_eq!(a, b);
+        assert!(a.reliability.is_some());
+    }
+}

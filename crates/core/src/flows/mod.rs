@@ -2,12 +2,14 @@
 //! whole-system study.
 
 pub mod buscoding;
+pub mod cmp;
 pub mod compression;
 pub mod partitioning;
 pub mod scheduling;
 pub mod spec;
 pub mod system;
 
+pub use cmp::{cmp_core_runs, run_cmp};
 pub use spec::{data_memory_exposure, FlowSpec, FlowSummary, TechNode, VariantSpec};
 
 // Reliability surface, re-exported so harness crates reach the fault
@@ -15,3 +17,6 @@ pub use spec::{data_memory_exposure, FlowSpec, FlowSummary, TechNode, VariantSpe
 pub use lpmem_fault::{
     run_campaign, BankExposure, FaultExposure, FaultSpec, Protection, ReliabilityReport,
 };
+
+// CMP scenario surface, re-exported the same way.
+pub use lpmem_cmp::{CmpReport, CmpSpec, LlcCodec};

@@ -31,50 +31,10 @@ use crate::FlowError;
 /// exposure — matches the sleep-aware partitioning experiments.
 const FAULT_SLEEP_TIMEOUT: u64 = 32;
 
-/// A named technology node — the sweep grid's technology axis.
-///
-/// [`Technology`] itself is a bag of parameters; this enum is the closed,
-/// enumerable set of presets a grid can iterate over.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-pub enum TechNode {
-    /// 0.18 µm (the DATE 2003 headline node).
-    T180,
-    /// 0.13 µm (Lx-ST200-class).
-    T130,
-    /// 90 nm projection (leakage-dominated).
-    T90,
-}
-
-impl TechNode {
-    /// Every technology node, in grid order.
-    pub const ALL: [TechNode; 3] = [TechNode::T180, TechNode::T130, TechNode::T90];
-
-    /// Short key used in grid syntax and reports.
-    pub fn name(self) -> &'static str {
-        match self {
-            TechNode::T180 => "t180",
-            TechNode::T130 => "t130",
-            TechNode::T90 => "t90",
-        }
-    }
-
-    /// The full parameter set of this node.
-    pub fn technology(self) -> Technology {
-        match self {
-            TechNode::T180 => Technology::tech180(),
-            TechNode::T130 => Technology::tech130(),
-            TechNode::T90 => Technology::tech90(),
-        }
-    }
-
-    /// Parses a short key (`"t180"`, `"t130"`, `"t90"`).
-    pub fn parse(s: &str) -> Option<TechNode> {
-        TechNode::ALL
-            .into_iter()
-            .find(|t| t.name() == s.trim().to_ascii_lowercase())
-    }
-}
+// The sweep grid's technology axis. Promoted to `lpmem-energy` so crates
+// below the flow layer (notably `lpmem-cmp`) can name nodes; re-exported
+// here so every existing import path keeps working.
+pub use lpmem_energy::TechNode;
 
 /// One evaluation flow, enumerable and dispatchable by name.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -258,6 +218,39 @@ impl FlowSpec {
         Ok(summary)
     }
 
+    /// Runs this flow under both scenario axes: the reliability
+    /// configuration of [`run_with_faults`](FlowSpec::run_with_faults)
+    /// and the chip-multiprocessor scenario of
+    /// [`run_cmp`](crate::flows::cmp::run_cmp).
+    ///
+    /// A disabled `cmp` spec takes the exact
+    /// [`run_with_faults`](FlowSpec::run_with_faults) path — the
+    /// differential guarantee every pre-CMP golden report rests on. An
+    /// enabled spec applies only to the [`System`](FlowSpec::System)
+    /// flow (the only one modeling the full cache platform the LLC sits
+    /// behind); the other flows ignore it the way the scheduling flow
+    /// ignores the kernel axis.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying flow's error.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_with_cmp(
+        self,
+        kernel: Kernel,
+        scale: u32,
+        seed: u64,
+        tech: TechNode,
+        variant: &VariantSpec,
+        fault: &FaultSpec,
+        cmp: &lpmem_cmp::CmpSpec,
+    ) -> Result<FlowSummary, FlowError> {
+        if !cmp.enabled() || self != FlowSpec::System {
+            return self.run_with_faults(kernel, scale, seed, tech, variant, fault);
+        }
+        crate::flows::cmp::run_cmp(kernel, scale, seed, tech, variant, fault, cmp)
+    }
+
     fn summary(
         self,
         workload: &str,
@@ -272,6 +265,7 @@ impl FlowSpec {
             optimized,
             events,
             reliability: None,
+            cmp: None,
         }
     }
 }
@@ -418,6 +412,10 @@ pub struct FlowSummary {
     /// configuration ([`FlowSpec::run_with_faults`]); `None` on the
     /// ordinary path, keeping pre-fault reports byte-identical.
     pub reliability: Option<ReliabilityReport>,
+    /// CMP outcome counters when the flow ran under an enabled CMP spec
+    /// ([`FlowSpec::run_with_cmp`]); `None` everywhere else, keeping
+    /// pre-CMP reports byte-identical.
+    pub cmp: Option<lpmem_cmp::CmpReport>,
 }
 
 impl FlowSummary {

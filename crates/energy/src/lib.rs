@@ -44,5 +44,5 @@ pub use area::AreaReport;
 pub use bus::BusModel;
 pub use report::EnergyReport;
 pub use sram::{OffChipModel, SramModel};
-pub use tech::Technology;
+pub use tech::{TechNode, Technology};
 pub use units::Energy;

@@ -158,6 +158,56 @@ impl Default for Technology {
     }
 }
 
+/// A named technology node — the enumerable handle over the
+/// [`Technology`] presets.
+///
+/// [`Technology`] itself is a bag of parameters; this enum is the closed,
+/// enumerable set of presets a sweep grid, an explorer axis, or a
+/// heterogeneous bank assignment can iterate over. Promoted here from the
+/// flow layer so crates below `lpmem-core` (the CMP scenario pack's
+/// per-partition technology axis, the fleet model) can name nodes without
+/// a dependency cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum TechNode {
+    /// 0.18 µm (the DATE 2003 headline node).
+    T180,
+    /// 0.13 µm (Lx-ST200-class).
+    T130,
+    /// 90 nm projection (leakage-dominated).
+    T90,
+}
+
+impl TechNode {
+    /// Every technology node, in grid order.
+    pub const ALL: [TechNode; 3] = [TechNode::T180, TechNode::T130, TechNode::T90];
+
+    /// Short key used in grid syntax and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            TechNode::T180 => "t180",
+            TechNode::T130 => "t130",
+            TechNode::T90 => "t90",
+        }
+    }
+
+    /// The full parameter set of this node.
+    pub fn technology(self) -> Technology {
+        match self {
+            TechNode::T180 => Technology::tech180(),
+            TechNode::T130 => Technology::tech130(),
+            TechNode::T90 => Technology::tech90(),
+        }
+    }
+
+    /// Parses a short key (`"t180"`, `"t130"`, `"t90"`).
+    pub fn parse(s: &str) -> Option<TechNode> {
+        TechNode::ALL
+            .into_iter()
+            .find(|t| t.name() == s.trim().to_ascii_lowercase())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -4,9 +4,17 @@
 //! captured trace, fetch stream, and generated scheduling application
 //! against each candidate configuration. Scoring is a pure function of the
 //! point, so results are identical at any worker count; per-axis
-//! memoization (behind mutexes) only avoids recomputing a sub-flow two
-//! points share — the cached value is the value every thread would have
-//! computed.
+//! memoization only avoids recomputing a sub-flow two points share — the
+//! cached value is the value every thread would have computed.
+//!
+//! Memoization is **sharded per worker**: each search worker carries its
+//! own [`MemoShard`] and evaluates through
+//! [`Evaluator::evaluate_in`], so the hot path never takes a lock. A
+//! shared base shard (one mutex, consulted briefly on shard misses,
+//! extended by [`Evaluator::absorb`] between batches) carries hits across
+//! batches and generations. Because every cached value is a pure function
+//! of its key, the merge order of shards is unobservable — results stay
+//! byte-identical at any worker count.
 //!
 //! The modeled platform is a scratchpad-plus-cached-heap embedded SoC: the
 //! partitioned/clustered scratchpad (1B.1) and the compressed write-back
@@ -22,7 +30,9 @@ use std::sync::Mutex;
 
 use lpmem_buscode::addrbus::gray_encode;
 use lpmem_buscode::{transitions, BusInvert, RegionEncoder};
+use lpmem_cmp::{simulate_cmp, CmpReport, CmpSpec, LlcCodec};
 use lpmem_compress::{DiffCodec, FpcCodec, LineCodec, RawCodec, ZeroRunCodec};
+use lpmem_core::flows::cmp::cmp_core_runs;
 use lpmem_core::flows::compression::{run_compression_trace, CompressionConfig};
 use lpmem_core::flows::partitioning::{run_partitioning, PartitioningConfig};
 use lpmem_core::flows::scheduling::{dsp_pipeline_app, run_scheduling};
@@ -126,6 +136,8 @@ pub struct Evaluation {
     pub area: AreaReport,
     /// Full campaign accounting when the evaluator's fault axis is on.
     pub reliability: Option<ReliabilityReport>,
+    /// Shared-LLC outcome counters when the point carries a CMP scenario.
+    pub cmp: Option<CmpReport>,
 }
 
 #[derive(Clone)]
@@ -148,6 +160,31 @@ struct FaultEval {
     data_bytes: u64,
 }
 
+#[derive(Clone)]
+struct CmpEval {
+    energy_pj: f64,
+    fetches: u64,
+    cycles: u64,
+    area: AreaReport,
+    report: CmpReport,
+    reliability: Option<ReliabilityReport>,
+}
+
+/// One worker's private memo table of sub-flow results.
+///
+/// Every cached value is a pure function of its key (the evaluator's
+/// workload and fault axis are fixed), so shards computed by different
+/// workers always agree on shared keys and can be merged in any order.
+#[derive(Default)]
+pub struct MemoShard {
+    part: HashMap<(usize, u64), PartEval>,
+    comp: HashMap<(CacheGeom, CodecChoice), CompEval>,
+    bus: HashMap<String, f64>,
+    sched: HashMap<u64, f64>,
+    fault: HashMap<(usize, u64), FaultEval>,
+    cmp: HashMap<(CmpSpec, CacheGeom), CmpEval>,
+}
+
 /// Scores design points against one fixed workload.
 pub struct Evaluator {
     workload: Workload,
@@ -158,11 +195,7 @@ pub struct Evaluator {
     fetch_stream: Vec<(u64, u32)>,
     data_accesses: u64,
     app: AppSpec,
-    part_cache: Mutex<HashMap<(usize, u64), PartEval>>,
-    comp_cache: Mutex<HashMap<(CacheGeom, CodecChoice), CompEval>>,
-    bus_cache: Mutex<HashMap<String, f64>>,
-    sched_cache: Mutex<HashMap<u64, f64>>,
-    fault_cache: Mutex<HashMap<(usize, u64), FaultEval>>,
+    base: Mutex<MemoShard>,
 }
 
 impl Evaluator {
@@ -213,11 +246,7 @@ impl Evaluator {
             fetch_stream,
             data_accesses,
             app,
-            part_cache: Mutex::new(HashMap::new()),
-            comp_cache: Mutex::new(HashMap::new()),
-            bus_cache: Mutex::new(HashMap::new()),
-            sched_cache: Mutex::new(HashMap::new()),
-            fault_cache: Mutex::new(HashMap::new()),
+            base: Mutex::new(MemoShard::default()),
         })
     }
 
@@ -232,8 +261,10 @@ impl Evaluator {
         &self.fault
     }
 
-    /// Scores one point. Pure in the point: the same point always maps to
-    /// the same objectives, whichever thread asks first.
+    /// Scores one point through a throwaway shard. Pure in the point: the
+    /// same point always maps to the same objectives, whichever thread
+    /// asks first. Search loops hold a per-worker shard and call
+    /// [`Evaluator::evaluate_in`] instead.
     ///
     /// # Errors
     ///
@@ -241,36 +272,95 @@ impl Evaluator {
     /// failure). Points from a validated [`DesignSpace`]
     /// [`crate::point::DesignSpace`] never fail.
     pub fn evaluate(&self, point: &DesignPoint) -> Result<Evaluation, FlowError> {
-        let part = self.partitioning(point.banks, point.block)?;
-        let comp = self.compression(point.cache, point.codec)?;
-        let ibus_pj = self.ibus(point.bus);
-        let sched_pj = self.scheduling(point.l0)?;
+        let mut shard = MemoShard::default();
+        let out = self.evaluate_in(&mut shard, point);
+        self.absorb(shard);
+        out
+    }
 
-        let mut energy_pj = part.energy_pj + comp.energy_pj + ibus_pj + sched_pj;
+    /// Scores one point, memoizing sub-flow results into the caller's
+    /// shard (lock-free on shard hits; the shared base shard is consulted
+    /// briefly on misses).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Evaluator::evaluate`].
+    pub fn evaluate_in(
+        &self,
+        shard: &mut MemoShard,
+        point: &DesignPoint,
+    ) -> Result<Evaluation, FlowError> {
+        let part = self.partitioning(shard, point.banks, point.block)?;
+        let ibus_pj = self.ibus(shard, point.bus);
+        let sched_pj = self.scheduling(shard, point.l0)?;
 
         let sram = SramModel::new(&self.tech);
+        let mut energy_pj;
         let mut area = part.area.clone();
-        area.add("dcache.macro", sram.area_mm2(point.cache.size));
-        area.add("dcache.codec", self.gate_area_mm2(codec_gates(point.codec)));
-        area.add("ibus.encoder", self.gate_area_mm2(bus_gates(point.bus)));
         area.add("sched.l0", sram.area_mm2(point.l0));
         area.add("sched.l1", sram.area_mm2(16 << 10));
 
-        let mut cycles =
-            self.fetch_stream.len() as u64 + self.data_accesses + OFFCHIP_BEAT_CYCLES * comp.beats;
-
+        let mut cycles;
         let mut reliability = None;
         let mut silent = 0;
+        let mut cmp_report = None;
+        match &point.cmp {
+            None => {
+                let comp = self.compression(shard, point.cache, point.codec)?;
+                // Summed in the pre-CMP order so zero-CMP points stay
+                // byte-identical to the pinned pre-CMP frontiers.
+                energy_pj = part.energy_pj + comp.energy_pj + ibus_pj + sched_pj;
+                area.add("dcache.macro", sram.area_mm2(point.cache.size));
+                area.add("dcache.codec", self.gate_area_mm2(codec_gates(point.codec)));
+                area.add("ibus.encoder", self.gate_area_mm2(bus_gates(point.bus)));
+                cycles = self.fetch_stream.len() as u64
+                    + self.data_accesses
+                    + OFFCHIP_BEAT_CYCLES * comp.beats;
+            }
+            Some(spec) => {
+                // The chip goes multi-core: every core gets a private
+                // D-cache of the point's geometry and a private encoded
+                // instruction bus, and the data side drains through the
+                // scenario's shared LLC instead of the single-core
+                // write-back path — so the `codec` axis (write-back
+                // compression hardware) is idle here and charges nothing;
+                // in-LLC compression is the scenario's `codec` knob.
+                let cmp = self.cmp(shard, spec, point.cache)?;
+                let cores = f64::from(spec.cores);
+                energy_pj = part.energy_pj + sched_pj + (ibus_pj * cores + cmp.energy_pj);
+                area.add("dcache.macro", sram.area_mm2(point.cache.size) * cores);
+                area.add(
+                    "ibus.encoder",
+                    self.gate_area_mm2(bus_gates(point.bus)) * cores,
+                );
+                area.add(
+                    "llc.codec",
+                    self.gate_area_mm2(llc_codec_gates(spec.codec) * u64::from(spec.banks)),
+                );
+                area.merge(&cmp.area);
+                cycles = cmp.fetches + cmp.cycles;
+                silent = cmp.reliability.as_ref().map_or(0, |r| r.silent);
+                reliability = cmp.reliability;
+                cmp_report = Some(cmp.report.clone());
+            }
+        }
+
         if self.fault.enabled() {
-            let fault = self.faults(point.banks, point.block)?;
+            let fault = self.faults(shard, point.banks, point.block)?;
             let protection = self.fault.protection;
             energy_pj += protection
                 .access_overhead(&self.tech, fault.accesses)
                 .as_pj();
             area.merge(&protection.area_overhead(&self.tech, fault.data_bytes));
             cycles += protection.extra_read_cycles() * fault.reads;
-            silent = fault.report.silent;
-            reliability = Some(fault.report);
+            silent += fault.report.silent;
+            reliability = Some(match reliability {
+                Some(mut acc) => {
+                    acc.merge(&fault.report);
+                    acc
+                }
+                None => fault.report,
+            });
         }
 
         Ok(Evaluation {
@@ -283,12 +373,36 @@ impl Evaluator {
             },
             area,
             reliability,
+            cmp: cmp_report,
         })
     }
 
-    fn partitioning(&self, banks: usize, block: u64) -> Result<PartEval, FlowError> {
-        if let Some(hit) = lock(&self.part_cache).get(&(banks, block)) {
+    /// Folds a worker's shard into the shared base shard so later batches
+    /// start warm. Values are pure in their keys, so overwrites on shared
+    /// keys are no-ops and merge order is unobservable.
+    pub fn absorb(&self, shard: MemoShard) {
+        let mut base = lock(&self.base);
+        base.part.extend(shard.part);
+        base.comp.extend(shard.comp);
+        base.bus.extend(shard.bus);
+        base.sched.extend(shard.sched);
+        base.fault.extend(shard.fault);
+        base.cmp.extend(shard.cmp);
+    }
+
+    fn partitioning(
+        &self,
+        shard: &mut MemoShard,
+        banks: usize,
+        block: u64,
+    ) -> Result<PartEval, FlowError> {
+        let key = (banks, block);
+        if let Some(hit) = shard.part.get(&key) {
             return Ok(hit.clone());
+        }
+        if let Some(hit) = lock(&self.base).part.get(&key).cloned() {
+            shard.part.insert(key, hit.clone());
+            return Ok(hit);
         }
         let cfg = PartitioningConfig {
             block_size: block,
@@ -300,12 +414,22 @@ impl Evaluator {
             energy_pj: out.clustered.as_pj(),
             area: out.area,
         };
-        lock(&self.part_cache).insert((banks, block), eval.clone());
+        shard.part.insert(key, eval.clone());
         Ok(eval)
     }
 
-    fn compression(&self, cache: CacheGeom, codec: CodecChoice) -> Result<CompEval, FlowError> {
-        if let Some(&hit) = lock(&self.comp_cache).get(&(cache, codec)) {
+    fn compression(
+        &self,
+        shard: &mut MemoShard,
+        cache: CacheGeom,
+        codec: CodecChoice,
+    ) -> Result<CompEval, FlowError> {
+        let key = (cache, codec);
+        if let Some(&hit) = shard.comp.get(&key) {
+            return Ok(hit);
+        }
+        if let Some(hit) = lock(&self.base).comp.get(&key).copied() {
+            shard.comp.insert(key, hit);
             return Ok(hit);
         }
         let cfg = CompressionConfig {
@@ -340,13 +464,17 @@ impl Evaluator {
                 beats: out.actual_beats,
             },
         };
-        lock(&self.comp_cache).insert((cache, codec), eval);
+        shard.comp.insert(key, eval);
         Ok(eval)
     }
 
-    fn ibus(&self, bus: BusChoice) -> f64 {
+    fn ibus(&self, shard: &mut MemoShard, bus: BusChoice) -> f64 {
         let key = bus.name();
-        if let Some(&hit) = lock(&self.bus_cache).get(&key) {
+        if let Some(&hit) = shard.bus.get(&key) {
+            return hit;
+        }
+        if let Some(hit) = lock(&self.base).bus.get(&key).copied() {
+            shard.bus.insert(key, hit);
             return hit;
         }
         let model = BusModel::onchip(&self.tech, 32);
@@ -368,26 +496,40 @@ impl Evaluator {
             let gate_pj = 0.004 * model.transition_energy().as_pj();
             pj += gate_pj * (raw + encoded) as f64;
         }
-        lock(&self.bus_cache).insert(key, pj);
+        shard.bus.insert(key, pj);
         pj
     }
 
-    fn scheduling(&self, l0: u64) -> Result<f64, FlowError> {
-        if let Some(&hit) = lock(&self.sched_cache).get(&l0) {
+    fn scheduling(&self, shard: &mut MemoShard, l0: u64) -> Result<f64, FlowError> {
+        if let Some(&hit) = shard.sched.get(&l0) {
+            return Ok(hit);
+        }
+        if let Some(hit) = lock(&self.base).sched.get(&l0).copied() {
+            shard.sched.insert(l0, hit);
             return Ok(hit);
         }
         let platform = SchedPlatform::new(&self.tech, l0, 16 << 10);
         let out = run_scheduling("dse", &self.app, &platform)?;
         let pj = out.greedy.as_pj();
-        lock(&self.sched_cache).insert(l0, pj);
+        shard.sched.insert(l0, pj);
         Ok(pj)
     }
 
     /// Campaign outcome for one banked-memory shape. The exposure and the
     /// campaign depend only on `(banks, block)` — the protection is fixed
     /// per evaluator — so two points sharing a shape share the draw.
-    fn faults(&self, banks: usize, block: u64) -> Result<FaultEval, FlowError> {
-        if let Some(&hit) = lock(&self.fault_cache).get(&(banks, block)) {
+    fn faults(
+        &self,
+        shard: &mut MemoShard,
+        banks: usize,
+        block: u64,
+    ) -> Result<FaultEval, FlowError> {
+        let key = (banks, block);
+        if let Some(&hit) = shard.fault.get(&key) {
+            return Ok(hit);
+        }
+        if let Some(hit) = lock(&self.base).fault.get(&key).copied() {
+            shard.fault.insert(key, hit);
             return Ok(hit);
         }
         let shape = VariantSpec {
@@ -404,7 +546,59 @@ impl Evaluator {
             reads,
             data_bytes: words * 4,
         };
-        lock(&self.fault_cache).insert((banks, block), eval);
+        shard.fault.insert(key, eval);
+        Ok(eval)
+    }
+
+    /// Shared-LLC outcome of one CMP scenario over the workload's
+    /// multi-programmed core set. Depends only on `(spec, cache)` — the
+    /// workload, fault axis, and seed are fixed per evaluator.
+    fn cmp(
+        &self,
+        shard: &mut MemoShard,
+        spec: &CmpSpec,
+        cache: CacheGeom,
+    ) -> Result<CmpEval, FlowError> {
+        let key = (spec.clone(), cache);
+        if let Some(hit) = shard.cmp.get(&key) {
+            return Ok(hit.clone());
+        }
+        if let Some(hit) = lock(&self.base).cmp.get(&key).cloned() {
+            shard.cmp.insert(key, hit.clone());
+            return Ok(hit);
+        }
+        let runs = cmp_core_runs(
+            self.workload.kernel,
+            self.workload.scale,
+            self.workload.seed,
+            spec.cores,
+        )?;
+        let fetches: u64 = runs
+            .iter()
+            .map(|r| {
+                r.trace
+                    .iter()
+                    .filter(|e| e.kind == AccessKind::InstrFetch)
+                    .count() as u64
+            })
+            .sum();
+        let out = simulate_cmp(
+            spec,
+            cache.config()?,
+            &self.tech,
+            runs,
+            &self.fault,
+            self.workload.seed,
+        );
+        let eval = CmpEval {
+            energy_pj: out.optimized.total().as_pj(),
+            fetches,
+            cycles: out.report.cycles,
+            area: out.area,
+            report: out.report,
+            reliability: out.reliability,
+        };
+        shard.cmp.insert(key, eval.clone());
         Ok(eval)
     }
 
@@ -420,6 +614,17 @@ fn codec_gates(codec: CodecChoice) -> u64 {
         CodecChoice::ZeroRun => 900,
         CodecChoice::Differential => 1200,
         CodecChoice::Fpc => 2000,
+    }
+}
+
+/// First-order gate counts of one LLC bank's line codec (zero when off).
+/// Same datapaths as the write-back codecs, instantiated per bank.
+fn llc_codec_gates(codec: LlcCodec) -> u64 {
+    match codec {
+        LlcCodec::Off => 0,
+        LlcCodec::Zrun => 900,
+        LlcCodec::Diff => 1200,
+        LlcCodec::Fpc => 2000,
     }
 }
 
@@ -599,5 +804,77 @@ mod tests {
         assert!((e.area.total_mm2() - e.objectives.area_mm2).abs() < 1e-12);
         assert!(e.area.component("bank.cells") > 0.0);
         assert!(e.area.component("sched.l1") > 0.0);
+    }
+
+    #[test]
+    fn cmp_points_price_the_shared_llc() {
+        let eval = Evaluator::new(tiny_workload()).unwrap();
+        let solo = DesignSpace::small().point_at(5);
+        let chip = DesignPoint {
+            cmp: Some(CmpSpec::quad()),
+            ..solo.clone()
+        };
+        chip.validate().unwrap();
+        let a = eval.evaluate(&solo).unwrap();
+        let b = eval.evaluate(&chip).unwrap();
+        assert_eq!(a.cmp, None);
+        let report = b.cmp.as_ref().expect("CMP points carry a report");
+        assert_eq!(report.cores, 4);
+        assert!(report.llc_lookups > 0);
+        // Four cores' silicon and traffic: strictly more area and cycles
+        // than the single-core point, with the LLC arrays itemized.
+        assert!(b.objectives.area_mm2 > a.objectives.area_mm2);
+        assert!(b.objectives.cycles > a.objectives.cycles);
+        assert!(b.area.component("llc.cells") > 0.0);
+        assert!(b.area.component("llc.codec") > 0.0);
+        // The write-back codec axis is idle behind a shared LLC.
+        assert_eq!(b.area.component("dcache.codec"), 0.0);
+        assert!((b.area.total_mm2() - b.objectives.area_mm2).abs() < 1e-12);
+        // Determinism across fresh evaluators (cold shards).
+        let again = Evaluator::new(tiny_workload()).unwrap();
+        assert_eq!(again.evaluate(&chip).unwrap(), b);
+    }
+
+    #[test]
+    fn cmp_points_join_the_fault_campaign() {
+        use lpmem_core::flows::Protection;
+        let fault = FaultSpec {
+            rate_scale: FaultSpec::DEFAULT_ACCEL.saturating_mul(100_000),
+            protection: Protection::Secded,
+        };
+        let eval = Evaluator::with_faults(tiny_workload(), fault).unwrap();
+        let solo = DesignSpace::small().point_at(5);
+        let chip = DesignPoint {
+            cmp: Some(CmpSpec::quad()),
+            ..solo
+        };
+        let e = eval.evaluate(&chip).unwrap();
+        // The merged campaign covers both the scratchpad and the LLC
+        // arrays: at least as many injections as the scratchpad alone.
+        let merged = e.reliability.expect("campaign ran");
+        let scratch = eval.evaluate(&DesignSpace::small().point_at(5)).unwrap();
+        let scratch_rel = scratch.reliability.expect("campaign ran");
+        assert!(merged.injected >= scratch_rel.injected);
+        assert!(e.area.component("prot.checkbits") > scratch.area.component("prot.checkbits"));
+    }
+
+    #[test]
+    fn shards_agree_with_fresh_evaluation() {
+        let eval = Evaluator::new(tiny_workload()).unwrap();
+        let space = DesignSpace::small();
+        let mut shard = MemoShard::default();
+        let through_shard: Vec<Evaluation> = (0..8)
+            .map(|i| eval.evaluate_in(&mut shard, &space.point_at(i)).unwrap())
+            .collect();
+        eval.absorb(shard);
+        // A second pass (warm base, cold shard) and a fresh evaluator
+        // (everything cold) both reproduce the same evaluations.
+        let mut cold = MemoShard::default();
+        let fresh = Evaluator::new(tiny_workload()).unwrap();
+        for (i, expected) in through_shard.iter().enumerate() {
+            let p = space.point_at(i);
+            assert_eq!(&eval.evaluate_in(&mut cold, &p).unwrap(), expected);
+            assert_eq!(&fresh.evaluate(&p).unwrap(), expected);
+        }
     }
 }

@@ -105,6 +105,21 @@ impl Frontier {
                     .u64("corrected", r.corrected)
                     .u64("silent", r.silent);
             }
+            // CMP fields likewise appear only on scenario points, so
+            // single-core dumps keep their historical bytes.
+            if let (Some(spec), Some(c)) = (&p.point.cmp, &p.cmp) {
+                row = row
+                    .str("cmp", &spec.label())
+                    .u64("cores", u64::from(c.cores))
+                    .u64("llc_banks", u64::from(c.llc_banks))
+                    .u64("dark_banks", u64::from(c.dark_banks))
+                    .u64("llc_lookups", c.llc_lookups)
+                    .u64("llc_hits", c.llc_hits)
+                    .u64("llc_lines", c.llc_lines)
+                    .u64("llc_compressed", c.llc_compressed_lines)
+                    .u64("offchip_beats", c.offchip_beats)
+                    .u64("cmp_cycles", c.cycles);
+            }
             out.push_str(&row.finish());
             out.push('\n');
         }
@@ -234,6 +249,7 @@ mod tests {
             codec: CodecChoice::Differential,
             bus: BusChoice::Xor(4),
             l0: 1024,
+            cmp: None,
         };
         Evaluation {
             point,
@@ -245,7 +261,44 @@ mod tests {
             },
             area: AreaReport::new(),
             reliability: None,
+            cmp: None,
         }
+    }
+
+    #[test]
+    fn jsonl_rows_carry_cmp_fields_only_for_scenario_points() {
+        use lpmem_cmp::{CmpReport, CmpSpec};
+        let mut f = Frontier::new();
+        f.insert(eval(1, 10.0, 1.0, 100));
+        let mut chip = eval(2, 8.0, 2.0, 120);
+        let spec = CmpSpec::quad();
+        chip.point.cmp = Some(spec.clone());
+        chip.cmp = Some(CmpReport {
+            spec: spec.label(),
+            cores: 4,
+            llc_banks: 8,
+            dark_banks: 2,
+            llc_lookups: 1000,
+            llc_hits: 700,
+            llc_lines: 90,
+            llc_compressed_lines: 40,
+            offchip_beats: 300,
+            cycles: 5000,
+        });
+        f.insert(chip);
+        let jsonl = f.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let (solo, cmp_row) = if lines[0].contains("\"cmp\"") {
+            (lines[1], lines[0])
+        } else {
+            (lines[0], lines[1])
+        };
+        assert!(!solo.contains("\"cmp\""));
+        assert!(!solo.contains("llc_lookups"));
+        assert!(cmp_row.contains(&format!("\"cmp\":\"{}\"", spec.label())));
+        assert!(cmp_row.contains("\"dark_banks\":2"));
+        assert!(cmp_row.contains("\"cmp_cycles\":5000"));
     }
 
     #[test]

@@ -9,8 +9,10 @@
 
 use std::fmt;
 
+use lpmem_cmp::{CmpSpec, LlcCodec, DEFAULT_QUANTUM};
 use lpmem_core::flows::compression::PlatformKind;
 use lpmem_core::flows::spec::VariantSpec;
+use lpmem_energy::TechNode;
 use lpmem_mem::CacheConfig;
 use lpmem_util::Rng;
 
@@ -123,12 +125,17 @@ pub struct DesignPoint {
     pub bus: BusChoice,
     /// Scheduler L0 scratchpad capacity in bytes.
     pub l0: u64,
+    /// Chip-multiprocessor scenario: `None` is the single-core platform
+    /// every pre-CMP frontier was built from (its keys and JSONL rows
+    /// stay byte-identical); `Some` puts the point's D-cache geometry
+    /// behind the shared compressed NUCA LLC the spec describes.
+    pub cmp: Option<CmpSpec>,
 }
 
 impl DesignPoint {
     /// The stable identifier of this point.
     pub fn key(&self) -> String {
-        format!(
+        let base = format!(
             "b{}-k{}-c{}-{}-{}-l0{}",
             self.banks,
             self.block,
@@ -136,7 +143,11 @@ impl DesignPoint {
             self.codec.name(),
             self.bus.name(),
             self.l0
-        )
+        );
+        match &self.cmp {
+            None => base,
+            Some(spec) => format!("{base}-{}", spec.label()),
+        }
     }
 
     /// Checks the structural validity constraints every axis value must
@@ -160,6 +171,22 @@ impl DesignPoint {
         }
         if self.l0 == 0 || !self.l0.is_power_of_two() {
             return Err(format!("l0 capacity {} must be a power of two", self.l0));
+        }
+        if let Some(spec) = &self.cmp {
+            // On this axis `None` already is the single-core platform, so
+            // disabled and passthrough specs would only duplicate it under
+            // a different key — the axis carries active scenarios only.
+            if !spec.enabled() {
+                return Err("a CMP scenario on the axis must be enabled".to_owned());
+            }
+            if spec.passthrough() {
+                return Err(format!(
+                    "passthrough CMP scenario {} duplicates the single-core point",
+                    spec.label()
+                ));
+            }
+            spec.validate(self.cache.line)
+                .map_err(|e| format!("cmp scenario: {e}"))?;
         }
         Ok(())
     }
@@ -187,6 +214,7 @@ impl DesignPoint {
             codec: CodecChoice::Differential,
             bus: BusChoice::Xor(variant.regions),
             l0: variant.l0_bytes,
+            cmp: None,
         }
     }
 }
@@ -218,6 +246,13 @@ pub struct DesignSpace {
     pub buses: Vec<BusChoice>,
     /// L0-capacity axis (bytes).
     pub l0s: Vec<u64>,
+    /// CMP-scenario axis. `vec![None]` (the only value in [`full`] and
+    /// [`small`]) keeps the space exactly its pre-CMP self; the
+    /// [`DesignSpace::cmp`] preset widens it with active scenarios.
+    ///
+    /// [`full`]: DesignSpace::full
+    /// [`small`]: DesignSpace::small
+    pub cmps: Vec<Option<CmpSpec>>,
 }
 
 impl DesignSpace {
@@ -247,6 +282,61 @@ impl DesignSpace {
                 BusChoice::Xor(8),
             ],
             l0s: vec![256, 512, 1024, 2048],
+            cmps: vec![None],
+        }
+    }
+
+    /// The chip-multiprocessor exploration space: [`full`] widened with a
+    /// seventh axis of active CMP scenarios — core count × NUCA geometry
+    /// (banks × bank capacity × ways) × LLC codec × heterogeneous
+    /// technology split, all under the headline 600 µW leakage budget.
+    ///
+    /// The axis keeps `None` (the single-core platform) so pre-CMP
+    /// designs stay comparable on the same frontier, and filters
+    /// technology splits to at most one partition per bank. The result is
+    /// a 1441-scenario axis over the 20 736-point base: a 29 880 576-point
+    /// space (pinned by test), satisfying the ≥10⁷-point exploration goal.
+    ///
+    /// [`full`]: DesignSpace::full
+    pub fn cmp() -> DesignSpace {
+        let mut cmps: Vec<Option<CmpSpec>> = vec![None];
+        let splits: [&[TechNode]; 7] = [
+            &[TechNode::T180],
+            &[TechNode::T130],
+            &[TechNode::T90],
+            &[TechNode::T180, TechNode::T90],
+            &[TechNode::T180, TechNode::T130],
+            &[TechNode::T130, TechNode::T90],
+            &[TechNode::T180, TechNode::T130, TechNode::T90],
+        ];
+        for cores in [2u32, 4, 8] {
+            for banks in [2u32, 4, 8] {
+                for bank_kib in [16u32, 32, 64] {
+                    for ways in [2u32, 4] {
+                        for codec in LlcCodec::ALL {
+                            for techs in splits {
+                                if techs.len() > banks as usize {
+                                    continue;
+                                }
+                                cmps.push(Some(CmpSpec {
+                                    cores,
+                                    banks,
+                                    bank_kib,
+                                    ways,
+                                    codec,
+                                    techs: techs.to_vec(),
+                                    budget_uw: 600,
+                                    quantum: DEFAULT_QUANTUM,
+                                }));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        DesignSpace {
+            cmps,
+            ..DesignSpace::full()
         }
     }
 
@@ -271,6 +361,7 @@ impl DesignSpace {
             codecs: vec![CodecChoice::Off, CodecChoice::Differential],
             buses: vec![BusChoice::Raw, BusChoice::Xor(4)],
             l0s: vec![512, 1024],
+            cmps: vec![None],
         }
     }
 
@@ -282,6 +373,7 @@ impl DesignSpace {
             * self.codecs.len()
             * self.buses.len()
             * self.l0s.len()
+            * self.cmps.len()
     }
 
     /// `true` when any axis is empty.
@@ -308,12 +400,15 @@ impl DesignSpace {
             i
         };
         // Consume fastest-varying axes first (the reverse of the nesting).
+        // The CMP axis varies slowest so a widened space enumerates its
+        // entire pre-CMP prefix (cmp = None) first, in the old order.
         let l0 = self.l0s[take(self.l0s.len())];
         let bus = self.buses[take(self.buses.len())];
         let codec = self.codecs[take(self.codecs.len())];
         let cache = self.caches[take(self.caches.len())];
         let block = self.blocks[take(self.blocks.len())];
         let banks = self.banks[take(self.banks.len())];
+        let cmp = self.cmps[take(self.cmps.len())].clone();
         DesignPoint {
             banks,
             block,
@@ -321,6 +416,7 @@ impl DesignSpace {
             codec,
             bus,
             l0,
+            cmp,
         }
     }
 
@@ -338,6 +434,7 @@ impl DesignSpace {
             && self.codecs.contains(&point.codec)
             && self.buses.contains(&point.bus)
             && self.l0s.contains(&point.l0)
+            && self.cmps.contains(&point.cmp)
     }
 
     /// Checks that the space is non-empty and every point it can produce
@@ -391,6 +488,18 @@ impl DesignSpace {
         for &l0 in &self.l0s {
             DesignPoint { l0, ..base.clone() }.validate()?;
         }
+        // The CMP axis is the one cross-axis constraint (bank capacity
+        // vs. L1 line size), so check it against every cache geometry.
+        for cmp in &self.cmps {
+            for &cache in &self.caches {
+                DesignPoint {
+                    cmp: cmp.clone(),
+                    cache,
+                    ..base.clone()
+                }
+                .validate()?;
+            }
+        }
         Ok(())
     }
 
@@ -404,6 +513,7 @@ impl DesignSpace {
             codec: self.codecs[pick(rng, self.codecs.len())],
             bus: self.buses[pick(rng, self.buses.len())],
             l0: self.l0s[pick(rng, self.l0s.len())],
+            cmp: self.cmps[pick(rng, self.cmps.len())].clone(),
         }
     }
 
@@ -412,9 +522,9 @@ impl DesignSpace {
     /// in round-robin order is tried instead).
     pub fn mutate(&self, point: &DesignPoint, rng: &mut Rng) -> DesignPoint {
         let mut out = point.clone();
-        let start = rng.bounded_u64(6);
-        for step in 0..6 {
-            let axis = (start + step) % 6;
+        let start = rng.bounded_u64(7);
+        for step in 0..7 {
+            let axis = (start + step) % 7;
             if self.mutate_axis(&mut out, axis, rng) {
                 return out;
             }
@@ -439,7 +549,8 @@ impl DesignSpace {
             2 => other(&self.caches, &point.cache, rng).map(|v| point.cache = v),
             3 => other(&self.codecs, &point.codec, rng).map(|v| point.codec = v),
             4 => other(&self.buses, &point.bus, rng).map(|v| point.bus = v),
-            _ => other(&self.l0s, &point.l0, rng).map(|v| point.l0 = v),
+            5 => other(&self.l0s, &point.l0, rng).map(|v| point.l0 = v),
+            _ => other(&self.cmps, &point.cmp, rng).map(|v| point.cmp = v),
         }
         .is_some()
     }
@@ -453,6 +564,11 @@ impl DesignSpace {
             codec: if rng.gen_bool(0.5) { a.codec } else { b.codec },
             bus: if rng.gen_bool(0.5) { a.bus } else { b.bus },
             l0: if rng.gen_bool(0.5) { a.l0 } else { b.l0 },
+            cmp: if rng.gen_bool(0.5) {
+                a.cmp.clone()
+            } else {
+                b.cmp.clone()
+            },
         }
     }
 }
@@ -478,6 +594,66 @@ mod tests {
         let small = DesignSpace::small();
         assert_eq!(small.len(), 32);
         small.validate().unwrap();
+    }
+
+    #[test]
+    fn cmp_space_is_pinned_and_exceeds_ten_million_points() {
+        let space = DesignSpace::cmp();
+        // 1440 active scenarios + the single-core None over the full base.
+        assert_eq!(space.cmps.len(), 1441);
+        assert_eq!(space.len(), 20_736 * 1441);
+        assert!(space.len() >= 10_000_000, "ROADMAP item 4 floor");
+        space.validate().unwrap();
+        // The widened space enumerates its entire pre-CMP prefix first, in
+        // the old order, so existing frontier seeds keep their indices.
+        let full = DesignSpace::full();
+        assert_eq!(space.point_at(0), full.point_at(0));
+        assert_eq!(
+            space.point_at(full.len() - 1),
+            full.point_at(full.len() - 1)
+        );
+        assert!(space.point_at(full.len()).cmp.is_some());
+        // Scenario keys stay distinct from the base point's key.
+        let base = space.point_at(0);
+        let widened = space.point_at(full.len());
+        assert!(widened.key().starts_with(&base.key()));
+        assert_ne!(widened.key(), base.key());
+    }
+
+    #[test]
+    fn cmp_axis_rejects_degenerate_scenarios() {
+        let good = DesignSpace::cmp().point_at(20_736);
+        assert!(good.cmp.is_some());
+        good.validate().unwrap();
+        assert!(DesignPoint {
+            cmp: Some(CmpSpec::off()),
+            ..good.clone()
+        }
+        .validate()
+        .is_err());
+        let passthrough = CmpSpec {
+            cores: 2,
+            banks: 1,
+            bank_kib: 32,
+            ways: 4,
+            ..CmpSpec::off()
+        };
+        assert!(DesignPoint {
+            cmp: Some(passthrough),
+            ..good.clone()
+        }
+        .validate()
+        .is_err());
+        let tiny_bank = CmpSpec {
+            bank_kib: 0,
+            ..CmpSpec::quad()
+        };
+        assert!(DesignPoint {
+            cmp: Some(tiny_bank),
+            ..good
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
@@ -520,23 +696,27 @@ mod tests {
 
     #[test]
     fn mutation_changes_exactly_one_axis() {
-        let space = DesignSpace::full();
-        let mut rng = Rng::seed_from_u64(11);
-        let p = space.sample(&mut rng);
-        for _ in 0..50 {
-            let m = space.mutate(&p, &mut rng);
-            let diffs = [
-                m.banks != p.banks,
-                m.block != p.block,
-                m.cache != p.cache,
-                m.codec != p.codec,
-                m.bus != p.bus,
-                m.l0 != p.l0,
-            ]
-            .iter()
-            .filter(|&&d| d)
-            .count();
-            assert_eq!(diffs, 1, "{} vs {}", p.key(), m.key());
+        // `full` has a single-choice CMP axis (mutation falls through to
+        // the next axis); `cmp` exercises mutation onto and off scenarios.
+        for space in [DesignSpace::full(), DesignSpace::cmp()] {
+            let mut rng = Rng::seed_from_u64(11);
+            let p = space.sample(&mut rng);
+            for _ in 0..50 {
+                let m = space.mutate(&p, &mut rng);
+                let diffs = [
+                    m.banks != p.banks,
+                    m.block != p.block,
+                    m.cache != p.cache,
+                    m.codec != p.codec,
+                    m.bus != p.bus,
+                    m.l0 != p.l0,
+                    m.cmp != p.cmp,
+                ]
+                .iter()
+                .filter(|&&d| d)
+                .count();
+                assert_eq!(diffs, 1, "{} vs {}", p.key(), m.key());
+            }
         }
     }
 

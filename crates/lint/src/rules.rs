@@ -17,8 +17,9 @@
 //! * **D05** — float accumulation (`sum::<f64>()`) over an unordered hash
 //!   iteration: float addition does not commute bit-for-bit.
 //! * **A01** — raw narrowing `as` casts inside the accounting crates
-//!   (`lpmem-energy`, `lpmem-fault`): silent truncation corrupts
-//!   exact-energy claims and fault-campaign counters alike.
+//!   (`lpmem-energy`, `lpmem-fault`, `lpmem-cmp`): silent truncation
+//!   corrupts exact-energy claims, fault-campaign counters, and shared-LLC
+//!   outcome counters alike.
 //!
 //! The implementations are deliberately heuristic: token patterns plus
 //! file-local binding tracking, no type inference. False positives are the
@@ -64,7 +65,7 @@ pub const CATALOG: &[RuleInfo] = &[
     },
     RuleInfo {
         id: "A01",
-        summary: "narrowing `as` cast inside accounting code (energy, fault)",
+        summary: "narrowing `as` cast inside accounting code (energy, fault, cmp)",
     },
     RuleInfo {
         id: "L00",
@@ -128,7 +129,7 @@ pub struct FileContext<'a> {
     pub tokens: &'a [Token],
     /// Library code: D04 applies. False for tests/benches/examples/bins.
     pub is_library: bool,
-    /// Inside an accounting crate (energy, fault): A01 applies.
+    /// Inside an accounting crate (energy, fault, cmp): A01 applies.
     pub is_accounting: bool,
     /// The sanctioned wall-clock module (`util/src/bench.rs`): D02 exempt.
     pub exempt_time: bool,
@@ -156,7 +157,7 @@ impl<'a> FileContext<'a> {
             is_library: !non_library,
             is_accounting: segments
                 .iter()
-                .any(|s| s.contains("energy") || s.contains("fault")),
+                .any(|s| s.contains("energy") || s.contains("fault") || s.contains("cmp")),
             exempt_time: rel_path.ends_with("util/src/bench.rs"),
             exempt_seed: rel_path.ends_with("util/src/rng.rs"),
             test_regions: test_regions(tokens),
@@ -834,7 +835,18 @@ mod tests {
             rules_of(&diags_for("crates/fault/src/campaign.rs", src)),
             vec!["A01"]
         );
+        // As are the CMP crate's LLC counters and the CMP flow wiring.
+        assert_eq!(
+            rules_of(&diags_for("crates/cmp/src/sim.rs", src)),
+            vec!["A01"]
+        );
+        assert_eq!(
+            rules_of(&diags_for("crates/core/src/flows/cmp.rs", src)),
+            vec!["A01"]
+        );
         assert!(diags_for("crates/mem/src/cache.rs", src).is_empty());
+        // "cmp" matches the path segment, not "compress".
+        assert!(diags_for("crates/compress/src/diff.rs", src).is_empty());
         let widen = "fn f(x: u32) -> u64 { x as u64 }";
         assert!(diags_for("crates/energy/src/sram.rs", widen).is_empty());
         assert!(diags_for("crates/fault/src/codec.rs", widen).is_empty());

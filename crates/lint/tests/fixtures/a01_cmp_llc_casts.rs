@@ -1,0 +1,11 @@
+//! A01 fixture: narrowing casts over shared-LLC outcome counters (the
+//! file name places it inside the cmp crate for the path classifier).
+
+pub fn truncate_lookups(lookups: u64) -> u32 {
+    lookups as u32
+}
+
+// Negative case: a checked conversion states the invariant instead.
+pub fn checked_banks(banks: u64) -> u32 {
+    u32::try_from(banks).expect("bank counts fit in 32 bits")
+}

@@ -35,6 +35,8 @@ pub mod prop;
 pub mod rng;
 
 pub use json::JsonObject;
-pub use pool::{parallel_map, parallel_map_workers, try_parallel_map, TaskPanic};
+pub use pool::{
+    parallel_map, parallel_map_with, parallel_map_workers, try_parallel_map, TaskPanic,
+};
 pub use prop::Props;
 pub use rng::{Rng, SplitMix64};

@@ -128,6 +128,63 @@ where
     F: Fn(T) -> R + Sync,
     O: Fn(&mut S, &R) + Sync,
 {
+    run_pool(items, workers, |state: &mut S, item| {
+        let r = f(item);
+        observe(state, &r);
+        r
+    })
+}
+
+/// Maps `f` over the items with a **mutable per-worker state** threaded
+/// through every call — the shape a sharded memo table needs: each worker
+/// accumulates into its own shard with no cross-thread locking, and the
+/// caller merges the shards deterministically afterwards.
+///
+/// Returns `(results, states)`: results in **input order** (independent
+/// of scheduling, like [`parallel_map`]) and one state per worker in
+/// **worker-index order** — also scheduling-independent, though *which*
+/// entries land in which state is not. Any deterministic merge of the
+/// states (e.g. folding maps whose values are pure functions of their
+/// keys) therefore yields a scheduling-independent aggregate.
+///
+/// Panic semantics match [`parallel_map`]: every remaining task still
+/// runs, then the panic with the lowest input index is re-raised.
+pub fn parallel_map_with<T, R, S, F>(items: Vec<T>, workers: usize, f: F) -> (Vec<R>, Vec<S>)
+where
+    T: Send,
+    R: Send,
+    S: Default + Send,
+    F: Fn(&mut S, T) -> R + Sync,
+{
+    let per_worker = run_pool(items, workers, f);
+    let mut first_panic: Option<TaskPanic> = None;
+    let mut indexed: Vec<(usize, R)> = Vec::new();
+    let mut states: Vec<S> = Vec::with_capacity(per_worker.len());
+    for (chunk, state, panics) in per_worker {
+        indexed.extend(chunk);
+        states.push(state);
+        for p in panics {
+            if first_panic.as_ref().is_none_or(|q| p.index < q.index) {
+                first_panic = Some(p);
+            }
+        }
+    }
+    if let Some(p) = first_panic {
+        panic!("task {} panicked: {}", p.index, p.message);
+    }
+    indexed.sort_by_key(|&(i, _)| i);
+    (indexed.into_iter().map(|(_, r)| r).collect(), states)
+}
+
+/// The shared work-stealing engine: `f` gets the worker's own state and
+/// the item. Everything public above is a wrapper over this.
+fn run_pool<T, R, S, F>(items: Vec<T>, workers: usize, f: F) -> Vec<WorkerYield<R, S>>
+where
+    T: Send,
+    R: Send,
+    S: Default + Send,
+    F: Fn(&mut S, T) -> R + Sync,
+{
     let n = items.len();
     let workers = workers.max(1).min(n.max(1));
     if workers <= 1 {
@@ -135,11 +192,8 @@ where
         let mut panics = Vec::new();
         let mut chunk: Vec<(usize, R)> = Vec::new();
         for (i, item) in items.into_iter().enumerate() {
-            match std::panic::catch_unwind(AssertUnwindSafe(|| f(item))) {
-                Ok(r) => {
-                    observe(&mut state, &r);
-                    chunk.push((i, r));
-                }
+            match std::panic::catch_unwind(AssertUnwindSafe(|| f(&mut state, item))) {
+                Ok(r) => chunk.push((i, r)),
                 Err(payload) => panics.push(TaskPanic {
                     index: i,
                     message: panic_message(payload),
@@ -199,7 +253,6 @@ where
                 let next_task = &next_task;
                 let slots = &slots;
                 let f = &f;
-                let observe = &observe;
                 scope.spawn(move || {
                     let mut chunk: Vec<(usize, R)> = Vec::new();
                     let mut state = S::default();
@@ -213,11 +266,10 @@ where
                                 // worker, so the slot is always full here.
                                 let (index, item) =
                                     lock(&slots[slot]).take().expect("task claimed twice");
-                                match std::panic::catch_unwind(AssertUnwindSafe(|| f(item))) {
-                                    Ok(r) => {
-                                        observe(&mut state, &r);
-                                        chunk.push((index, r));
-                                    }
+                                match std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                    f(&mut state, item)
+                                })) {
+                                    Ok(r) => chunk.push((index, r)),
                                     Err(payload) => panics.push(TaskPanic {
                                         index,
                                         message: panic_message(payload),
@@ -358,6 +410,58 @@ mod tests {
                 .expect("rendered message")
                 .clone();
             assert_eq!(msg, "task 11 panicked: boom 11", "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_with_threads_state_and_preserves_order() {
+        for workers in [1, 2, 8] {
+            let (results, states): (Vec<u64>, Vec<Vec<u64>>) = parallel_map_with(
+                (0..300u64).collect::<Vec<_>>(),
+                workers,
+                |seen: &mut Vec<u64>, x| {
+                    seen.push(x);
+                    x * 2
+                },
+            );
+            assert_eq!(
+                results,
+                (0..300u64).map(|x| x * 2).collect::<Vec<_>>(),
+                "workers={workers}"
+            );
+            // The states partition the input: every item lands in exactly
+            // one worker's shard.
+            let mut all: Vec<u64> = states.iter().flatten().copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..300u64).collect::<Vec<_>>(), "workers={workers}");
+            assert!(states.len() <= workers.max(1), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_with_propagates_lowest_index_panic() {
+        for workers in [1, 2, 8] {
+            let caught = with_quiet_panics(|| {
+                std::panic::catch_unwind(|| {
+                    parallel_map_with::<_, u32, u64, _>(
+                        (0..64u32).collect::<Vec<_>>(),
+                        workers,
+                        |count, x| {
+                            *count += 1;
+                            if x == 9 || x == 40 {
+                                panic!("boom {x}");
+                            }
+                            x
+                        },
+                    )
+                })
+            });
+            let payload = caught.expect_err("panic must propagate");
+            let msg = payload
+                .downcast_ref::<String>()
+                .expect("rendered message")
+                .clone();
+            assert_eq!(msg, "task 9 panicked: boom 9", "workers={workers}");
         }
     }
 

@@ -63,6 +63,35 @@ cargo run --release --locked --offline -p lpmem-bench --bin fleet -- \
     --devices 2000 --threads 2 --jsonl target/fault_plain.jsonl
 cmp target/fault_off.jsonl target/fault_plain.jsonl
 
+echo "==> cmp smoke: worker byte-identity + zero-CMP equivalence (DESIGN.md §13)"
+# CMP scenarios draw every core seed and fault flip from logical
+# coordinates, so the --cmp JSONL must be byte-identical at any worker
+# count; and a disabled CmpSpec must reproduce the plain sweep bytes
+# exactly (the scenario layer costs nothing when off).
+cargo run --release --locked --offline -p lpmem-bench --bin sweep -- \
+    --quick --threads 1 --flows system --kernels fir --techs t180,t90 \
+    --variants default --cmp c4b8x32w4-zrun-t180+t90-p600 \
+    --jsonl target/cmp_t1.jsonl
+cargo run --release --locked --offline -p lpmem-bench --bin sweep -- \
+    --quick --threads 2 --flows system --kernels fir --techs t180,t90 \
+    --variants default --cmp c4b8x32w4-zrun-t180+t90-p600 \
+    --jsonl target/cmp_t2.jsonl
+cmp target/cmp_t1.jsonl target/cmp_t2.jsonl
+cargo run --release --locked --offline -p lpmem-bench --bin sweep -- \
+    --quick --threads 2 --flows system --kernels fir --techs t180,t90 \
+    --variants default --cmp off --jsonl target/cmp_off.jsonl
+cargo run --release --locked --offline -p lpmem-bench --bin sweep -- \
+    --quick --threads 2 --flows system --kernels fir --techs t180,t90 \
+    --variants default --jsonl target/cmp_plain.jsonl
+cmp target/cmp_off.jsonl target/cmp_plain.jsonl
+
+echo "==> cmp-bench quick run (cores x banks scaling table)"
+# Quick sampling: the committed BENCH_cmp.json comes from a full run,
+# not from here. The outcome counters it prints are deterministic either
+# way; only the timings vary.
+cargo run --release --locked --offline -p lpmem-bench --bin cmp-bench -- \
+    --quick --json target/BENCH_cmp_smoke.json
+
 echo "==> pool panic-isolation gate (DESIGN.md §12)"
 # A panicking task must yield a deterministic per-task error record, not
 # kill the harness.

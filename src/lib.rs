@@ -76,7 +76,9 @@ pub mod prelude {
     };
     pub use lpmem_core::flows::scheduling::{dsp_pipeline_app, run_scheduling, SchedulingOutcome};
     pub use lpmem_core::flows::system::{run_system, run_system_with_tech, SystemOutcome};
-    pub use lpmem_core::flows::{FlowSpec, FlowSummary, TechNode, VariantSpec};
+    pub use lpmem_core::flows::{
+        CmpReport, CmpSpec, FlowSpec, FlowSummary, LlcCodec, TechNode, VariantSpec,
+    };
     pub use lpmem_core::{workloads, DeviceArchetype, FlowError, WorkloadMix};
     pub use lpmem_energy::{
         AreaReport, BusModel, Energy, EnergyReport, OffChipModel, SramModel, Technology,

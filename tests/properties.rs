@@ -183,6 +183,7 @@ fn frontier_members_are_mutually_non_dominated() {
                 },
                 area: AreaReport::new(),
                 reliability: None,
+                cmp: None,
             })
             .collect();
         let mut frontier = Frontier::new();
@@ -210,4 +211,64 @@ fn frontier_members_are_mutually_non_dominated() {
             );
         }
     });
+}
+
+/// The fleet's merged bottom-k priority sample equals the global bottom-k
+/// under any re-sharding, and the JSONL report bytes do not move — the
+/// guarantee the module docs claim, including the conditional
+/// fault-campaign fields. Each shard keeps a full k candidates, so the
+/// merge can always reconstruct the fleet-wide selection.
+#[test]
+fn fleet_bottom_k_sample_is_resharding_invariant() {
+    use lpmem::core::flows::{FaultSpec, Protection};
+    use lpmem_bench::fleet::{simulate_device, simulate_shard, FleetReport, FleetSpec};
+
+    Props::new("fleet bottom-k sample survives re-sharding")
+        .cases(12)
+        .run(|rng| {
+            let mut spec = FleetSpec::new(WorkloadMix::uniform());
+            spec.devices = rng.gen_range(20..120u64);
+            spec.events_per_device = 32;
+            spec.base_seed = rng.gen_range(0..1_000_000u64);
+            spec.samples = rng.gen_range(1..8usize);
+            // Half the cases run a fault campaign, so the conditional
+            // JSONL fields go through the same invariance check.
+            if rng.gen_range(0..2u32) == 1 {
+                spec.fault = FaultSpec {
+                    rate_scale: FaultSpec::DEFAULT_ACCEL.saturating_mul(10_000),
+                    protection: Protection::Secded,
+                };
+            }
+
+            // The global bottom-k, selected with no sharding at all.
+            let mut keys: Vec<(u64, u64)> = (0..spec.devices)
+                .map(|d| {
+                    let stats = simulate_device(&spec, d);
+                    (stats.priority, stats.device)
+                })
+                .collect();
+            keys.sort_unstable();
+            keys.truncate(spec.samples);
+
+            let mut reference: Option<String> = None;
+            for shard_devices in [7, 16, 33, spec.devices] {
+                let mut sharded = spec.clone();
+                sharded.shard_devices = shard_devices;
+                let shards: Vec<_> = (0..sharded.num_shards())
+                    .map(|s| simulate_shard(&sharded, s))
+                    .collect();
+                let report = FleetReport::from_shards(sharded, shards);
+                let got: Vec<(u64, u64)> = report
+                    .samples
+                    .iter()
+                    .map(|s| (s.priority, s.device))
+                    .collect();
+                assert_eq!(got, keys, "shard size {shard_devices}");
+                let jsonl = report.jsonl();
+                match &reference {
+                    None => reference = Some(jsonl),
+                    Some(r) => assert_eq!(*r, jsonl, "shard size {shard_devices}"),
+                }
+            }
+        });
 }
