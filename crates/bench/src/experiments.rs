@@ -1,6 +1,5 @@
 //! One function per reproduced table/figure (ids match `DESIGN.md` §2).
 
-// lpmem-lint: allow(D02, reason = "the T1 table reproduces a runtime comparison; wall-clock columns are the measurement, energies never read the clock")
 use std::time::Instant;
 
 use lpmem_cluster::{cluster_blocks, ClusterConfig, Objective};
@@ -520,11 +519,9 @@ pub fn a3() -> Table {
         let data = trace.data_only();
         let profile = BlockProfile::from_trace(&data, 2048).expect("profile");
         let mono = cost.evaluate(&profile, &Partition::monolithic(profile.num_blocks()));
-        // lpmem-lint: allow(D02, reason = "greedy-vs-optimal runtime is the T1 measurement itself; energy columns never read the clock")
         let t0 = Instant::now();
         let (_, greedy) = greedy_partition(&profile, 8, &cost);
         let t_greedy = t0.elapsed().as_micros();
-        // lpmem-lint: allow(D02, reason = "greedy-vs-optimal runtime is the T1 measurement itself; energy columns never read the clock")
         let t0 = Instant::now();
         let (_, optimal) = optimal_partition(&profile, 8, &cost);
         let t_optimal = t0.elapsed().as_micros();

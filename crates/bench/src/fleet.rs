@@ -25,7 +25,6 @@
 //! property test in `tests/properties.rs`). Each sampled device carries a
 //! reservoir-sampled address profile.
 
-// lpmem-lint: allow(D02, reason = "run instrumentation: wall time feeds throughput reporting only, never the JSONL report body")
 use std::time::Instant;
 
 use lpmem_core::flows::{
@@ -625,7 +624,6 @@ impl FleetReport {
 /// Returns the spec validation error, if any.
 pub fn run_fleet(spec: &FleetSpec, workers: usize) -> Result<FleetReport, String> {
     spec.validate()?;
-    // lpmem-lint: allow(D02, reason = "fleet wall time for throughput reporting; the JSONL body never reads it")
     let started = Instant::now();
     let shards: Vec<u64> = (0..spec.num_shards()).collect();
     let results = parallel_map(shards, workers, |shard| simulate_shard(spec, shard));

@@ -14,7 +14,6 @@
 //! the design-space explorer shares it); this module re-exports
 //! [`parallel_map`] for its original callers.
 
-// lpmem-lint: allow(D02, reason = "run instrumentation: wall times feed the metrics tables only, never the scored results or the JSONL report")
 use std::time::Instant;
 
 use lpmem_core::flows::{CmpSpec, FaultSpec, FlowSpec, FlowSummary, TechNode, VariantSpec};
@@ -296,14 +295,12 @@ pub fn worker_count() -> usize {
 /// slot — byte-identical at any worker count, since the record is keyed
 /// by the task's grid index, not by which worker hit it.
 pub fn run_sweep(grid: &SweepGrid, workers: usize) -> SweepReport {
-    // lpmem-lint: allow(D02, reason = "elapsed wall time of the whole run; reported in the metrics table, excluded from the JSONL")
     let started = Instant::now();
     let tasks = grid.tasks();
     let per_worker = parallel_map_workers(
         tasks,
         workers,
         |task: SweepTask| {
-            // lpmem-lint: allow(D02, reason = "per-task latency for the histogram; task outcomes never read it")
             let t0 = Instant::now();
             let outcome = task.run();
             let wall_ns = t0.elapsed().as_nanos() as u64;

@@ -142,7 +142,9 @@ impl TrafficRouter {
             None => SEGMENTS_PER_LINE,
         };
         let hops = self.hops(core, bank);
-        self.hop_beats += hops * cfg.line_beats();
+        self.hop_beats += hops
+            .checked_mul(cfg.line_beats())
+            .expect("mesh hop count times line beats stays far below u64::MAX");
         self.llc_cycles += LLC_HIT_CYCLES + hops;
         let access = self.llc.access(core, addr, segs, write);
         if access.hit {
@@ -157,7 +159,10 @@ impl TrafficRouter {
         if (write || !access.hit) && segs < SEGMENTS_PER_LINE {
             self.compressed_lines += 1;
         }
-        self.offchip_wb_beats += access.evicted_dirty_segs * cfg.seg_beats();
+        self.offchip_wb_beats += access
+            .evicted_dirty_segs
+            .checked_mul(cfg.seg_beats())
+            .expect("at most four dirty segments per eviction times bounded seg beats");
     }
 }
 
@@ -303,7 +308,11 @@ pub fn simulate_cmp(
         caches[core].flush(&mut mems[core]);
         drain_l1_traffic(&mut router, &mut mems[core], core, line_bytes);
     }
-    router.offchip_wb_beats += router.llc.flush() * router.llc.config().seg_beats();
+    router.offchip_wb_beats += router
+        .llc
+        .flush()
+        .checked_mul(router.llc.config().seg_beats())
+        .expect("flushed dirty segments bounded by LLC capacity times seg beats");
 
     price_outcome(
         spec,

@@ -96,7 +96,6 @@ pub fn composite_app(phases: &[(Kernel, u32)], seed: u64) -> Result<Trace, FlowE
     let mut out = Trace::new();
     for (k_idx, &(kernel, scale)) in phases.iter().enumerate() {
         let run = kernel
-            // lpmem-lint: allow(D03, reason = "per-phase constant offset expanded by seed_from_u64 downstream; system-flow goldens pin these exact streams")
             .run(scale, seed ^ (k_idx as u64))
             .map_err(FlowError::from)?;
         for ev in run.trace.data_only() {

@@ -152,7 +152,6 @@ impl Kernel {
     }
 
     fn source(self, scale: u32, seed: u64) -> String {
-        // lpmem-lint: allow(D03, reason = "per-kernel constant offset expanded by seed_from_u64; source and verify must re-derive the identical stream, pinned by goldens")
         let mut rng = Rng::seed_from_u64(seed ^ (self as u64) << 32);
         match self {
             Kernel::MatMul => matmul_src(scale, &mut rng),
@@ -168,7 +167,6 @@ impl Kernel {
     }
 
     fn verify(self, scale: u32, seed: u64, machine: &Machine) {
-        // lpmem-lint: allow(D03, reason = "per-kernel constant offset expanded by seed_from_u64; source and verify must re-derive the identical stream, pinned by goldens")
         let mut rng = Rng::seed_from_u64(seed ^ (self as u64) << 32);
         let mem = machine.mem();
         match self {

@@ -1,7 +1,8 @@
 //! The `lint` binary: the workspace linter's command-line front end.
 //!
 //! ```text
-//! lint [--root DIR] [--paths P1,P2] [--rules R1,R2] [--json] [--deny] [--list]
+//! lint [--root DIR] [--paths P1,P2] [--rules R1,R2] [--json] [--deny]
+//!      [--bench-json PATH] [--list]
 //! ```
 //!
 //! * `--root DIR`   workspace root (default: walk up from the current
@@ -13,6 +14,9 @@
 //! * `--json`       emit the stable-sorted JSON array instead of text.
 //! * `--deny`       exit non-zero when any diagnostic survives — the CI
 //!   gate mode used by `scripts/verify.sh`.
+//! * `--bench-json PATH`  write a one-line JSON benchmark record (file,
+//!   line, function, call-graph, and taint counters plus wall time) to
+//!   PATH after the run; see `BENCH_lint.json` at the repo root.
 //! * `--list`       print the rule catalog and exit.
 //!
 //! Output is byte-stable for a given tree: files are walked in sorted
@@ -22,13 +26,14 @@ use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use lpmem_lint::{lint_root, render_json, render_text, Options, CATALOG};
+use lpmem_lint::{lint_root, render_json, render_text, Options, Report, CATALOG};
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut opts = Options::default();
     let mut json = false;
     let mut deny = false;
+    let mut bench_json: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -65,6 +70,10 @@ fn main() -> ExitCode {
             },
             "--json" => json = true,
             "--deny" => deny = true,
+            "--bench-json" => match args.next() {
+                Some(v) => bench_json = Some(PathBuf::from(v)),
+                None => return usage("--bench-json needs a file path"),
+            },
             "--list" => {
                 for r in CATALOG {
                     println!("{}  {}", r.id, r.summary);
@@ -87,6 +96,7 @@ fn main() -> ExitCode {
         },
     };
 
+    let started = std::time::Instant::now();
     let report = match lint_root(&root, &opts) {
         Ok(r) => r,
         Err(e) => {
@@ -94,6 +104,14 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let elapsed_ns = started.elapsed().as_nanos();
+
+    if let Some(path) = &bench_json {
+        if let Err(e) = std::fs::write(path, bench_report_body(&report, elapsed_ns)) {
+            eprintln!("lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
 
     // Diagnostics go to stdout (byte-stable, diff-able in CI); the summary
     // goes to stderr in both modes so redirected output stays pure.
@@ -113,6 +131,39 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+/// Renders the `--bench-json` record: one line of stable-keyed JSON with
+/// the analysis counters and the wall time of the whole run.
+fn bench_report_body(report: &Report, elapsed_ns: u128) -> String {
+    let s = &report.stats;
+    let secs = elapsed_ns as f64 / 1e9;
+    let files_per_sec = if secs > 0.0 {
+        s.files as f64 / secs
+    } else {
+        0.0
+    };
+    format!(
+        concat!(
+            "{{\"schema\":\"lpmem-lint-bench-v1\",",
+            "\"files\":{},\"lines\":{},\"functions\":{},",
+            "\"resolved_calls\":{},\"unresolved_calls\":{},",
+            "\"taint_sites\":{},\"retractions\":{},",
+            "\"diags\":{},\"suppressed\":{},",
+            "\"elapsed_ns\":{},\"files_per_sec\":{:.1}}}\n"
+        ),
+        s.files,
+        s.lines,
+        s.functions,
+        s.resolved_calls,
+        s.unresolved_calls,
+        s.taint_sites,
+        s.retracted,
+        report.diags.len(),
+        report.suppressed.len(),
+        elapsed_ns,
+        files_per_sec
+    )
 }
 
 /// Walks up from the current directory to the first `Cargo.toml` that
@@ -137,7 +188,8 @@ fn usage(err: &str) -> ExitCode {
         eprintln!("lint: {err}");
     }
     eprintln!(
-        "usage: lint [--root DIR] [--paths P1,P2] [--rules R1,R2] [--json] [--deny] [--list]"
+        "usage: lint [--root DIR] [--paths P1,P2] [--rules R1,R2] [--json] [--deny] \
+         [--bench-json PATH] [--list]"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

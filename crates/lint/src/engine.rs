@@ -30,16 +30,39 @@ use std::path::{Path, PathBuf};
 
 use crate::diag::Diag;
 use crate::lexer::{lex, Comment, LexOutput};
+use crate::resolve::Workspace;
 use crate::rules::{is_source_rule, run_rules, FileContext};
+use crate::taint;
 
 /// Engine configuration.
 #[derive(Debug, Clone, Default)]
 pub struct Options {
     /// Restrict to these rule ids (`None` = all rules plus the L-series
-    /// meta-rules; a filter disables L00/L01 unless listed).
+    /// meta-rules; a filter disables L00/L01/L02 unless listed, and runs
+    /// the semantic phase only when a T-series or A02 rule is listed —
+    /// heuristic-only filters also skip semantic retraction).
     pub rules: Option<BTreeSet<String>>,
     /// Restrict the walk to relative paths with one of these prefixes.
     pub paths: Vec<String>,
+}
+
+/// Analysis counters (surfaced by `lint --bench-json`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Stats {
+    /// Files scanned.
+    pub files: usize,
+    /// Source lines scanned.
+    pub lines: usize,
+    /// Functions summarized by the semantic phase.
+    pub functions: usize,
+    /// Taint sites discovered.
+    pub taint_sites: usize,
+    /// Call edges resolved (workspace, trait, modeled std/constructor).
+    pub resolved_calls: usize,
+    /// Call edges left unresolved.
+    pub unresolved_calls: usize,
+    /// Heuristic diagnostics retracted by the semantic phase.
+    pub retracted: usize,
 }
 
 /// One run's outcome.
@@ -51,6 +74,8 @@ pub struct Report {
     pub suppressed: Vec<Diag>,
     /// Number of files scanned.
     pub files: usize,
+    /// Analysis counters.
+    pub stats: Stats,
 }
 
 /// One parsed suppression comment.
@@ -67,56 +92,154 @@ struct Suppression {
 }
 
 /// Lints one file's source text. The engine and the fixture tests share
-/// this entry point; `rel_path` drives rule applicability.
+/// this entry point; `rel_path` drives rule applicability. The file forms
+/// a one-file workspace for the semantic phase.
 pub fn lint_source(rel_path: &str, src: &str, opts: &Options) -> (Vec<Diag>, Vec<Diag>) {
-    let LexOutput { tokens, comments } = lex(src);
-    let ctx = FileContext::new(rel_path, &tokens);
-    let mut diags = run_rules(&ctx, opts.rules.as_ref());
+    let report = lint_files(&[(rel_path.to_string(), src.to_string())], opts);
+    (report.diags, report.suppressed)
+}
 
-    let mut meta = Vec::new();
-    let mut supps = parse_suppressions(rel_path, &comments, &tokens, &mut meta);
-
-    let mut kept = Vec::new();
-    let mut suppressed = Vec::new();
-    'diag: for d in diags.drain(..) {
-        for s in supps.iter_mut() {
-            if s.target_line == d.line {
-                if let Some(r) = s.rules.iter().position(|r| r == d.rule) {
-                    s.used[r] = true;
-                    suppressed.push(d);
-                    continue 'diag;
-                }
-            }
-        }
-        kept.push(d);
+/// Lints a set of files as ONE workspace: phase A runs the per-file
+/// heuristic rules, phase B builds the resolved workspace and runs the
+/// inter-procedural taint analysis (T01/T02/A02), retracts heuristic
+/// diagnostics the flow analysis proves safe or subsumes, then applies
+/// suppressions per file (L00 malformed, L01 unused, L02 obsolete).
+pub fn lint_files(inputs: &[(String, String)], opts: &Options) -> Report {
+    struct FileWork {
+        rel: String,
+        heur: Vec<Diag>,
+        meta: Vec<Diag>,
+        supps: Vec<Suppression>,
+    }
+    let mut works = Vec::with_capacity(inputs.len());
+    let mut all_heur = Vec::new();
+    let mut lines = 0usize;
+    for (rel, src) in inputs {
+        lines += src.lines().count();
+        let LexOutput { tokens, comments } = lex(src);
+        let ctx = FileContext::new(rel, &tokens);
+        let heur = run_rules(&ctx, opts.rules.as_ref());
+        let mut meta = Vec::new();
+        let supps = parse_suppressions(rel, &comments, &tokens, &mut meta);
+        all_heur.extend(heur.iter().cloned());
+        works.push(FileWork {
+            rel: rel.clone(),
+            heur,
+            meta,
+            supps,
+        });
     }
 
-    // Meta-rules run only on full-catalog scans: under a `--rules` filter
-    // most suppressions are trivially "unused" and L00 noise would follow.
-    if opts.rules.is_none() {
-        kept.extend(meta);
-        for s in &supps {
-            for (rule, used) in s.rules.iter().zip(&s.used) {
-                if !used {
-                    kept.push(Diag {
-                        path: rel_path.to_string(),
-                        line: s.comment_line,
-                        rule: "L01",
-                        message: format!(
-                            "suppression for {rule} does not match any diagnostic \
-                             on line {}",
-                            s.target_line
-                        ),
+    // Phase B: semantic analysis over the resolved workspace. A `--rules`
+    // filter without any semantic rule skips it entirely (pure heuristic
+    // mode, no retraction).
+    let semantic = opts
+        .rules
+        .as_ref()
+        .is_none_or(|f| ["T01", "T02", "A02"].iter().any(|r| f.contains(*r)));
+    let (sem_diags, retract, mut stats) = if semantic {
+        let ws = Workspace::build(inputs);
+        let out = taint::analyze(&ws, &all_heur);
+        let stats = Stats {
+            files: inputs.len(),
+            lines,
+            functions: out.stats.functions,
+            taint_sites: out.stats.taint_sites,
+            resolved_calls: out.stats.resolved_calls,
+            unresolved_calls: out.stats.unresolved_calls,
+            retracted: out.retract.len(),
+        };
+        let keep = |d: &Diag| opts.rules.as_ref().is_none_or(|f| f.contains(d.rule));
+        let diags: Vec<Diag> = out.diags.into_iter().filter(|d| keep(d)).collect();
+        (diags, out.retract, stats)
+    } else {
+        (
+            Vec::new(),
+            BTreeSet::new(),
+            Stats {
+                files: inputs.len(),
+                lines,
+                ..Stats::default()
+            },
+        )
+    };
+
+    let mut report = Report::default();
+    for mut w in works {
+        let mut diags: Vec<Diag> = w
+            .heur
+            .into_iter()
+            .filter(|d| !retract.contains(&(d.path.clone(), d.line, d.rule.to_string())))
+            .collect();
+        diags.extend(sem_diags.iter().filter(|d| d.path == w.rel).cloned());
+        diags.sort();
+        diags.dedup();
+
+        let mut kept = Vec::new();
+        let mut suppressed = Vec::new();
+        'diag: for d in diags {
+            for s in w.supps.iter_mut() {
+                if s.target_line == d.line {
+                    if let Some(r) = s.rules.iter().position(|r| r == d.rule) {
+                        s.used[r] = true;
+                        suppressed.push(d);
+                        continue 'diag;
+                    }
+                }
+            }
+            kept.push(d);
+        }
+
+        // Meta-rules run only on full-catalog scans: under a `--rules`
+        // filter most suppressions are trivially "unused" and L00 noise
+        // would follow.
+        if opts.rules.is_none() {
+            kept.append(&mut w.meta);
+            for s in &w.supps {
+                for (rule, used) in s.rules.iter().zip(&s.used) {
+                    if *used {
+                        continue;
+                    }
+                    let obsolete = retract.contains(&(w.rel.clone(), s.target_line, rule.clone()));
+                    kept.push(if obsolete {
+                        Diag {
+                            path: w.rel.clone(),
+                            line: s.comment_line,
+                            rule: "L02",
+                            message: format!(
+                                "suppression for {rule} is obsolete: semantic analysis \
+                                 proves the line {} site safe",
+                                s.target_line
+                            ),
+                        }
+                    } else {
+                        Diag {
+                            path: w.rel.clone(),
+                            line: s.comment_line,
+                            rule: "L01",
+                            message: format!(
+                                "suppression for {rule} does not match any diagnostic \
+                                 on line {}",
+                                s.target_line
+                            ),
+                        }
                     });
                 }
             }
         }
-    }
 
-    kept.sort();
-    kept.dedup();
-    suppressed.sort();
-    (kept, suppressed)
+        kept.sort();
+        kept.dedup();
+        suppressed.sort();
+        report.diags.extend(kept);
+        report.suppressed.extend(suppressed);
+    }
+    report.files = inputs.len();
+    stats.files = inputs.len();
+    report.stats = stats;
+    report.diags.sort();
+    report.suppressed.sort();
+    report
 }
 
 /// Parses every `lpmem-lint` comment; malformed ones become L00 diags.
@@ -316,22 +439,19 @@ fn walk(dir: &Path, root: &Path, files: &mut Vec<String>) -> io::Result<()> {
     Ok(())
 }
 
-/// Lints everything under `root` per `opts`.
+/// Lints everything under `root` per `opts`. All selected files form one
+/// workspace, so the semantic phase sees cross-file and cross-crate
+/// flows.
 pub fn lint_root(root: &Path, opts: &Options) -> io::Result<Report> {
-    let mut report = Report::default();
+    let mut inputs = Vec::new();
     for rel in workspace_files(root)? {
         if !opts.paths.is_empty() && !opts.paths.iter().any(|p| rel.starts_with(p.as_str())) {
             continue;
         }
         let src = fs::read_to_string(root.join(&rel))?;
-        let (diags, suppressed) = lint_source(&rel, &src, opts);
-        report.diags.extend(diags);
-        report.suppressed.extend(suppressed);
-        report.files += 1;
+        inputs.push((rel, src));
     }
-    report.diags.sort();
-    report.suppressed.sort();
-    Ok(report)
+    Ok(lint_files(&inputs, opts))
 }
 
 #[cfg(test)]
@@ -342,10 +462,16 @@ mod tests {
         lint_source(rel, src, &Options::default())
     }
 
+    // A clock read escaping through an uncalled pub fn's return value:
+    // the semantic phase cannot prove it safe, so D02 stays live for the
+    // suppression to match.
+    const ESCAPING_CLOCK: &str =
+        "pub fn wall() -> u128 { std::time::Instant::now().elapsed().as_nanos() }";
+
     #[test]
     fn same_line_suppression_silences_the_diagnostic() {
-        let src = "use std::time::Instant; // lpmem-lint: allow(D02, reason = \"doc example\")\n";
-        let (diags, suppressed) = run("crates/x/src/lib.rs", src);
+        let src = format!("{ESCAPING_CLOCK} // lpmem-lint: allow(D02, reason = \"doc example\")\n");
+        let (diags, suppressed) = run("crates/x/src/lib.rs", &src);
         assert!(diags.is_empty(), "unexpected: {diags:?}");
         assert_eq!(suppressed.len(), 1);
         assert_eq!(suppressed[0].rule, "D02");
@@ -353,10 +479,31 @@ mod tests {
 
     #[test]
     fn own_line_suppression_covers_the_next_code_line() {
-        let src = "\n// lpmem-lint: allow(D02, reason = \"startup banner only\")\nuse std::time::Instant;\n";
-        let (diags, suppressed) = run("crates/x/src/lib.rs", src);
+        let src = format!(
+            "\n// lpmem-lint: allow(D02, reason = \"startup banner only\")\n{ESCAPING_CLOCK}\n"
+        );
+        let (diags, suppressed) = run("crates/x/src/lib.rs", &src);
         assert!(diags.is_empty(), "unexpected: {diags:?}");
         assert_eq!(suppressed[0].line, 3);
+    }
+
+    #[test]
+    fn retracted_diagnostic_turns_its_suppression_into_l02() {
+        // The clock value dies locally: the heuristic D02 is retracted,
+        // so the suppression covering it is obsolete (L02, anchored at
+        // the comment), not merely unused (L01).
+        let src = "fn t() -> u64 {\n\
+                   // lpmem-lint: allow(D02, reason = \"now stale\")\n\
+                   let t0 = std::time::Instant::now();\n\
+                   let _ = t0.elapsed();\n\
+                   7\n\
+                   }\n";
+        let (diags, suppressed) = run("crates/x/src/lib.rs", src);
+        assert!(suppressed.is_empty(), "unexpected: {suppressed:?}");
+        assert_eq!(diags.len(), 1, "unexpected: {diags:?}");
+        assert_eq!(diags[0].rule, "L02");
+        assert_eq!(diags[0].line, 2);
+        assert!(diags[0].message.contains("obsolete"));
     }
 
     #[test]
@@ -369,8 +516,8 @@ mod tests {
 
     #[test]
     fn missing_reason_is_l00() {
-        let src = "// lpmem-lint: allow(D02)\nuse std::time::Instant;\n";
-        let (diags, _) = run("crates/x/src/lib.rs", src);
+        let src = format!("// lpmem-lint: allow(D02)\n{ESCAPING_CLOCK}\n");
+        let (diags, _) = run("crates/x/src/lib.rs", &src);
         let rules: Vec<&str> = diags.iter().map(|d| d.rule).collect();
         // The suppression is void, so the D02 survives alongside the L00.
         assert_eq!(rules, vec!["L00", "D02"]);
@@ -402,8 +549,8 @@ mod tests {
 
     #[test]
     fn reasons_may_contain_commas_and_parens() {
-        let src = "use std::time::Instant; // lpmem-lint: allow(D02, reason = \"a, b (c), d\")\n";
-        let (diags, suppressed) = run("crates/x/src/lib.rs", src);
+        let src = format!("{ESCAPING_CLOCK} // lpmem-lint: allow(D02, reason = \"a, b (c), d\")\n");
+        let (diags, suppressed) = run("crates/x/src/lib.rs", &src);
         assert!(diags.is_empty(), "unexpected: {diags:?}");
         assert_eq!(suppressed.len(), 1);
     }

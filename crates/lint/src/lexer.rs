@@ -40,7 +40,7 @@ pub enum TokenKind {
     Attr,
 }
 
-/// One code token with its 1-based source line.
+/// One code token with its 1-based source line and byte span.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Token {
     /// The lexeme class.
@@ -49,6 +49,10 @@ pub struct Token {
     pub text: String,
     /// 1-based line the token starts on.
     pub line: u32,
+    /// Byte offset of the token's first byte in the source.
+    pub lo: u32,
+    /// Byte offset one past the token's last byte in the source.
+    pub hi: u32,
 }
 
 impl Token {
@@ -60,6 +64,13 @@ impl Token {
     /// `true` when this token is exactly the identifier `name`.
     pub fn is_ident(&self, name: &str) -> bool {
         self.kind == TokenKind::Ident && self.text == name
+    }
+
+    /// `true` when `next` starts at the byte where this token ends — the
+    /// parser uses adjacency to reassemble multi-character operators
+    /// (`::`, `->`, `<<`, `+=`) out of single-character punctuation.
+    pub fn touches(&self, next: &Token) -> bool {
+        self.hi == next.lo
     }
 }
 
@@ -94,6 +105,10 @@ struct Lexer<'a> {
     chars: Vec<char>,
     pos: usize,
     line: u32,
+    /// Byte offset of the cursor (chars are variable-width).
+    byte: u32,
+    /// Byte offset where the token being lexed started.
+    tok_start: u32,
     src: std::marker::PhantomData<&'a str>,
     out: LexOutput,
 }
@@ -104,6 +119,8 @@ impl<'a> Lexer<'a> {
             chars: src.chars().collect(),
             pos: 0,
             line: 1,
+            byte: 0,
+            tok_start: 0,
             src: std::marker::PhantomData,
             out: LexOutput::default(),
         }
@@ -117,6 +134,7 @@ impl<'a> Lexer<'a> {
         let c = self.chars.get(self.pos).copied();
         if let Some(ch) = c {
             self.pos += 1;
+            self.byte += ch.len_utf8() as u32;
             if ch == '\n' {
                 self.line += 1;
             }
@@ -125,12 +143,19 @@ impl<'a> Lexer<'a> {
     }
 
     fn push(&mut self, kind: TokenKind, text: String, line: u32) {
-        self.out.tokens.push(Token { kind, text, line });
+        self.out.tokens.push(Token {
+            kind,
+            text,
+            line,
+            lo: self.tok_start,
+            hi: self.byte,
+        });
     }
 
     fn run(mut self) -> LexOutput {
         while let Some(c) = self.peek(0) {
             let line = self.line;
+            self.tok_start = self.byte;
             match c {
                 _ if c.is_whitespace() => {
                     self.bump();

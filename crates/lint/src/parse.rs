@@ -1,0 +1,2328 @@
+//! Recursive-descent parser from the [`crate::lexer`] token stream to the
+//! spanned AST in [`crate::ast`].
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Never panic, never loop.** Every index goes through `get`; every
+//!    loop either consumes a token or breaks. Malformed input degrades to
+//!    [`ExprKind::Unknown`] / [`ItemKind::Verbatim`] nodes (counted in
+//!    [`SourceFile::recovered`]) instead of an error — a linter must keep
+//!    scanning whatever it is given, and the parser property test feeds it
+//!    truncated files on purpose.
+//! 2. **Exact spans.** Every node's span is the byte range of the tokens
+//!    it consumed, so diagnostics anchor precisely and the span round-trip
+//!    property holds even through recovery.
+//! 3. **Cover the workspace, degrade elsewhere.** The grammar models the
+//!    Rust subset this repo writes — items, impls, traits, fn bodies, the
+//!    full expression grammar with match/closures/ranges, `let else`,
+//!    labels, turbofish. Generic parameter lists, where-clauses and bounds
+//!    are *skipped* (balanced), not modeled: the analyses never need them.
+//!
+//! The lexer emits single-character punctuation; multi-character operators
+//! (`::`, `->`, `<<`, `+=`, `=>`, `..`) are reassembled here via byte
+//! adjacency ([`crate::lexer::Token::touches`]), which is also what keeps
+//! `a < -b` distinct from `a <- b`-style misreads.
+
+use crate::ast::*;
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Parses one source file. Infallible: syntax the grammar does not model
+/// becomes `Unknown`/`Verbatim` nodes and bumps `recovered`.
+pub fn parse_file(src: &str) -> SourceFile {
+    let toks = lex(src).tokens;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        recovered: 0,
+        recovered_lines: Vec::new(),
+    };
+    let mut items = Vec::new();
+    while p.peek().is_some() {
+        let before = p.pos;
+        let cfg_test = p.skip_attrs();
+        if p.peek().is_none() {
+            break;
+        }
+        items.push(p.parse_item(cfg_test));
+        if p.pos == before {
+            // Guaranteed progress even if an item parse went nowhere.
+            p.bump();
+            p.recovered += 1;
+        }
+    }
+    SourceFile {
+        items,
+        recovered: p.recovered,
+        recovered_lines: p.recovered_lines,
+    }
+}
+
+/// Identifiers that can never be pattern bindings or path heads.
+const PAT_KEYWORDS: &[&str] = &[
+    "ref", "mut", "box", "if", "in", "as", "else", "true", "false", "self", "Self", "crate",
+    "super", "move",
+];
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+    recovered: u32,
+    recovered_lines: Vec<u32>,
+}
+
+fn tok_span(t: &Token) -> Span {
+    Span {
+        lo: t.lo,
+        hi: t.hi,
+        line: t.line,
+    }
+}
+
+impl Parser {
+    // ── token plumbing ───────────────────────────────────────────────
+
+    fn t(&self, n: usize) -> Option<&Token> {
+        self.toks.get(self.pos + n)
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.t(0)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Records a recovery (with its source line, for diagnosing which
+    /// construct the grammar failed to model).
+    fn recover_here(&mut self) {
+        self.recovered += 1;
+        if self.recovered_lines.len() < 64 {
+            let line = self.cur_span().line;
+            self.recovered_lines.push(line);
+        }
+    }
+
+    fn at_punct(&self, c: char) -> bool {
+        self.peek().map(|t| t.is_punct(c)).unwrap_or(false)
+    }
+
+    fn at_ident(&self, name: &str) -> bool {
+        self.peek().map(|t| t.is_ident(name)).unwrap_or(false)
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.at_punct(c) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_ident(&mut self, name: &str) -> bool {
+        if self.at_ident(name) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `true` when the tokens at the cursor spell the multi-character
+    /// operator `op` with no intervening bytes.
+    fn at_op(&self, op: &str) -> bool {
+        let mut prev: Option<&Token> = None;
+        for (i, c) in op.chars().enumerate() {
+            match self.t(i) {
+                Some(t) if t.is_punct(c) => {
+                    if let Some(p) = prev {
+                        if !p.touches(t) {
+                            return false;
+                        }
+                    }
+                    prev = Some(t);
+                }
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    fn eat_op(&mut self, op: &str) -> bool {
+        if self.at_op(op) {
+            for _ in op.chars() {
+                self.bump();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Span at the cursor (or an empty span at end of input).
+    fn cur_span(&self) -> Span {
+        match self.peek() {
+            Some(t) => tok_span(t),
+            None => {
+                let hi = self.toks.last().map(|t| t.hi).unwrap_or(0);
+                let line = self.toks.last().map(|t| t.line).unwrap_or(0);
+                Span { lo: hi, hi, line }
+            }
+        }
+    }
+
+    /// Span of the last consumed token (or the cursor span).
+    fn prev_span(&self) -> Span {
+        if self.pos == 0 {
+            return self.cur_span();
+        }
+        match self.toks.get(self.pos - 1) {
+            Some(t) => tok_span(t),
+            None => self.cur_span(),
+        }
+    }
+
+    /// Skips leading attribute tokens; `true` if any mentions `test`.
+    fn skip_attrs(&mut self) -> bool {
+        let mut test = false;
+        while let Some(t) = self.peek() {
+            if t.kind != TokenKind::Attr {
+                break;
+            }
+            if t.text.contains("test") {
+                test = true;
+            }
+            self.bump();
+        }
+        test
+    }
+
+    /// Consumes a balanced `(…)`/`[…]`/`{…}` region starting at the
+    /// cursor's opening delimiter. No-op if not at one.
+    fn skip_balanced(&mut self) {
+        let open = match self.peek() {
+            Some(t) if t.kind == TokenKind::Punct => match t.text.chars().next() {
+                Some(c @ ('(' | '[' | '{')) => c,
+                _ => return,
+            },
+            _ => return,
+        };
+        let close = match open {
+            '(' => ')',
+            '[' => ']',
+            _ => '}',
+        };
+        self.bump();
+        let mut depth = 1u32;
+        while let Some(t) = self.peek() {
+            if t.is_punct(open) {
+                depth += 1;
+            } else if t.is_punct(close) {
+                depth -= 1;
+                if depth == 0 {
+                    self.bump();
+                    return;
+                }
+            } else if t.kind == TokenKind::Punct {
+                // Other delimiter families nest independently; a stray
+                // mismatched closer inside is tolerated (recovery).
+            }
+            self.bump();
+        }
+    }
+
+    /// Consumes a balanced `<…>` generic region (cursor on `<`). Handles
+    /// `->` inside fn-pointer bounds and `>>` closing two levels.
+    fn skip_generics(&mut self) {
+        if !self.at_punct('<') {
+            return;
+        }
+        self.bump();
+        let mut angle = 1i32;
+        let mut paren = 0i32;
+        while let Some(t) = self.peek() {
+            if t.is_punct('(') {
+                paren += 1;
+            } else if t.is_punct(')') {
+                paren -= 1;
+                if paren < 0 {
+                    return; // enclosing paren closes first: bail out
+                }
+            } else if t.is_punct('-') && self.at_op("->") {
+                self.bump();
+                self.bump();
+                continue;
+            } else if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') {
+                angle -= 1;
+                if angle == 0 {
+                    self.bump();
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    // ── types ────────────────────────────────────────────────────────
+
+    /// Scans a type as a balanced token run, stopping at depth 0 on any
+    /// of `stop_puncts` or `stop_idents`. Returns the token index range.
+    fn scan_ty_range(&mut self, stop_puncts: &[char], stop_idents: &[&str]) -> (usize, usize) {
+        let start = self.pos;
+        let mut depth = 0i32;
+        while let Some(t) = self.peek() {
+            if depth == 0 {
+                if t.kind == TokenKind::Punct {
+                    let c = t.text.chars().next().unwrap_or(' ');
+                    if stop_puncts.contains(&c) {
+                        // `->` pairs are part of fn-pointer types, never
+                        // a stop; `::` is a path separator, not a `:`.
+                        let pair = (c == '-' && self.at_op("->")) || (c == ':' && self.at_op("::"));
+                        if !pair {
+                            break;
+                        }
+                    }
+                }
+                if t.kind == TokenKind::Ident && stop_idents.iter().any(|k| t.text == *k) {
+                    break;
+                }
+            }
+            if t.is_punct('-') && self.at_op("->") {
+                self.bump();
+                self.bump();
+                continue;
+            }
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('<') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('>') || t.is_punct('}') {
+                if depth == 0 {
+                    break; // the enclosing context's closer
+                }
+                depth -= 1;
+            }
+            self.bump();
+        }
+        (start, self.pos)
+    }
+
+    /// Parses a type (see [`scan_ty_range`][Self::scan_ty_range]).
+    fn parse_ty(&mut self, stop_puncts: &[char], stop_idents: &[&str]) -> Ty {
+        let (start, end) = self.scan_ty_range(stop_puncts, stop_idents);
+        ty_from_tokens(&self.toks[start..end])
+    }
+
+    // ── patterns ─────────────────────────────────────────────────────
+
+    /// Scans a pattern as a balanced token run, collecting bound names.
+    ///
+    /// `stop_puncts` / `stop_idents` apply at depth 0 only; `:` stops only
+    /// when not part of `::`, `=` only when not part of `..=` or `=>`
+    /// (callers that want to stop *at* `=>` include `=` in the stops and
+    /// the `=>` form is detected here).
+    fn parse_pat(&mut self, stop_puncts: &[char], stop_idents: &[&str]) -> Pat {
+        let start_span = self.cur_span();
+        let mut bindings = Vec::new();
+        let mut depth = 0i32;
+        let mut last_hi = start_span;
+        let mut prev_pathsep = false;
+        let mut empty = true;
+        while let Some(t) = self.peek() {
+            // Path separators pass through whole (and mark the next ident
+            // as a path segment, never a binding).
+            if self.at_op("::") {
+                self.bump();
+                self.bump();
+                prev_pathsep = true;
+                empty = false;
+                last_hi = self.prev_span();
+                continue;
+            }
+            if depth == 0 {
+                if t.kind == TokenKind::Punct {
+                    let c = t.text.chars().next().unwrap_or(' ');
+                    if stop_puncts.contains(&c) {
+                        // `..=`'s `=` is part of a range pattern, not a
+                        // stop; a bare `=` (or the `=` of `=>`) stops.
+                        let is_range_eq = c == '='
+                            && self
+                                .toks
+                                .get(self.pos.wrapping_sub(1))
+                                .map(|p| p.is_punct('.'))
+                                .unwrap_or(false);
+                        if !is_range_eq {
+                            break;
+                        }
+                    }
+                }
+                if t.kind == TokenKind::Ident && stop_idents.iter().any(|k| t.text == *k) {
+                    break;
+                }
+            }
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            }
+            if t.kind == TokenKind::Ident {
+                let name = t.text.clone();
+                let lower = name
+                    .chars()
+                    .next()
+                    .map(|c| c.is_lowercase() || c == '_')
+                    .unwrap_or(false);
+                let next_blocks = {
+                    // Paths (`x::`), calls (`x(`), struct paths (`x {`),
+                    // macros (`x!`), and — inside a struct pattern —
+                    // field names (`x:`) don't bind.
+                    let path = self.at_op_at(1, "::");
+                    match self.t(1) {
+                        Some(n) => {
+                            path || (n.is_punct(':') && depth > 0)
+                                || n.is_punct('(')
+                                || n.is_punct('{')
+                                || n.is_punct('!')
+                        }
+                        None => false,
+                    }
+                };
+                if lower
+                    && name != "_"
+                    && !prev_pathsep
+                    && !next_blocks
+                    && !PAT_KEYWORDS.contains(&name.as_str())
+                {
+                    bindings.push(name);
+                }
+            }
+            prev_pathsep = false;
+            if let Some(t) = self.bump() {
+                last_hi = tok_span(&t);
+                empty = false;
+            }
+        }
+        let span = if empty {
+            Span {
+                lo: start_span.lo,
+                hi: start_span.lo,
+                line: start_span.line,
+            }
+        } else {
+            start_span.to(last_hi)
+        };
+        Pat { span, bindings }
+    }
+
+    /// `at_op` at a lookahead offset.
+    fn at_op_at(&self, n: usize, op: &str) -> bool {
+        let mut prev: Option<&Token> = None;
+        for (i, c) in op.chars().enumerate() {
+            match self.t(n + i) {
+                Some(t) if t.is_punct(c) => {
+                    if let Some(p) = prev {
+                        if !p.touches(t) {
+                            return false;
+                        }
+                    }
+                    prev = Some(t);
+                }
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    // ── items ────────────────────────────────────────────────────────
+
+    fn parse_item(&mut self, cfg_test: bool) -> Item {
+        let start = self.cur_span();
+        let mut vis_pub = false;
+        if self.eat_ident("pub") {
+            vis_pub = true;
+            if self.at_punct('(') {
+                self.skip_balanced(); // pub(crate), pub(super)
+            }
+        }
+        self.eat_ident("unsafe");
+        let kind = if self.at_ident("fn") {
+            self.bump();
+            ItemKind::Fn(Box::new(self.parse_fn()))
+        } else if self.at_ident("const") || self.at_ident("static") {
+            self.bump();
+            if self.at_ident("fn") {
+                self.bump();
+                ItemKind::Fn(Box::new(self.parse_fn()))
+            } else {
+                self.eat_ident("mut");
+                self.parse_const_rest()
+            }
+        } else if self.at_ident("struct") {
+            self.bump();
+            self.parse_struct_rest()
+        } else if self.at_ident("enum") {
+            self.bump();
+            self.parse_enum_rest()
+        } else if self.at_ident("impl") {
+            self.bump();
+            self.parse_impl_rest()
+        } else if self.at_ident("trait") {
+            self.bump();
+            self.parse_trait_rest()
+        } else if self.at_ident("mod") {
+            self.bump();
+            self.parse_mod_rest()
+        } else if self.at_ident("use") {
+            self.bump();
+            self.parse_use_rest()
+        } else if self.at_ident("type") {
+            self.bump();
+            let name = self.ident_or_empty();
+            self.skip_to_semi();
+            ItemKind::TypeAlias(name)
+        } else if self.at_ident("macro_rules") {
+            self.bump();
+            self.eat_punct('!');
+            let name = self.ident_or_empty();
+            self.skip_balanced();
+            self.eat_punct(';');
+            ItemKind::MacroDef(name)
+        } else if self.at_item_macro_invoke() {
+            // Item-position macro invocation: `std::thread_local! { … }`,
+            // `impl_sample_range!(u8, …);` — path, `!`, one balanced
+            // delimiter. The expansion is opaque to the analyses.
+            while self
+                .peek()
+                .map(|t| t.kind == TokenKind::Ident)
+                .unwrap_or(false)
+            {
+                self.bump();
+                if !self.eat_op("::") {
+                    break;
+                }
+            }
+            self.eat_punct('!');
+            self.skip_balanced();
+            self.eat_punct(';');
+            ItemKind::Verbatim
+        } else {
+            // extern blocks, stray tokens: recover to an item boundary.
+            self.recover_here();
+            self.skip_item_like();
+            ItemKind::Verbatim
+        };
+        Item {
+            span: start.to(self.prev_span()),
+            vis_pub,
+            cfg_test,
+            kind,
+        }
+    }
+
+    /// Does the cursor start an item-position macro invocation
+    /// (`seg(::seg)* !` followed by a delimiter)?
+    fn at_item_macro_invoke(&self) -> bool {
+        let mut i = 0usize;
+        loop {
+            match self.t(i) {
+                Some(t) if t.kind == TokenKind::Ident => i += 1,
+                _ => return false,
+            }
+            if self.at_op_at(i, "::") {
+                i += 2;
+                continue;
+            }
+            break;
+        }
+        match (self.t(i), self.t(i + 1)) {
+            (Some(bang), Some(delim)) => {
+                bang.is_punct('!')
+                    && (delim.is_punct('(') || delim.is_punct('[') || delim.is_punct('{'))
+            }
+            _ => false,
+        }
+    }
+
+    fn ident_or_empty(&mut self) -> String {
+        match self.peek() {
+            Some(t) if t.kind == TokenKind::Ident => {
+                let s = t.text.clone();
+                self.bump();
+                s
+            }
+            _ => String::new(),
+        }
+    }
+
+    /// Recovery: consume through the next depth-0 `;`, or one balanced
+    /// `{…}` region, whichever comes first.
+    fn skip_item_like(&mut self) {
+        let mut depth = 0i32;
+        while let Some(t) = self.peek() {
+            if depth == 0 {
+                if t.is_punct(';') {
+                    self.bump();
+                    return;
+                }
+                if t.is_punct('{') {
+                    self.skip_balanced();
+                    return;
+                }
+                if t.is_punct('}') {
+                    return; // enclosing block's closer
+                }
+            }
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                if depth == 0 {
+                    return;
+                }
+                depth -= 1;
+            }
+            self.bump();
+        }
+    }
+
+    fn skip_to_semi(&mut self) {
+        let mut depth = 0i32;
+        while let Some(t) = self.peek() {
+            if depth == 0 && t.is_punct(';') {
+                self.bump();
+                return;
+            }
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                if depth == 0 {
+                    return;
+                }
+                depth -= 1;
+            }
+            self.bump();
+        }
+    }
+
+    /// Cursor just after `fn`.
+    fn parse_fn(&mut self) -> FnItem {
+        let name_span = self.cur_span();
+        let name = self.ident_or_empty();
+        self.skip_generics();
+        let mut has_self = false;
+        let mut params = Vec::new();
+        if self.eat_punct('(') {
+            while let Some(t) = self.peek() {
+                if t.is_punct(')') {
+                    self.bump();
+                    break;
+                }
+                let before = self.pos;
+                self.skip_attrs();
+                // Receiver forms: self / &self / &mut self / mut self /
+                // &'a self, optionally `self: Ty`.
+                let save = self.pos;
+                self.eat_punct('&');
+                if let Some(t) = self.peek() {
+                    if t.kind == TokenKind::Lifetime {
+                        self.bump();
+                    }
+                }
+                self.eat_ident("mut");
+                if self.eat_ident("self") {
+                    has_self = true;
+                    if self.eat_punct(':') {
+                        self.parse_ty(&[','], &[]);
+                    }
+                } else {
+                    self.pos = save;
+                    let pat = self.parse_pat(&[':', ','], &[]);
+                    let ty = if self.eat_punct(':') {
+                        self.parse_ty(&[','], &[])
+                    } else {
+                        empty_ty()
+                    };
+                    params.push(Param {
+                        bindings: pat.bindings,
+                        ty,
+                    });
+                }
+                self.eat_punct(',');
+                if self.pos == before {
+                    self.bump();
+                    self.recover_here();
+                }
+            }
+        }
+        let ret = if self.eat_op("->") {
+            Some(self.parse_ty(&['{', ';', ','], &["where"]))
+        } else {
+            None
+        };
+        if self.at_ident("where") {
+            self.scan_ty_range(&['{', ';'], &[]);
+        }
+        let body = if self.at_punct('{') {
+            Some(self.parse_block())
+        } else {
+            self.eat_punct(';');
+            None
+        };
+        FnItem {
+            name,
+            name_span,
+            has_self,
+            params,
+            ret,
+            body,
+        }
+    }
+
+    fn parse_const_rest(&mut self) -> ItemKind {
+        let name = self.ident_or_empty();
+        let ty = if self.eat_punct(':') {
+            Some(self.parse_ty(&['=', ';'], &[]))
+        } else {
+            None
+        };
+        let init = if self.eat_punct('=') {
+            Some(self.parse_expr(0, false))
+        } else {
+            None
+        };
+        self.eat_punct(';');
+        ItemKind::Const(ConstItem { name, ty, init })
+    }
+
+    fn parse_struct_rest(&mut self) -> ItemKind {
+        let name = self.ident_or_empty();
+        self.skip_generics();
+        if self.at_ident("where") {
+            self.scan_ty_range(&['{', ';', '('], &[]);
+        }
+        let mut fields = Vec::new();
+        if self.at_punct('(') {
+            self.skip_balanced(); // tuple struct: fields untyped here
+            self.eat_punct(';');
+        } else if self.eat_punct('{') {
+            while let Some(t) = self.peek() {
+                if t.is_punct('}') {
+                    self.bump();
+                    break;
+                }
+                let before = self.pos;
+                self.skip_attrs();
+                if self.eat_ident("pub") && self.at_punct('(') {
+                    self.skip_balanced();
+                }
+                let fname = self.ident_or_empty();
+                let fty = if self.eat_punct(':') {
+                    self.parse_ty(&[','], &[])
+                } else {
+                    empty_ty()
+                };
+                if !fname.is_empty() {
+                    fields.push((fname, fty));
+                }
+                self.eat_punct(',');
+                if self.pos == before {
+                    self.bump();
+                    self.recover_here();
+                }
+            }
+        } else {
+            self.eat_punct(';'); // unit struct
+        }
+        ItemKind::Struct(StructItem { name, fields })
+    }
+
+    fn parse_enum_rest(&mut self) -> ItemKind {
+        let name = self.ident_or_empty();
+        self.skip_generics();
+        let mut variants = Vec::new();
+        if self.eat_punct('{') {
+            while let Some(t) = self.peek() {
+                if t.is_punct('}') {
+                    self.bump();
+                    break;
+                }
+                let before = self.pos;
+                self.skip_attrs();
+                let vname = self.ident_or_empty();
+                if !vname.is_empty() {
+                    variants.push(vname);
+                }
+                if self.at_punct('(') || self.at_punct('{') {
+                    self.skip_balanced();
+                }
+                if self.eat_punct('=') {
+                    self.parse_expr(0, false); // explicit discriminant
+                }
+                self.eat_punct(',');
+                if self.pos == before {
+                    self.bump();
+                    self.recover_here();
+                }
+            }
+        } else {
+            self.eat_punct(';');
+        }
+        ItemKind::Enum(EnumItem { name, variants })
+    }
+
+    fn parse_impl_rest(&mut self) -> ItemKind {
+        self.skip_generics();
+        let first = self.parse_ty(&['{'], &["for", "where"]);
+        let (trait_name, ty) = if self.eat_ident("for") {
+            let target = self.parse_ty(&['{'], &["where"]);
+            (Some(first.head.clone()), target)
+        } else {
+            (None, first)
+        };
+        if self.at_ident("where") {
+            self.scan_ty_range(&['{'], &[]);
+        }
+        let items = self.parse_item_list();
+        ItemKind::Impl(ImplItem {
+            ty_head: ty.head,
+            trait_name,
+            items,
+        })
+    }
+
+    fn parse_trait_rest(&mut self) -> ItemKind {
+        let name = self.ident_or_empty();
+        self.skip_generics();
+        if self.at_punct(':') && !self.at_op("::") {
+            self.bump();
+            self.scan_ty_range(&['{'], &["where"]);
+        }
+        if self.at_ident("where") {
+            self.scan_ty_range(&['{'], &[]);
+        }
+        let items = self.parse_item_list();
+        ItemKind::Trait(TraitItem { name, items })
+    }
+
+    fn parse_mod_rest(&mut self) -> ItemKind {
+        let name = self.ident_or_empty();
+        let items = if self.at_punct('{') {
+            Some(self.parse_item_list())
+        } else {
+            self.eat_punct(';');
+            None
+        };
+        ItemKind::Mod(ModItem { name, items })
+    }
+
+    /// A `{ item* }` region (impl/trait/mod bodies).
+    fn parse_item_list(&mut self) -> Vec<Item> {
+        let mut items = Vec::new();
+        if !self.eat_punct('{') {
+            return items;
+        }
+        while let Some(t) = self.peek() {
+            if t.is_punct('}') {
+                self.bump();
+                break;
+            }
+            let before = self.pos;
+            let cfg_test = self.skip_attrs();
+            if self.at_punct('}') {
+                continue;
+            }
+            items.push(self.parse_item(cfg_test));
+            if self.pos == before {
+                self.bump();
+                self.recover_here();
+            }
+        }
+        items
+    }
+
+    fn parse_use_rest(&mut self) -> ItemKind {
+        let mut leaves = Vec::new();
+        self.parse_use_tree(Vec::new(), &mut leaves);
+        self.skip_to_semi();
+        ItemKind::Use(UseItem { leaves })
+    }
+
+    fn parse_use_tree(&mut self, mut prefix: Vec<String>, leaves: &mut Vec<(String, Vec<String>)>) {
+        loop {
+            if self.at_punct('{') {
+                self.bump();
+                while let Some(t) = self.peek() {
+                    if t.is_punct('}') {
+                        self.bump();
+                        return;
+                    }
+                    let before = self.pos;
+                    self.parse_use_tree(prefix.clone(), leaves);
+                    self.eat_punct(',');
+                    if self.pos == before {
+                        self.bump();
+                        self.recover_here();
+                    }
+                }
+                return;
+            }
+            if self.at_punct('*') {
+                self.bump();
+                let mut path = prefix.clone();
+                path.push("*".to_string());
+                leaves.push(("*".to_string(), path));
+                return;
+            }
+            let seg = self.ident_or_empty();
+            if seg.is_empty() {
+                return;
+            }
+            if seg == "self" {
+                let name = prefix.last().cloned().unwrap_or_default();
+                leaves.push((name, prefix));
+                return;
+            }
+            prefix.push(seg);
+            if self.eat_op("::") {
+                continue;
+            }
+            let name = if self.eat_ident("as") {
+                self.ident_or_empty()
+            } else {
+                prefix.last().cloned().unwrap_or_default()
+            };
+            leaves.push((name, prefix));
+            return;
+        }
+    }
+
+    // ── blocks & statements ──────────────────────────────────────────
+
+    fn parse_block(&mut self) -> Block {
+        let start = self.cur_span();
+        let mut stmts = Vec::new();
+        if !self.eat_punct('{') {
+            return Block {
+                span: Span {
+                    lo: start.lo,
+                    hi: start.lo,
+                    line: start.line,
+                },
+                stmts,
+            };
+        }
+        while let Some(t) = self.peek() {
+            if t.is_punct('}') {
+                self.bump();
+                break;
+            }
+            let before = self.pos;
+            let cfg_test = self.skip_attrs();
+            if self.at_punct('}') {
+                continue;
+            }
+            if self.at_punct(';') {
+                self.bump();
+                continue;
+            }
+            if self.at_stmt_item() {
+                stmts.push(Stmt::Item(self.parse_item(cfg_test)));
+            } else if self.at_ident("let") {
+                stmts.push(Stmt::Let(self.parse_let()));
+            } else {
+                let expr = self.parse_expr(0, false);
+                let semi = self.eat_punct(';');
+                stmts.push(Stmt::Expr(expr, semi));
+            }
+            if self.pos == before {
+                self.bump();
+                self.recover_here();
+            }
+        }
+        Block {
+            span: start.to(self.prev_span()),
+            stmts,
+        }
+    }
+
+    /// Does the cursor start a nested item (vs an expression statement)?
+    fn at_stmt_item(&self) -> bool {
+        let t = match self.peek() {
+            Some(t) if t.kind == TokenKind::Ident => t,
+            _ => return false,
+        };
+        match t.text.as_str() {
+            "fn" | "struct" | "enum" | "impl" | "trait" | "mod" | "use" | "type"
+            | "macro_rules" | "pub" | "static" => true,
+            // `const X: T = …;` is an item; `const` can't start an expr.
+            "const" => true,
+            // `unsafe {` is a block expression, `unsafe fn` an item.
+            "unsafe" => !self.t(1).map(|n| n.is_punct('{')).unwrap_or(false),
+            _ => false,
+        }
+    }
+
+    fn parse_let(&mut self) -> LetStmt {
+        let start = self.cur_span();
+        self.bump(); // let
+        let pat = self.parse_pat(&[':', '=', ';'], &["else"]);
+        let ty = if self.at_punct(':') && !self.at_op("::") {
+            self.bump();
+            Some(self.parse_ty(&['=', ';'], &["else"]))
+        } else {
+            None
+        };
+        let init = if self.at_punct('=') && !self.at_op("==") {
+            self.bump();
+            Some(self.parse_expr(0, false))
+        } else {
+            None
+        };
+        let els = if self.eat_ident("else") {
+            Some(self.parse_block())
+        } else {
+            None
+        };
+        self.eat_punct(';');
+        LetStmt {
+            span: start.to(self.prev_span()),
+            pat,
+            ty,
+            init,
+            els,
+        }
+    }
+
+    // ── expressions ──────────────────────────────────────────────────
+
+    /// Pratt entry: unary/postfix core, then binary operators down to
+    /// `min_bp`. `no_struct` suppresses `Path { … }` struct literals (set
+    /// in `if`/`while`/`match`/`for`-header positions).
+    fn parse_expr(&mut self, min_bp: u8, no_struct: bool) -> Expr {
+        let lhs = self.parse_unary(no_struct);
+        self.parse_binary(lhs, min_bp, no_struct)
+    }
+
+    fn parse_binary(&mut self, mut lhs: Expr, min_bp: u8, no_struct: bool) -> Expr {
+        loop {
+            let (ntok, l_bp, r_bp, op) = match self.peek_bin_op() {
+                Some(x) => x,
+                None => return lhs,
+            };
+            if l_bp < min_bp {
+                return lhs;
+            }
+            for _ in 0..ntok {
+                self.bump();
+            }
+            match op {
+                PeekedOp::Bin(b) => {
+                    let rhs = self.parse_expr(r_bp, no_struct);
+                    let span = lhs.span.to(rhs.span);
+                    lhs = Expr::new(span, ExprKind::Binary(b, Box::new(lhs), Box::new(rhs)));
+                }
+                PeekedOp::Assign(b) => {
+                    let rhs = self.parse_expr(r_bp, no_struct);
+                    let span = lhs.span.to(rhs.span);
+                    lhs = Expr::new(
+                        span,
+                        ExprKind::Assign {
+                            op: b,
+                            lhs: Box::new(lhs),
+                            rhs: Box::new(rhs),
+                        },
+                    );
+                }
+                PeekedOp::Range => {
+                    let hi = if self.can_start_expr(no_struct) {
+                        Some(Box::new(self.parse_expr(r_bp, no_struct)))
+                    } else {
+                        None
+                    };
+                    let span = match &hi {
+                        Some(h) => lhs.span.to(h.span),
+                        None => lhs.span.to(self.prev_span()),
+                    };
+                    lhs = Expr::new(span, ExprKind::Range(Some(Box::new(lhs)), hi));
+                }
+            }
+        }
+    }
+
+    /// Longest-match binary operator at the cursor.
+    /// Returns `(token_count, l_bp, r_bp, op)`.
+    fn peek_bin_op(&self) -> Option<(usize, u8, u8, PeekedOp)> {
+        use BinOp::*;
+        // Hard stops that look like operator prefixes.
+        if self.at_op("=>") || self.at_op("->") || self.at_op("::") {
+            return None;
+        }
+        let bin = |p: u8, b: BinOp, n: usize| Some((n, 2 * p, 2 * p + 1, PeekedOp::Bin(b)));
+        let asg = |b: Option<BinOp>, n: usize| Some((n, 2, 1, PeekedOp::Assign(b)));
+        // 3-char first.
+        if self.at_op("<<=") {
+            return asg(Some(Shl), 3);
+        }
+        if self.at_op(">>=") {
+            return asg(Some(Shr), 3);
+        }
+        if self.at_op("..=") {
+            return Some((3, 2, 3, PeekedOp::Range));
+        }
+        // 2-char.
+        if self.at_op("==") {
+            return bin(4, Cmp, 2);
+        }
+        if self.at_op("!=") {
+            return bin(4, Cmp, 2);
+        }
+        if self.at_op("<=") {
+            return bin(4, Cmp, 2);
+        }
+        if self.at_op(">=") {
+            return bin(4, Cmp, 2);
+        }
+        if self.at_op("&&") {
+            return bin(3, Logic, 2);
+        }
+        if self.at_op("||") {
+            return bin(2, Logic, 2);
+        }
+        if self.at_op("<<") {
+            return bin(8, Shl, 2);
+        }
+        if self.at_op(">>") {
+            return bin(8, Shr, 2);
+        }
+        if self.at_op("+=") {
+            return asg(Some(Add), 2);
+        }
+        if self.at_op("-=") {
+            return asg(Some(Sub), 2);
+        }
+        if self.at_op("*=") {
+            return asg(Some(Mul), 2);
+        }
+        if self.at_op("/=") {
+            return asg(Some(Div), 2);
+        }
+        if self.at_op("%=") {
+            return asg(Some(Rem), 2);
+        }
+        if self.at_op("&=") {
+            return asg(Some(BitAnd), 2);
+        }
+        if self.at_op("|=") {
+            return asg(Some(BitOr), 2);
+        }
+        if self.at_op("^=") {
+            return asg(Some(BitXor), 2);
+        }
+        if self.at_op("..") {
+            return Some((2, 2, 3, PeekedOp::Range));
+        }
+        // 1-char.
+        if self.at_punct('+') {
+            return bin(9, Add, 1);
+        }
+        if self.at_punct('-') {
+            return bin(9, Sub, 1);
+        }
+        if self.at_punct('*') {
+            return bin(10, Mul, 1);
+        }
+        if self.at_punct('/') {
+            return bin(10, Div, 1);
+        }
+        if self.at_punct('%') {
+            return bin(10, Rem, 1);
+        }
+        if self.at_punct('&') {
+            return bin(7, BitAnd, 1);
+        }
+        if self.at_punct('|') {
+            return bin(5, BitOr, 1);
+        }
+        if self.at_punct('^') {
+            return bin(6, BitXor, 1);
+        }
+        if self.at_punct('<') {
+            return bin(4, Cmp, 1);
+        }
+        if self.at_punct('>') {
+            return bin(4, Cmp, 1);
+        }
+        if self.at_punct('=') {
+            return asg(None, 1);
+        }
+        None
+    }
+
+    /// Can the cursor start an expression? (Used for optional range ends
+    /// and bare `return`/`break`.)
+    fn can_start_expr(&self, no_struct: bool) -> bool {
+        let t = match self.peek() {
+            Some(t) => t,
+            None => return false,
+        };
+        match t.kind {
+            TokenKind::Ident => !matches!(t.text.as_str(), "else" | "in" | "where" | "as"),
+            TokenKind::Number | TokenKind::Str | TokenKind::Char | TokenKind::Lifetime => true,
+            TokenKind::Attr => false,
+            TokenKind::Punct => {
+                let c = t.text.chars().next().unwrap_or(' ');
+                match c {
+                    '(' | '[' | '-' | '!' | '*' | '&' | '|' => true,
+                    '{' => !no_struct,
+                    ':' => self.at_op("::"),
+                    _ => false,
+                }
+            }
+        }
+    }
+
+    /// Prefix operators + a primary + the postfix chain.
+    fn parse_unary(&mut self, no_struct: bool) -> Expr {
+        let start = self.cur_span();
+        // Prefix forms that wrap a full unary operand.
+        if self.at_punct('-') {
+            self.bump();
+            let inner = self.parse_unary(no_struct);
+            let span = start.to(inner.span);
+            return Expr::new(span, ExprKind::Unary(UnOp::Neg, Box::new(inner)));
+        }
+        if self.at_punct('!') {
+            self.bump();
+            let inner = self.parse_unary(no_struct);
+            let span = start.to(inner.span);
+            return Expr::new(span, ExprKind::Unary(UnOp::Not, Box::new(inner)));
+        }
+        if self.at_punct('*') {
+            self.bump();
+            let inner = self.parse_unary(no_struct);
+            let span = start.to(inner.span);
+            return Expr::new(span, ExprKind::Unary(UnOp::Deref, Box::new(inner)));
+        }
+        if self.at_punct('&') {
+            self.bump(); // one `&` at a time: `&&x` is &(&x)
+            let mutable = self.eat_ident("mut");
+            let inner = self.parse_unary(no_struct);
+            let span = start.to(inner.span);
+            return Expr::new(
+                span,
+                ExprKind::Ref {
+                    mutable,
+                    inner: Box::new(inner),
+                },
+            );
+        }
+        let primary = self.parse_primary(no_struct);
+        self.parse_postfix(primary)
+    }
+
+    fn parse_postfix(&mut self, mut expr: Expr) -> Expr {
+        loop {
+            if self.at_punct('.') && !self.at_op("..") {
+                self.bump();
+                match self.peek().cloned() {
+                    Some(t) if t.kind == TokenKind::Ident => {
+                        let method_span = tok_span(&t);
+                        let name = t.text.clone();
+                        self.bump();
+                        let turbofish = if self.at_op("::") && self.at_op_at(2, "<") {
+                            self.bump();
+                            self.bump();
+                            self.skip_generics_capture()
+                        } else {
+                            None
+                        };
+                        if self.at_punct('(') {
+                            let args = self.parse_call_args();
+                            let span = expr.span.to(self.prev_span());
+                            expr = Expr::new(
+                                span,
+                                ExprKind::MethodCall {
+                                    recv: Box::new(expr),
+                                    method: name,
+                                    method_span,
+                                    turbofish,
+                                    args,
+                                },
+                            );
+                        } else {
+                            let span = expr.span.to(method_span);
+                            expr = Expr::new(span, ExprKind::Field(Box::new(expr), name));
+                        }
+                    }
+                    Some(t) if t.kind == TokenKind::Number => {
+                        // Tuple index; `.0.1` lexes the index as `0.1`.
+                        let span = expr.span.to(tok_span(&t));
+                        self.bump();
+                        expr = Expr::new(span, ExprKind::Field(Box::new(expr), t.text));
+                    }
+                    _ => {
+                        self.recover_here();
+                        return expr;
+                    }
+                }
+                continue;
+            }
+            if self.at_punct('(') {
+                let args = self.parse_call_args();
+                let span = expr.span.to(self.prev_span());
+                expr = Expr::new(
+                    span,
+                    ExprKind::Call {
+                        callee: Box::new(expr),
+                        args,
+                    },
+                );
+                continue;
+            }
+            if self.at_punct('[') {
+                self.bump();
+                let idx = self.parse_expr(0, false);
+                self.eat_punct(']');
+                let span = expr.span.to(self.prev_span());
+                expr = Expr::new(span, ExprKind::Index(Box::new(expr), Box::new(idx)));
+                continue;
+            }
+            if self.at_punct('?') {
+                self.bump();
+                let span = expr.span.to(self.prev_span());
+                expr = Expr::new(span, ExprKind::Try(Box::new(expr)));
+                continue;
+            }
+            if self.at_ident("as") {
+                self.bump();
+                let ty = self.parse_cast_ty();
+                let span = expr.span.to(self.prev_span());
+                expr = Expr::new(span, ExprKind::Cast(Box::new(expr), ty));
+                continue;
+            }
+            return expr;
+        }
+    }
+
+    /// The narrow type grammar after `as`: `[*const|*mut] path` with an
+    /// optional balanced generic tail.
+    fn parse_cast_ty(&mut self) -> Ty {
+        let start = self.pos;
+        if self.eat_punct('*') && !self.eat_ident("const") {
+            self.eat_ident("mut");
+        }
+        let mut upper_head = false;
+        loop {
+            match self.peek() {
+                Some(t) if t.kind == TokenKind::Ident => {
+                    upper_head = t
+                        .text
+                        .chars()
+                        .next()
+                        .map(char::is_uppercase)
+                        .unwrap_or(false);
+                    self.bump();
+                }
+                _ => break,
+            }
+            if self.at_op("::") {
+                self.bump();
+                self.bump();
+                continue;
+            }
+            break;
+        }
+        // `count as usize < len` is a comparison, not `usize<…>`: only an
+        // uppercase head (a nominal type) takes a generic tail here —
+        // every primitive cast target is lowercase.
+        if upper_head && self.at_punct('<') {
+            self.skip_generics();
+        }
+        ty_from_tokens(&self.toks[start..self.pos])
+    }
+
+    /// Captures a turbofish `<…>` region (cursor on `<`), returning the
+    /// head of its first type argument.
+    fn skip_generics_capture(&mut self) -> Option<String> {
+        let start = self.pos;
+        self.skip_generics();
+        let inner = &self.toks[start..self.pos];
+        if inner.len() > 2 {
+            let shape = ty_shape(&inner[1..inner.len() - 1]);
+            if !shape.0.is_empty() {
+                return Some(shape.0);
+            }
+        }
+        None
+    }
+
+    fn parse_call_args(&mut self) -> Vec<Expr> {
+        let mut args = Vec::new();
+        if !self.eat_punct('(') {
+            return args;
+        }
+        while let Some(t) = self.peek() {
+            if t.is_punct(')') {
+                self.bump();
+                break;
+            }
+            let before = self.pos;
+            args.push(self.parse_expr(0, false));
+            self.eat_punct(',');
+            if self.pos == before {
+                self.bump();
+                self.recover_here();
+            }
+        }
+        args
+    }
+
+    fn parse_primary(&mut self, no_struct: bool) -> Expr {
+        let start = self.cur_span();
+        let t = match self.peek().cloned() {
+            Some(t) => t,
+            None => {
+                return Expr::new(
+                    Span {
+                        lo: start.lo,
+                        hi: start.lo,
+                        line: start.line,
+                    },
+                    ExprKind::Unknown,
+                )
+            }
+        };
+        match t.kind {
+            TokenKind::Number | TokenKind::Str | TokenKind::Char => {
+                self.bump();
+                Expr::new(tok_span(&t), ExprKind::Lit(t.text))
+            }
+            TokenKind::Lifetime => {
+                // Loop label: `'outer: loop { … }`.
+                self.bump();
+                if self.at_punct(':') && !self.at_op("::") {
+                    self.bump();
+                    let inner = self.parse_unary(no_struct);
+                    let span = start.to(inner.span);
+                    return Expr::new(span, inner.kind);
+                }
+                self.recover_here();
+                Expr::new(tok_span(&t), ExprKind::Unknown)
+            }
+            TokenKind::Attr => {
+                self.bump();
+                self.recover_here();
+                Expr::new(tok_span(&t), ExprKind::Unknown)
+            }
+            TokenKind::Ident => self.parse_ident_primary(&t, no_struct),
+            TokenKind::Punct => {
+                let c = t.text.chars().next().unwrap_or(' ');
+                match c {
+                    '(' => {
+                        self.bump();
+                        let mut elems = Vec::new();
+                        let mut trailing_comma = false;
+                        while let Some(x) = self.peek() {
+                            if x.is_punct(')') {
+                                self.bump();
+                                break;
+                            }
+                            let before = self.pos;
+                            elems.push(self.parse_expr(0, false));
+                            trailing_comma = self.eat_punct(',');
+                            if self.pos == before {
+                                self.bump();
+                                self.recover_here();
+                            }
+                        }
+                        let span = start.to(self.prev_span());
+                        if elems.len() == 1 && !trailing_comma {
+                            // Transparent parens: keep the inner node
+                            // (and its exact span) as-is.
+                            elems.pop().expect("len checked")
+                        } else {
+                            Expr::new(span, ExprKind::Tuple(elems))
+                        }
+                    }
+                    '[' => {
+                        self.bump();
+                        let mut elems = Vec::new();
+                        while let Some(x) = self.peek() {
+                            if x.is_punct(']') {
+                                self.bump();
+                                break;
+                            }
+                            let before = self.pos;
+                            elems.push(self.parse_expr(0, false));
+                            if self.eat_punct(';') {
+                                // `[elem; len]`
+                                elems.push(self.parse_expr(0, false));
+                                self.eat_punct(']');
+                                break;
+                            }
+                            self.eat_punct(',');
+                            if self.pos == before {
+                                self.bump();
+                                self.recover_here();
+                            }
+                        }
+                        let span = start.to(self.prev_span());
+                        Expr::new(span, ExprKind::Array(elems))
+                    }
+                    '{' => {
+                        let block = self.parse_block();
+                        let span = block.span;
+                        Expr::new(span, ExprKind::Block(block))
+                    }
+                    '|' => self.parse_closure(start, no_struct),
+                    ':' if self.at_op("::") => {
+                        self.bump();
+                        self.bump();
+                        self.parse_path_primary(start, Vec::new(), no_struct)
+                    }
+                    '.' if self.at_op("..") => {
+                        // Prefix range: `..hi`, `..=hi`, bare `..`.
+                        let inclusive = self.at_op("..=");
+                        self.bump();
+                        self.bump();
+                        if inclusive {
+                            self.bump();
+                        }
+                        let hi = if self.can_start_expr(no_struct) {
+                            Some(Box::new(self.parse_expr(3, no_struct)))
+                        } else {
+                            None
+                        };
+                        let span = start.to(self.prev_span());
+                        Expr::new(span, ExprKind::Range(None, hi))
+                    }
+                    _ => {
+                        self.bump();
+                        self.recover_here();
+                        Expr::new(tok_span(&t), ExprKind::Unknown)
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_ident_primary(&mut self, t: &Token, no_struct: bool) -> Expr {
+        let start = tok_span(t);
+        match t.text.as_str() {
+            "true" | "false" => {
+                self.bump();
+                Expr::new(start, ExprKind::Lit(t.text.clone()))
+            }
+            "if" => self.parse_if(),
+            "match" => self.parse_match(),
+            "while" => {
+                self.bump();
+                let cond = self.parse_cond();
+                let body = self.parse_block();
+                let span = start.to(body.span);
+                Expr::new(
+                    span,
+                    ExprKind::While {
+                        cond: Box::new(cond),
+                        body,
+                    },
+                )
+            }
+            "for" => {
+                self.bump();
+                let pat = self.parse_pat(&[], &["in"]);
+                self.eat_ident("in");
+                let iter = self.parse_expr(0, true);
+                let body = self.parse_block();
+                let span = start.to(body.span);
+                Expr::new(
+                    span,
+                    ExprKind::ForLoop {
+                        pat,
+                        iter: Box::new(iter),
+                        body,
+                    },
+                )
+            }
+            "loop" => {
+                self.bump();
+                let body = self.parse_block();
+                let span = start.to(body.span);
+                Expr::new(span, ExprKind::Loop(body))
+            }
+            "unsafe" => {
+                self.bump();
+                let body = self.parse_block();
+                let span = start.to(body.span);
+                Expr::new(span, ExprKind::Block(body))
+            }
+            "return" => {
+                self.bump();
+                let val = if self.can_start_expr(no_struct) {
+                    Some(Box::new(self.parse_expr(0, no_struct)))
+                } else {
+                    None
+                };
+                let span = start.to(self.prev_span());
+                Expr::new(span, ExprKind::Return(val))
+            }
+            "break" => {
+                self.bump();
+                if let Some(l) = self.peek() {
+                    if l.kind == TokenKind::Lifetime {
+                        self.bump();
+                    }
+                }
+                let val = if self.can_start_expr(no_struct) {
+                    Some(Box::new(self.parse_expr(0, no_struct)))
+                } else {
+                    None
+                };
+                let span = start.to(self.prev_span());
+                Expr::new(span, ExprKind::Break(val))
+            }
+            "continue" => {
+                self.bump();
+                if let Some(l) = self.peek() {
+                    if l.kind == TokenKind::Lifetime {
+                        self.bump();
+                    }
+                }
+                let span = start.to(self.prev_span());
+                Expr::new(span, ExprKind::Continue)
+            }
+            "move" => {
+                self.bump();
+                // `move |…| …` / `move || …`
+                if self.at_punct('|') {
+                    let c = self.parse_closure(start, no_struct);
+                    let span = start.to(c.span);
+                    return Expr::new(span, c.kind);
+                }
+                self.recover_here();
+                Expr::new(start, ExprKind::Unknown)
+            }
+            "let" => {
+                // `let pat = scrut` outside an if/while header (recovery
+                // only; headers call parse_cond directly).
+                self.bump();
+                let pat = self.parse_pat(&['='], &[]);
+                self.eat_punct('=');
+                let scrut = self.parse_expr(0, no_struct);
+                let span = start.to(self.prev_span());
+                Expr::new(
+                    span,
+                    ExprKind::LetCond {
+                        pat,
+                        scrut: Box::new(scrut),
+                    },
+                )
+            }
+            _ => {
+                self.bump();
+                self.parse_path_primary(start, vec![t.text.clone()], no_struct)
+            }
+        }
+    }
+
+    /// Continues a path expression whose first segment(s) are consumed:
+    /// more `::seg`s, turbofish, macro `!`, or a struct literal.
+    fn parse_path_primary(&mut self, start: Span, mut segs: Vec<String>, no_struct: bool) -> Expr {
+        loop {
+            if self.at_op("::") {
+                if self.at_op_at(2, "<") {
+                    // Path turbofish: `Vec::<u8>::new` — skip the types.
+                    self.bump();
+                    self.bump();
+                    self.skip_generics();
+                    continue;
+                }
+                match self.t(2) {
+                    Some(n) if n.kind == TokenKind::Ident => {
+                        let seg = n.text.clone();
+                        self.bump();
+                        self.bump();
+                        self.bump();
+                        segs.push(seg);
+                        continue;
+                    }
+                    _ => break,
+                }
+            }
+            break;
+        }
+        if segs.is_empty() {
+            self.recover_here();
+            return Expr::new(start, ExprKind::Unknown);
+        }
+        // Macro call: `path!` with an adjacent `!` not part of `!=`.
+        if self.at_punct('!') && !self.at_op("!=") {
+            let bang_adjacent = self
+                .toks
+                .get(self.pos.wrapping_sub(1))
+                .zip(self.peek())
+                .map(|(p, b)| p.touches(b))
+                .unwrap_or(false);
+            if bang_adjacent {
+                self.bump();
+                return self.parse_macro_call(start, segs);
+            }
+        }
+        // Struct literal: `Path { … }` where permitted.
+        if !no_struct && self.at_punct('{') {
+            return self.parse_struct_lit(start, segs);
+        }
+        let span = start.to(self.prev_span());
+        Expr::new(span, ExprKind::Path(segs))
+    }
+
+    fn parse_macro_call(&mut self, start: Span, path: Vec<String>) -> Expr {
+        let delim = match self.peek() {
+            Some(t) if t.is_punct('(') => '(',
+            Some(t) if t.is_punct('[') => '[',
+            Some(t) if t.is_punct('{') => '{',
+            _ => {
+                self.recover_here();
+                let span = start.to(self.prev_span());
+                return Expr::new(span, ExprKind::MacroCall { path, args: vec![] });
+            }
+        };
+        let close = match delim {
+            '(' => ')',
+            '[' => ']',
+            _ => '}',
+        };
+        if delim == '{' {
+            // Brace macros in this workspace are token soup; skip.
+            self.skip_balanced();
+            let span = start.to(self.prev_span());
+            return Expr::new(span, ExprKind::MacroCall { path, args: vec![] });
+        }
+        let save = self.pos;
+        self.bump(); // open
+        let mut args = Vec::new();
+        let mut ok = true;
+        loop {
+            match self.peek() {
+                Some(t) if t.is_punct(close) => {
+                    self.bump();
+                    break;
+                }
+                None => {
+                    ok = false;
+                    break;
+                }
+                _ => {}
+            }
+            let before = self.pos;
+            args.push(self.parse_expr(0, false));
+            if self.pos == before {
+                ok = false;
+                break;
+            }
+            match self.peek() {
+                Some(t) if t.is_punct(',') => {
+                    self.bump();
+                }
+                Some(t) if t.is_punct(close) => {}
+                // `matches!(x, Pat)` patterns and `fmt => expr` arms land
+                // here; bail to a balanced skip.
+                _ => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            self.pos = save;
+            let skip_start = self.cur_span();
+            self.skip_balanced();
+            args = vec![Expr::new(
+                skip_start.to(self.prev_span()),
+                ExprKind::Unknown,
+            )];
+        }
+        // Synthesize path args for inline format captures: `"{name}"`.
+        let mut captures = Vec::new();
+        for a in &args {
+            if let ExprKind::Lit(text) = &a.kind {
+                if text.starts_with('"') || text.starts_with("r\"") || text.starts_with("r#") {
+                    scan_format_captures(text, a.span, &mut captures);
+                }
+            }
+        }
+        args.extend(captures);
+        let span = start.to(self.prev_span());
+        Expr::new(span, ExprKind::MacroCall { path, args })
+    }
+
+    fn parse_struct_lit(&mut self, start: Span, path: Vec<String>) -> Expr {
+        self.bump(); // {
+        let mut fields = Vec::new();
+        let mut rest = None;
+        while let Some(t) = self.peek() {
+            if t.is_punct('}') {
+                self.bump();
+                break;
+            }
+            let before = self.pos;
+            self.skip_attrs();
+            if self.at_op("..") {
+                self.bump();
+                self.bump();
+                // `..base` is a struct update; a bare `..` (struct
+                // *pattern* syntax reaching us through `matches!` macro
+                // arguments) has no base expression.
+                if self.can_start_expr(false) {
+                    rest = Some(Box::new(self.parse_expr(0, false)));
+                }
+                self.eat_punct(',');
+                continue;
+            }
+            let fname = match self.peek() {
+                Some(t) if t.kind == TokenKind::Ident || t.kind == TokenKind::Number => {
+                    let s = t.text.clone();
+                    self.bump();
+                    s
+                }
+                _ => String::new(),
+            };
+            if fname.is_empty() {
+                self.bump();
+                self.recover_here();
+                continue;
+            }
+            if self.at_punct(':') && !self.at_op("::") {
+                self.bump();
+                let val = self.parse_expr(0, false);
+                fields.push((fname, val));
+            } else {
+                // Shorthand `Foo { x }` binds the local of the same name.
+                let span = self.prev_span();
+                fields.push((fname.clone(), Expr::new(span, ExprKind::Path(vec![fname]))));
+            }
+            self.eat_punct(',');
+            if self.pos == before {
+                self.bump();
+                self.recover_here();
+            }
+        }
+        let span = start.to(self.prev_span());
+        Expr::new(span, ExprKind::StructLit { path, fields, rest })
+    }
+
+    fn parse_closure(&mut self, start: Span, no_struct: bool) -> Expr {
+        let mut params = Vec::new();
+        if self.at_op("||") {
+            self.bump();
+            self.bump();
+        } else if self.eat_punct('|') {
+            while let Some(t) = self.peek() {
+                if t.is_punct('|') {
+                    self.bump();
+                    break;
+                }
+                let before = self.pos;
+                let pat = self.parse_pat(&[',', '|', ':'], &[]);
+                if self.at_punct(':') && !self.at_op("::") {
+                    self.bump();
+                    self.scan_ty_range(&[',', '|'], &[]);
+                }
+                params.push(pat);
+                self.eat_punct(',');
+                if self.pos == before {
+                    self.bump();
+                    self.recover_here();
+                }
+            }
+        }
+        let body = if self.eat_op("->") {
+            self.scan_ty_range(&['{'], &[]);
+            let block = self.parse_block();
+            let span = block.span;
+            Expr::new(span, ExprKind::Block(block))
+        } else {
+            self.parse_expr(0, no_struct)
+        };
+        let span = start.to(body.span);
+        Expr::new(
+            span,
+            ExprKind::Closure {
+                params,
+                body: Box::new(body),
+            },
+        )
+    }
+
+    /// Condition position of `if`/`while`: handles `let pat = scrut`.
+    fn parse_cond(&mut self) -> Expr {
+        let start = self.cur_span();
+        if self.at_ident("let") {
+            self.bump();
+            let pat = self.parse_pat(&['='], &[]);
+            self.eat_punct('=');
+            let scrut = self.parse_expr(0, true);
+            let span = start.to(self.prev_span());
+            return Expr::new(
+                span,
+                ExprKind::LetCond {
+                    pat,
+                    scrut: Box::new(scrut),
+                },
+            );
+        }
+        self.parse_expr(0, true)
+    }
+
+    fn parse_if(&mut self) -> Expr {
+        let start = self.cur_span();
+        self.bump(); // if
+        let cond = self.parse_cond();
+        let then = self.parse_block();
+        let els = if self.eat_ident("else") {
+            if self.at_ident("if") {
+                Some(Box::new(self.parse_if()))
+            } else {
+                let block = self.parse_block();
+                let span = block.span;
+                Some(Box::new(Expr::new(span, ExprKind::Block(block))))
+            }
+        } else {
+            None
+        };
+        let span = match &els {
+            Some(e) => start.to(e.span),
+            None => start.to(then.span),
+        };
+        Expr::new(
+            span,
+            ExprKind::If {
+                cond: Box::new(cond),
+                then,
+                els,
+            },
+        )
+    }
+
+    fn parse_match(&mut self) -> Expr {
+        let start = self.cur_span();
+        self.bump(); // match
+        let scrut = self.parse_expr(0, true);
+        let mut arms = Vec::new();
+        if self.eat_punct('{') {
+            while let Some(t) = self.peek() {
+                if t.is_punct('}') {
+                    self.bump();
+                    break;
+                }
+                let before = self.pos;
+                self.skip_attrs();
+                let pat = self.parse_pat(&['=', ','], &["if"]);
+                let guard = if self.eat_ident("if") {
+                    Some(self.parse_expr(0, false))
+                } else {
+                    None
+                };
+                if self.eat_op("=>") {
+                    let body = self.parse_expr(0, false);
+                    arms.push(Arm { pat, guard, body });
+                    self.eat_punct(',');
+                } else {
+                    self.recover_here();
+                    // Desync: drop to the next comma or the close brace.
+                    while let Some(t) = self.peek() {
+                        if t.is_punct(',') {
+                            self.bump();
+                            break;
+                        }
+                        if t.is_punct('}') {
+                            break;
+                        }
+                        if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+                            self.skip_balanced();
+                        } else {
+                            self.bump();
+                        }
+                    }
+                }
+                if self.pos == before {
+                    self.bump();
+                    self.recover_here();
+                }
+            }
+        }
+        let span = start.to(self.prev_span());
+        Expr::new(
+            span,
+            ExprKind::Match {
+                scrut: Box::new(scrut),
+                arms,
+            },
+        )
+    }
+}
+
+enum PeekedOp {
+    Bin(BinOp),
+    Assign(Option<BinOp>),
+    Range,
+}
+
+fn empty_ty() -> Ty {
+    Ty {
+        text: String::new(),
+        head: String::new(),
+        args: Vec::new(),
+    }
+}
+
+/// Builds a [`Ty`] from a token run: text is the joined lexemes, head and
+/// args come from [`ty_shape`].
+fn ty_from_tokens(toks: &[Token]) -> Ty {
+    if toks.is_empty() {
+        return empty_ty();
+    }
+    let mut text = String::new();
+    let mut prev_hi = None;
+    for t in toks {
+        if let Some(hi) = prev_hi {
+            if hi != t.lo {
+                text.push(' ');
+            }
+        }
+        text.push_str(&t.text);
+        prev_hi = Some(t.hi);
+    }
+    let (head, args) = ty_shape(toks);
+    Ty { text, head, args }
+}
+
+/// Extracts `(head, top_level_arg_heads)` from a type's token run.
+///
+/// Strips `&`, lifetimes, `mut`, `impl`, `dyn`, raw-pointer qualifiers;
+/// slices/arrays become `[]`, tuples `()`, fn-pointers/closures `fn`;
+/// otherwise the last path segment before the generic bracket is the
+/// head and each depth-1 generic argument contributes its own head.
+fn ty_shape(toks: &[Token]) -> (String, Vec<String>) {
+    let mut i = 0usize;
+    loop {
+        match toks.get(i) {
+            Some(t)
+                if t.is_punct('&')
+                    || t.is_punct('*')
+                    || t.kind == TokenKind::Lifetime
+                    || t.is_ident("mut")
+                    || t.is_ident("const")
+                    || t.is_ident("impl")
+                    || t.is_ident("dyn") =>
+            {
+                i += 1;
+            }
+            _ => break,
+        }
+    }
+    let first = match toks.get(i) {
+        Some(t) => t,
+        None => return (String::new(), Vec::new()),
+    };
+    if first.is_punct('(') {
+        // Tuple (or parenthesized type — treated as a tuple head).
+        return ("()".to_string(), Vec::new());
+    }
+    if first.is_punct('[') {
+        let inner = balanced_inner(toks, i, '[', ']');
+        let arg = ty_shape(inner).0;
+        let args = if arg.is_empty() { vec![] } else { vec![arg] };
+        return ("[]".to_string(), args);
+    }
+    if first.kind == TokenKind::Ident
+        && matches!(first.text.as_str(), "fn" | "Fn" | "FnMut" | "FnOnce")
+    {
+        return ("fn".to_string(), Vec::new());
+    }
+    // Path: segments until `<` or a non-path token.
+    let mut head = String::new();
+    while let Some(t) = toks.get(i) {
+        if t.kind == TokenKind::Ident {
+            head = t.text.clone();
+            i += 1;
+            // `::` between segments
+            if matches!(toks.get(i), Some(c) if c.is_punct(':'))
+                && matches!(toks.get(i + 1), Some(c) if c.is_punct(':'))
+            {
+                i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    let mut args = Vec::new();
+    if matches!(toks.get(i), Some(t) if t.is_punct('<')) {
+        let inner = balanced_inner_angle(toks, i);
+        let mut depth = 0i32;
+        let mut arg_start = 0usize;
+        let mut j = 0usize;
+        let push_arg = |range: &[Token], args: &mut Vec<String>| {
+            // Pure-lifetime arguments contribute nothing.
+            if range.len() == 1 && range[0].kind == TokenKind::Lifetime {
+                return;
+            }
+            let h = ty_shape(range).0;
+            if !h.is_empty() {
+                args.push(h);
+            }
+        };
+        while j < inner.len() {
+            let t = &inner[j];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('>') {
+                depth -= 1;
+            } else if t.is_punct(',') && depth == 0 {
+                push_arg(&inner[arg_start..j], &mut args);
+                arg_start = j + 1;
+            }
+            j += 1;
+        }
+        if arg_start < inner.len() {
+            push_arg(&inner[arg_start..], &mut args);
+        }
+    }
+    (head, args)
+}
+
+/// Tokens strictly inside the balanced `open…close` region starting at
+/// `toks[at]` (empty on malformed input).
+fn balanced_inner(toks: &[Token], at: usize, open: char, close: char) -> &[Token] {
+    let mut depth = 0i32;
+    let mut j = at;
+    while let Some(t) = toks.get(j) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return &toks[at + 1..j];
+            }
+        }
+        j += 1;
+    }
+    &[]
+}
+
+/// Tokens strictly inside a balanced `<…>` region starting at `toks[at]`,
+/// pairing `->` so fn-pointer arrows don't close the angle.
+fn balanced_inner_angle(toks: &[Token], at: usize) -> &[Token] {
+    let mut depth = 0i32;
+    let mut j = at;
+    while let Some(t) = toks.get(j) {
+        if t.is_punct('-') && matches!(toks.get(j + 1), Some(n) if n.is_punct('>') && t.touches(n))
+        {
+            j += 2;
+            continue;
+        }
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>') {
+            depth -= 1;
+            if depth == 0 {
+                return &toks[at + 1..j];
+            }
+        }
+        j += 1;
+    }
+    &[]
+}
+
+/// Scans a string-literal lexeme for inline format captures (`{name}`,
+/// `{name:…}`) and synthesizes a `Path` expression per capture, so taint
+/// analysis sees `format!("{k}")` read `k`.
+fn scan_format_captures(lit: &str, span: Span, out: &mut Vec<Expr>) {
+    let bytes = lit.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i] == b'{' {
+            if i + 1 < bytes.len() && bytes[i + 1] == b'{' {
+                i += 2;
+                continue;
+            }
+            let mut j = i + 1;
+            while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                j += 1;
+            }
+            if j > i + 1
+                && j < bytes.len()
+                && (bytes[j] == b'}' || bytes[j] == b':')
+                && !bytes[i + 1].is_ascii_digit()
+            {
+                let name = &lit[i + 1..j];
+                out.push(Expr::new(span, ExprKind::Path(vec![name.to_string()])));
+            }
+            i = j.max(i + 1);
+        } else {
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_clean(src: &str) -> SourceFile {
+        let f = parse_file(src);
+        assert_eq!(f.recovered, 0, "unexpected recovery parsing: {src}");
+        f
+    }
+
+    fn only_fn(f: &SourceFile) -> &FnItem {
+        for item in &f.items {
+            if let ItemKind::Fn(func) = &item.kind {
+                return func;
+            }
+        }
+        panic!("no fn item");
+    }
+
+    #[test]
+    fn parses_items_and_spans_round_trip() {
+        let src = "pub fn add(a: u64, b: u64) -> u64 { a + b }\n";
+        let f = parse_clean(src);
+        let func = only_fn(&f);
+        assert_eq!(func.name, "add");
+        assert_eq!(func.params.len(), 2);
+        assert_eq!(func.ret.as_ref().map(|t| t.head.as_str()), Some("u64"));
+        let item_span = f.items[0].span;
+        assert_eq!(
+            &src[item_span.lo as usize..item_span.hi as usize].trim_start(),
+            &src.trim()
+        );
+    }
+
+    #[test]
+    fn method_calls_and_turbofish() {
+        let src = "fn f(m: HashMap<u64, f64>) -> BTreeMap<u64, f64> { m.iter().map(|(k, v)| (*k, *v)).collect::<BTreeMap<u64, f64>>() }\n";
+        let f = parse_clean(src);
+        let func = only_fn(&f);
+        let body = func.body.as_ref().expect("body");
+        let mut methods = Vec::new();
+        walk_block(body, &mut |e| {
+            if let ExprKind::MethodCall {
+                method, turbofish, ..
+            } = &e.kind
+            {
+                methods.push((method.clone(), turbofish.clone()));
+            }
+        });
+        assert!(methods
+            .iter()
+            .any(|(m, t)| m == "collect" && t.as_deref() == Some("BTreeMap")));
+        assert!(methods.iter().any(|(m, _)| m == "iter"));
+    }
+
+    #[test]
+    fn struct_literal_vs_block_ambiguity() {
+        let src = "fn f(x: u32) -> P { if x > 0 { P { a: x } } else { P { a: 0 } } }\n";
+        let f = parse_clean(src);
+        let func = only_fn(&f);
+        let mut lits = 0;
+        walk_block(func.body.as_ref().expect("body"), &mut |e| {
+            if matches!(e.kind, ExprKind::StructLit { .. }) {
+                lits += 1;
+            }
+        });
+        assert_eq!(lits, 2);
+    }
+
+    #[test]
+    fn match_for_while_let_and_ranges() {
+        let src = r#"
+fn f(v: &[u64]) -> u64 {
+    let mut total = 0u64;
+    let tail = &v[1..];
+    total += tail.len() as u64;
+    for (i, x) in v.iter().enumerate() {
+        total += match *x {
+            0 => 0,
+            1..=9 => 1,
+            n if n > 100 => n,
+            _ => i as u64,
+        };
+    }
+    while let Some(last) = v.get(total as usize) {
+        if *last == 0 { break; }
+        total -= 1;
+    }
+    total
+}
+"#;
+        let f = parse_clean(src);
+        let func = only_fn(&f);
+        let mut kinds = (0, 0, 0, 0); // match, for, while, range
+        walk_block(func.body.as_ref().expect("body"), &mut |e| match &e.kind {
+            ExprKind::Match { .. } => kinds.0 += 1,
+            ExprKind::ForLoop { .. } => kinds.1 += 1,
+            ExprKind::While { .. } => kinds.2 += 1,
+            ExprKind::Range(..) => kinds.3 += 1,
+            _ => {}
+        });
+        assert_eq!(kinds, (1, 1, 1, 1));
+    }
+
+    #[test]
+    fn format_captures_are_synthesized() {
+        let src = "fn f(k: u64) -> String { format!(\"k={k} v={v:?}\", v = k) }\n";
+        let f = parse_clean(src);
+        let func = only_fn(&f);
+        let mut paths = Vec::new();
+        walk_block(func.body.as_ref().expect("body"), &mut |e| {
+            if let ExprKind::Path(segs) = &e.kind {
+                paths.push(segs.join("::"));
+            }
+        });
+        assert!(paths.iter().any(|p| p == "k"), "captures: {paths:?}");
+        assert!(paths.iter().any(|p| p == "v"), "captures: {paths:?}");
+    }
+
+    #[test]
+    fn recovery_never_panics_and_counts() {
+        // Unknown leading tokens recover to an item boundary.
+        let f = parse_file("@@ ; fn f() -> u64 { 1 }");
+        assert!(f.recovered > 0);
+        assert!(f.items.iter().any(|i| matches!(i.kind, ItemKind::Fn(_))));
+        // Truncated/garbage input parses without panicking.
+        parse_file("fn broken( {{{ ]] @@ ");
+        parse_file("impl { fn");
+        parse_file("match { => , }");
+        let f2 = parse_file("");
+        assert_eq!(f2.items.len(), 0);
+    }
+
+    #[test]
+    fn closures_and_let_else() {
+        let src = r#"
+fn f(v: Vec<u64>) -> u64 {
+    let Some(first) = v.first().copied() else { return 0; };
+    let add = |a: u64, b: u64| a + b;
+    let total: u64 = v.iter().map(|x| add(*x, first)).sum();
+    total
+}
+"#;
+        let f = parse_clean(src);
+        let func = only_fn(&f);
+        let mut closures = 0;
+        walk_block(func.body.as_ref().expect("body"), &mut |e| {
+            if matches!(e.kind, ExprKind::Closure { .. }) {
+                closures += 1;
+            }
+        });
+        assert_eq!(closures, 2);
+    }
+}

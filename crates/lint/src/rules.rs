@@ -68,12 +68,28 @@ pub const CATALOG: &[RuleInfo] = &[
         summary: "narrowing `as` cast inside accounting code (energy, fault, cmp)",
     },
     RuleInfo {
+        id: "A02",
+        summary: "unchecked integer product absorbed by an accounting accumulator",
+    },
+    RuleInfo {
+        id: "T01",
+        summary: "nondeterministic value flows into an emission path (taint analysis)",
+    },
+    RuleInfo {
+        id: "T02",
+        summary: "hash-order/worker taint returned across a crate API boundary",
+    },
+    RuleInfo {
         id: "L00",
         summary: "malformed lpmem-lint suppression comment",
     },
     RuleInfo {
         id: "L01",
         summary: "suppression that suppresses nothing",
+    },
+    RuleInfo {
+        id: "L02",
+        summary: "obsolete suppression: semantic analysis proves the site safe",
     },
 ];
 

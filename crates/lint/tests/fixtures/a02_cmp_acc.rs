@@ -1,0 +1,19 @@
+//! A02 fixture: an unchecked integer product absorbed by an accounting
+//! accumulator, next to the checked form the rule asks for.
+
+pub struct EnergyAcc {
+    pub total_pj_q: u64,
+}
+
+impl EnergyAcc {
+    pub fn absorb(&mut self, events: u64, pj_per_event_q: u64) {
+        self.total_pj_q += events * pj_per_event_q;
+    }
+
+    // Negative case: the checked product names its bound, so no A02.
+    pub fn absorb_checked(&mut self, events: u64, pj_per_event_q: u64) {
+        self.total_pj_q += events
+            .checked_mul(pj_per_event_q)
+            .expect("fixture invariant: event count is bounded by the trace length");
+    }
+}

@@ -1,7 +1,13 @@
 //! D02 fixture: wall-clock reads outside the sanctioned bench timer.
+//! Both readings escape through the public return value, so the
+//! semantic pass keeps the heuristic findings alive.
 
-pub fn stamp() -> u128 {
+pub fn stamp() -> (u128, u64) {
     let t0 = std::time::Instant::now();
-    let _wall = std::time::SystemTime::now();
-    t0.elapsed().as_nanos()
+    let wall = std::time::SystemTime::now();
+    let since_epoch = wall
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    (t0.elapsed().as_nanos(), since_epoch)
 }

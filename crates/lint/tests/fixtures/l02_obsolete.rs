@@ -1,0 +1,9 @@
+//! L02 fixture: a suppression whose underlying site the semantic pass
+//! proves safe — the clock reading dies locally, so the D02 it silenced
+//! is retracted and the allow itself becomes the finding.
+
+pub fn tick() -> u64 {
+    // lpmem-lint: allow(D02, reason = "fixture: the reading never escapes")
+    let _probe = std::time::Instant::now();
+    7
+}

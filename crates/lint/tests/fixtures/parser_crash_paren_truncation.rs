@@ -1,0 +1,7 @@
+// Parser crash regression: a file truncated mid-expression inside
+// parentheses. The transparent-paren rewrite used to re-span the inner
+// path to include the `(`, so the span no longer round-tripped to the
+// identifier text. Found by the seeded truncation fuzz
+// (LPMEM_PROP_SEED=0xdc2530e05a30abb1) on crates/compress/src/model.rs.
+pub fn truncated(line: u32) -> u32 {
+    let x = (line.

@@ -1,0 +1,30 @@
+// Parser regression: struct *patterns* reaching the expression parser
+// through `matches!` arguments. A bare `..` inside the braces used to be
+// parsed as a struct-update base, consuming the closing `}` and cascading
+// into recovery; item-position macro invocations (`impl_x!(…);`,
+// `std::thread_local! { … }`) used to be unmodeled entirely.
+pub enum Kind {
+    Nop,
+    Add { lhs: u32, rhs: u32 },
+}
+
+pub fn is_alu(k: &Kind) -> bool {
+    matches!(k, Kind::Nop | Kind::Add { .. })
+}
+
+pub fn has_big_lhs(k: &Kind) -> bool {
+    matches!(k, Kind::Add { lhs: 7, .. })
+}
+
+macro_rules! mark {
+    ($t:ty) => {
+        impl Marked for $t {}
+    };
+}
+
+pub trait Marked {}
+mark!(u32);
+
+std::thread_local! {
+    static SCRATCH: std::cell::RefCell<Vec<u8>> = std::cell::RefCell::new(Vec::new());
+}

@@ -1,0 +1,12 @@
+//! T01 fixture: hash-iteration order flows into a JSONL emission path.
+//! The taint pass proves the flow and the heuristic D01 is subsumed.
+
+use std::collections::HashMap;
+
+pub fn jsonl_body(counts: &HashMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (name, hits) in counts.iter() {
+        out.push_str(&format!("\"{name}\":{hits},"));
+    }
+    out
+}

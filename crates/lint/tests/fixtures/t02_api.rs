@@ -1,0 +1,15 @@
+//! T02 fixture (API half): a public function returns a value whose
+//! order depends on hash iteration, and another unit consumes it.
+
+use std::collections::HashSet;
+
+pub fn order_hint(set: &HashSet<u64>) -> Vec<u64> {
+    set.iter().copied().collect()
+}
+
+// Negative case: a BTree collect re-establishes order before the value
+// crosses the API, so no T02 fires here.
+pub fn sorted_hint(set: &HashSet<u64>) -> Vec<u64> {
+    let ordered: std::collections::BTreeSet<u64> = set.iter().copied().collect();
+    ordered.into_iter().collect()
+}

@@ -1,0 +1,8 @@
+//! T02 fixture (caller half): imports the hash-tainted API across the
+//! unit boundary, which is what arms the cross-unit finding.
+
+use t02_api::order_hint;
+
+pub fn first(set: &std::collections::HashSet<u64>) -> Option<u64> {
+    order_hint(set).into_iter().next()
+}

@@ -112,7 +112,6 @@ impl HotColdGen {
         let hot_blocks: Vec<u64> = (0..num_hot)
             .map(|i| (i as u64 * blocks) / num_hot as u64)
             .collect();
-        // lpmem-lint: allow(D03, reason = "fixed pre-derive constant, decorrelated by seed_from_u64's SplitMix64 expansion; the stream is pinned by the golden suite")
         let rng = Rng::seed_from_u64(self.seed ^ 0x9e37_79b9_7f4a_7c15);
         HotColdIter {
             cfg: self,
@@ -288,7 +287,6 @@ impl MarkovGen {
     /// Returns an iterator producing exactly `n` events.
     pub fn events(self, n: usize) -> MarkovIter {
         MarkovIter {
-            // lpmem-lint: allow(D03, reason = "fixed pre-derive constant, decorrelated by seed_from_u64's SplitMix64 expansion; the stream is pinned by the golden suite")
             rng: Rng::seed_from_u64(self.seed ^ 0x517c_c1b7_2722_0a95),
             cursor: 0,
             region: 0,
@@ -369,7 +367,6 @@ impl PointerChaseGen {
 
     /// Returns an iterator producing exactly `n` read events.
     pub fn events(self, n: usize) -> impl Iterator<Item = MemEvent> {
-        // lpmem-lint: allow(D03, reason = "fixed pre-derive constant, decorrelated by seed_from_u64's SplitMix64 expansion; the stream is pinned by the golden suite")
         let mut rng = Rng::seed_from_u64(self.seed ^ 0x2545_f491_4f6c_dd1d);
         let words = self.len / 4;
         let base = self.base;
@@ -449,7 +446,6 @@ impl PhaseScatterGen {
 
     /// Returns an iterator producing exactly `n` events.
     pub fn events(self, n: usize) -> impl Iterator<Item = MemEvent> {
-        // lpmem-lint: allow(D03, reason = "fixed pre-derive constant, decorrelated by seed_from_u64's SplitMix64 expansion; the stream is pinned by the golden suite")
         let mut rng = Rng::seed_from_u64(self.seed ^ 0x7f4a_7c15_9e37_79b9);
         let PhaseScatterGen {
             phases,

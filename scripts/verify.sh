@@ -108,8 +108,14 @@ else
     echo "    skipped (single CPU or LPMEM_SKIP_TIMING_GATE); committed BENCH_fleet.json stands"
 fi
 
-echo "==> lpmem-lint --deny (determinism/accounting invariants, DESIGN.md §9)"
-cargo run --release --locked --offline -p lpmem-lint --bin lint -- --deny
+echo "==> lpmem-lint --deny (determinism/accounting invariants, DESIGN.md §9, §14)"
+# The bench record doubles as a smoke test of the semantic phase: a full
+# workspace analysis (AST + call graph + taint fixpoint) must finish and
+# report its counters. The committed BENCH_lint.json comes from the same
+# command at the repo root.
+cargo run --release --locked --offline -p lpmem-lint --bin lint -- \
+    --deny --bench-json target/BENCH_lint_smoke.json
+grep -q '"schema":"lpmem-lint-bench-v1"' target/BENCH_lint_smoke.json
 
 if cargo fmt --version >/dev/null 2>&1; then
     echo "==> cargo fmt --check"

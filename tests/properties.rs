@@ -125,7 +125,6 @@ fn cache_writes_are_durable() {
                 expect.insert(addr, value);
             }
             cache.flush(&mut mem);
-            // lpmem-lint: allow(D01, reason = "assertion-only iteration: each (addr, value) pair is checked independently, so visit order cannot affect the verdict")
             for (&addr, &value) in &expect {
                 assert_eq!(mem.read_u32(addr), value, "addr {addr:#x}");
             }
